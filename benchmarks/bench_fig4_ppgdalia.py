@@ -1,0 +1,61 @@
+"""Fig. 4 (bottom): PIT Pareto frontier on PPG-Dalia from the TEMPONet seed.
+
+Regenerates the (parameters, MAE) scatter of the paper's Fig. 4 bottom
+panel: the undilated seed (square), the hand-tuned TEMPONet (triangle),
+and the PIT λ-sweep outputs (dots).
+
+Paper shape to reproduce: PIT traces a front from ~seed-size down to the
+max-dilation corner; the hand-engineered TEMPONet sits on (not beyond) the
+PIT front ("the hand-engineered network sits on the Pareto frontier in
+this case").
+"""
+
+import numpy as np
+
+from conftest import TEMPONET_WIDTH, print_header, temponet_factory
+from repro.core import train_plain
+from repro.evaluation import dominates, pareto_points
+from repro.models import TEMPONET_HAND_DILATIONS, temponet_fixed, temponet_hand_tuned
+from repro.nn import mae_loss
+
+
+def _train_reference(dilations, loaders, epochs=12):
+    train, val, _ = loaders
+    model = temponet_fixed(dilations, width_mult=TEMPONET_WIDTH, seed=0)
+    result = train_plain(model, mae_loss, train, val, epochs=epochs, patience=6)
+    return model.count_parameters(), result.best_val
+
+
+def test_fig4_bottom_pareto_frontier(benchmark, temponet_sweep, ppg_loaders):
+    seed_point = None
+    hand_point = None
+
+    def run():
+        nonlocal seed_point, hand_point
+        seed_point = _train_reference(None, ppg_loaders)
+        hand_point = _train_reference(TEMPONET_HAND_DILATIONS, ppg_loaders)
+        return temponet_sweep
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    points = [(p.params, p.loss) for p in sweep.points]
+    front = pareto_points(points + [seed_point, hand_point])
+
+    print_header("Fig. 4 (bottom) — TEMPONet on PPG-Dalia: params vs MAE")
+    print(f"{'architecture':<28s} {'params':>8s} {'MAE':>8s}")
+    print(f"{'TEMPONet seed (d=1)':<28s} {seed_point[0]:>8d} {seed_point[1]:>8.3f}")
+    print(f"{'TEMPONet hand-tuned':<28s} {hand_point[0]:>8d} {hand_point[1]:>8.3f}")
+    for p in sorted(sweep.points, key=lambda q: q.params):
+        tag = f"PIT lam={p.lam:g}"
+        print(f"{tag:<28s} {p.params:>8d} {p.loss:>8.3f}  d={p.dilations}")
+    print(f"Pareto front: {[(int(a), round(b, 3)) for a, b in front]}")
+
+    # --- paper-shape assertions -----------------------------------------
+    sizes = [p.params for p in sweep.points]
+    assert max(sizes) > min(sizes)          # front has spread
+    assert min(sizes) < seed_point[0]       # smaller-than-seed nets found
+    # PIT's best is MAE-competitive with the seed (within 20% at this scale).
+    assert min(p.loss for p in sweep.points) <= seed_point[1] * 1.2
+    # No PIT point is *strictly dominated* by the seed.
+    assert not any(dominates(seed_point, (p.params, p.loss))
+                   for p in sweep.points if p.params < seed_point[0])

@@ -1,0 +1,71 @@
+"""Table II: PIT vs ProxylessNAS on TEMPONet / PPG-Dalia.
+
+The paper adapts ProxylessNAS to dilation search by enumerating, for every
+layer, one supernet branch per power-of-two dilation — exactly the space
+PIT explores.  The comparison reports #weights and MAE for the small /
+medium / large outputs of each method.
+
+Paper shape to reproduce: the two methods land in the same size region and
+comparable accuracy; at the large end PIT matches or beats the supernet
+(paper: 694k/4.92 vs 731k/5.15).  At laptop scale we run one search per
+size regime (λ low/high) for each method.
+"""
+
+import numpy as np
+
+from conftest import PIT_SCHEDULE, TEMPONET_WIDTH, print_header, temponet_factory
+from repro.baselines import ProxylessTrainer, proxylessify
+from repro.core import PITTrainer
+from repro.evaluation import select_small_medium_large
+from repro.models import temponet_hand_tuned
+from repro.nn import mae_loss
+
+# Expected-size λ for the supernet: its regularizer is in parameter units,
+# so the magnitudes differ from PIT's Eq. 6 λ.
+PROXYLESS_LAMBDAS = (1e-6, 1e-3)
+
+
+def _run_proxyless(lam, loaders):
+    train, val, _ = loaders
+    supernet = proxylessify(temponet_factory(), rng=np.random.default_rng(0))
+    trainer = ProxylessTrainer(supernet, mae_loss, lam=lam, alpha_lr=0.05,
+                               warmup_epochs=1, max_search_epochs=5,
+                               search_patience=5, finetune_epochs=4,
+                               finetune_patience=4)
+    return trainer.fit(train, val)
+
+
+def test_table2_pit_vs_proxylessnas(benchmark, temponet_sweep, ppg_loaders):
+    def run():
+        return [_run_proxyless(lam, ppg_loaders) for lam in PROXYLESS_LAMBDAS]
+
+    proxyless_results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    reference = temponet_hand_tuned(width_mult=TEMPONET_WIDTH,
+                                    seed=0).count_parameters()
+    pit_sel = select_small_medium_large(temponet_sweep.points, reference)
+
+    print_header("Table II — ProxylessNAS vs PIT (TEMPONet / PPG-Dalia)")
+    print(f"{'method':<24s} {'#weights':>9s} {'MAE':>8s}   dilations")
+    for lam, result in zip(PROXYLESS_LAMBDAS, proxyless_results):
+        print(f"{'Proxyless lam=' + format(lam, 'g'):<24s} "
+              f"{result.params:>9d} {result.best_val:>8.3f}   {result.dilations}")
+    for name in ("small", "medium", "large"):
+        p = pit_sel[name]
+        print(f"{'PIT ' + name:<24s} {p.params:>9d} {p.loss:>8.3f}   {p.dilations}")
+
+    # --- paper-shape assertions -----------------------------------------
+    pit_sizes = {p.params for p in temponet_sweep.points}
+    px_sizes = {r.params for r in proxyless_results}
+    # Same search space: both size sets fall in the same global range.
+    lo = min(pit_sizes | px_sizes)
+    hi = max(pit_sizes | px_sizes)
+    assert lo < hi
+    for r in proxyless_results:
+        assert np.isfinite(r.best_val)
+        assert len(r.dilations) == 7
+    # PIT's best accuracy is at least competitive with the supernet's best
+    # (paper: PIT wins the large regime), with slack for the tiny scale.
+    best_pit = min(p.loss for p in temponet_sweep.points)
+    best_px = min(r.best_val for r in proxyless_results)
+    assert best_pit <= best_px * 1.3

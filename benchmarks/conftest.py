@@ -1,0 +1,92 @@
+"""Shared fixtures for the benchmark harness.
+
+Every table and figure of the paper is regenerated at *laptop scale*: the
+same seed architectures with reduced width (``width_mult``), the synthetic
+datasets at reduced size, and shortened training schedules.  Absolute
+numbers therefore differ from the paper; the benches assert and print the
+*shape* of each result (who wins, by roughly what factor) — see
+EXPERIMENTS.md for the side-by-side record.
+
+Expensive artifacts (the λ sweeps) are computed once per session and shared
+across bench files through session-scoped fixtures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import PITTrainer
+from repro.data import (
+    DataLoader,
+    NottinghamConfig,
+    PPGDaliaConfig,
+    make_nottingham,
+    make_ppg_dalia,
+    train_val_test_split,
+)
+from repro.evaluation import run_dse
+from repro.models import restcn_seed, temponet_seed
+from repro.nn import mae_loss, polyphonic_nll
+
+# Scale knobs: one place to trade fidelity for runtime.
+RESTCN_WIDTH = 0.06
+TEMPONET_WIDTH = 0.125
+MUSIC_CONFIG = NottinghamConfig(num_tunes=16, seq_len=32)
+PPG_CONFIG = PPGDaliaConfig(num_subjects=3, seconds_per_subject=50)
+
+PIT_SCHEDULE = dict(gamma_lr=0.03, max_prune_epochs=6, prune_patience=6,
+                    finetune_epochs=4, finetune_patience=4)
+MUSIC_LAMBDAS = (0.0, 3e-4, 3e-3, 3e-2)
+PPG_LAMBDAS = (0.0, 0.05, 0.5, 5.0)
+SEQ_LEN_MUSIC = MUSIC_CONFIG.seq_len - 1
+
+
+def _loaders(dataset, batch, seed=0):
+    train, val, test = train_val_test_split(dataset, rng=np.random.default_rng(seed))
+    return (DataLoader(train, batch, shuffle=True, rng=np.random.default_rng(seed + 1)),
+            DataLoader(val, batch),
+            DataLoader(test, batch))
+
+
+@pytest.fixture(scope="session")
+def music_loaders():
+    return _loaders(make_nottingham(MUSIC_CONFIG, seed=0), batch=4)
+
+
+@pytest.fixture(scope="session")
+def ppg_loaders():
+    return _loaders(make_ppg_dalia(PPG_CONFIG, seed=0), batch=16)
+
+
+def restcn_factory():
+    return restcn_seed(width_mult=RESTCN_WIDTH, seed=0)
+
+
+def temponet_factory():
+    return temponet_seed(width_mult=TEMPONET_WIDTH, seed=0)
+
+
+@pytest.fixture(scope="session")
+def restcn_sweep(music_loaders):
+    """The Fig. 4 (top) λ sweep: PIT searches from the ResTCN seed."""
+    train, val, _ = music_loaders
+    return run_dse(restcn_factory, polyphonic_nll, train, val,
+                   lambdas=MUSIC_LAMBDAS, warmups=(1,),
+                   trainer_kwargs=dict(PIT_SCHEDULE))
+
+
+@pytest.fixture(scope="session")
+def temponet_sweep(ppg_loaders):
+    """The Fig. 4 (bottom) λ sweep: PIT searches from the TEMPONet seed."""
+    train, val, _ = ppg_loaders
+    return run_dse(temponet_factory, mae_loss, train, val,
+                   lambdas=PPG_LAMBDAS, warmups=(1,),
+                   trainer_kwargs=dict(PIT_SCHEDULE))
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

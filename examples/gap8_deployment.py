@@ -1,0 +1,78 @@
+"""GAP8 deployment: int8 quantization + latency/energy estimation.
+
+Reproduces the Table III workflow: take trained TCNs, quantize them to
+int8 (NN-Tool-style post-training quantization with activation
+calibration) and price them on the GAP8 SoC model (8-core cluster,
+100 MHz, 64 kB L1 / 512 kB L2).
+
+Also prints the *full-scale* cost table: paper-width ResTCN/TEMPONet with
+seed, hand-tuned and PIT-style dilations — directly comparable to the
+paper's ms/mJ magnitudes.
+
+Run with::
+
+    python examples/gap8_deployment.py
+"""
+
+import numpy as np
+
+from repro.core import train_plain
+from repro.data import DataLoader, PPGDaliaConfig, make_ppg_dalia, train_val_test_split
+from repro.hw import GAP8Model, deploy
+from repro.models import (
+    RESTCN_HAND_DILATIONS,
+    TEMPONET_HAND_DILATIONS,
+    restcn_fixed,
+    temponet_fixed,
+)
+from repro.nn import mae_loss
+
+
+def full_scale_cost_table():
+    """Cost columns of Table III at paper width (no training needed)."""
+    gap8 = GAP8Model()
+    print("full-scale GAP8 cost estimates (paper-width networks)")
+    print(f"{'network':<26s} {'#weights':>9s} {'latency':>10s} {'energy':>9s}")
+    cases = [
+        ("ResTCN dil=1", restcn_fixed(None), (1, 88, 128)),
+        ("ResTCN dil=hand-tuned", restcn_fixed(RESTCN_HAND_DILATIONS), (1, 88, 128)),
+        ("ResTCN dil=max", restcn_fixed((4, 4, 8, 8, 16, 16, 32, 32)), (1, 88, 128)),
+        ("TEMPONet dil=1", temponet_fixed(None), (1, 4, 256)),
+        ("TEMPONet dil=hand-tuned", temponet_fixed(TEMPONET_HAND_DILATIONS), (1, 4, 256)),
+        ("TEMPONet dil=max", temponet_fixed((4, 4, 4, 8, 8, 16, 16)), (1, 4, 256)),
+    ]
+    for name, net, shape in cases:
+        report = gap8.estimate(net, shape)
+        print(f"{name:<26s} {net.count_parameters() / 1e6:>8.2f}M "
+              f"{report.latency_ms:>8.1f}ms {report.energy_mj:>7.1f}mJ"
+              + ("" if report.fits_l2 else "  [L3 spill]"))
+    print()
+
+
+def trained_deployment():
+    """Train a small TEMPONet, then run the full int8 deployment flow."""
+    config = PPGDaliaConfig(num_subjects=3, seconds_per_subject=50)
+    dataset = make_ppg_dalia(config, seed=0)
+    train, val, test = train_val_test_split(dataset, rng=np.random.default_rng(0))
+    train_loader = DataLoader(train, 16, shuffle=True, rng=np.random.default_rng(1))
+    val_loader = DataLoader(val, 16)
+    test_loader = DataLoader(test, 16)
+
+    print("trained int8 deployments (laptop-scale TEMPONet variants)")
+    print(f"{'network':<26s} {'#weights':>9s} {'float MAE':>10s} {'int8 MAE':>9s} "
+          f"{'latency':>9s} {'energy':>8s}")
+    for name, dilations in [("TEMPONet dil=1", None),
+                            ("TEMPONet hand-tuned", TEMPONET_HAND_DILATIONS),
+                            ("TEMPONet dil=max", (4, 4, 4, 8, 8, 16, 16))]:
+        net = temponet_fixed(dilations, width_mult=0.25, seed=0)
+        train_plain(net, mae_loss, train_loader, val_loader, epochs=6, patience=4)
+        report = deploy(net, mae_loss, train_loader, test_loader, (1, 4, 256),
+                        name=name)
+        print(f"{name:<26s} {report.params:>9d} {report.float_loss:>10.2f} "
+              f"{report.quantized_loss:>9.2f} {report.latency_ms:>7.2f}ms "
+              f"{report.energy_mj:>6.2f}mJ")
+
+
+if __name__ == "__main__":
+    full_scale_cost_table()
+    trained_deployment()

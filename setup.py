@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pyproject.toml`` is the single source of metadata; this file only enables
+``pip install -e . --no-use-pep517`` (legacy editable installs) on offline
+machines where PEP-517 wheel building is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,57 @@
+"""Reverse-mode autodiff engine (the deep-learning substrate).
+
+The paper implements PIT on top of PyTorch; this package provides the
+equivalent differentiable-tensor substrate on plain numpy.  See
+``DESIGN.md`` §4 for the substitution rationale.
+"""
+
+from .tensor import (
+    Tensor,
+    no_grad,
+    is_grad_enabled,
+    tensor,
+    zeros,
+    ones,
+    full,
+    arange,
+    randn,
+    rand,
+    concatenate,
+    stack,
+    where,
+    maximum,
+    minimum,
+)
+from .ops_conv import conv1d_causal, avg_pool1d, max_pool1d, global_avg_pool1d
+from .ops_nn import softmax, log_softmax, logsumexp, binarize_ste, dropout
+from .gradcheck import numerical_gradient, check_gradients, GradCheckError
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "tensor",
+    "zeros",
+    "ones",
+    "full",
+    "arange",
+    "randn",
+    "rand",
+    "concatenate",
+    "stack",
+    "where",
+    "maximum",
+    "minimum",
+    "conv1d_causal",
+    "avg_pool1d",
+    "max_pool1d",
+    "global_avg_pool1d",
+    "softmax",
+    "log_softmax",
+    "logsumexp",
+    "binarize_ste",
+    "dropout",
+    "numerical_gradient",
+    "check_gradients",
+    "GradCheckError",
+]

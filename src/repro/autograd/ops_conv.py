@@ -1,0 +1,165 @@
+"""Differentiable 1-D convolution and pooling primitives.
+
+The paper's networks are Temporal Convolutional Networks, whose defining op
+is the *causal dilated 1-D convolution* (paper Eq. 1):
+
+    y[m, t] = sum_i sum_l x[l, t - d*i] * W[l, m, i]
+
+Causality is obtained by padding only the left side of the time axis so that
+an output sample never reads inputs from the future.  The implementation
+loops over the (small) kernel taps and uses one ``einsum`` per tap, which is
+both simple and fast for the kernel sizes TCNs use (< 100 taps).
+
+Shapes follow the PyTorch convention:
+
+* input  ``x``: ``(N, C_in, T)``
+* weight ``w``: ``(C_out, C_in, K)``
+* bias   ``b``: ``(C_out,)`` or None
+* output:      ``(N, C_out, T_out)``
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["conv1d_causal", "avg_pool1d", "max_pool1d", "global_avg_pool1d"]
+
+
+def conv1d_causal(x: Tensor, w: Tensor, b: Optional[Tensor] = None,
+                  dilation: int = 1, stride: int = 1) -> Tensor:
+    """Causal dilated 1-D convolution.
+
+    The input is left-padded with ``(K - 1) * dilation`` zeros, so the output
+    has the same temporal length as the input (before striding) and
+    ``y[:, :, t]`` only depends on ``x[:, :, :t+1]`` — the causality property
+    of TCNs (paper Sec. II-A).
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C_in, T)``.
+    w:
+        Kernel of shape ``(C_out, C_in, K)``.  Kernel index ``K-1``
+        corresponds to lag 0 (the current sample), index ``K-1-j`` to lag
+        ``j * dilation``.
+    b:
+        Optional bias of shape ``(C_out,)``.
+    dilation:
+        Step between the input samples read by consecutive taps (``d`` in
+        paper Eq. 1).
+    stride:
+        Temporal output stride.
+    """
+    if x.ndim != 3:
+        raise ValueError(f"expected input (N, C_in, T), got shape {x.shape}")
+    if w.ndim != 3:
+        raise ValueError(f"expected weight (C_out, C_in, K), got shape {w.shape}")
+    if x.shape[1] != w.shape[1]:
+        raise ValueError(
+            f"input channels {x.shape[1]} do not match weight channels {w.shape[1]}")
+    if dilation < 1 or stride < 1:
+        raise ValueError("dilation and stride must be >= 1")
+
+    n, c_in, t = x.shape
+    c_out, _, k = w.shape
+    pad = (k - 1) * dilation
+    xp = np.pad(x.data, ((0, 0), (0, 0), (pad, 0)))
+    t_out = (t + stride - 1) // stride
+
+    out_data = np.zeros((n, c_out, t_out))
+    for tap in range(k):
+        # Tap `tap` reads xp at offsets tap*dilation .. tap*dilation + t - 1,
+        # subsampled by the stride.
+        segment = xp[:, :, tap * dilation: tap * dilation + t: stride]
+        out_data += np.einsum("oc,nct->not", w.data[:, :, tap], segment, optimize=True)
+    if b is not None:
+        out_data += b.data[None, :, None]
+
+    parents = (x, w) if b is None else (x, w, b)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            gxp = np.zeros_like(xp)
+            for tap in range(k):
+                gxp[:, :, tap * dilation: tap * dilation + t: stride] += np.einsum(
+                    "oc,not->nct", w.data[:, :, tap], grad, optimize=True)
+            x._accumulate(gxp[:, :, pad:])
+        if w.requires_grad:
+            gw = np.zeros_like(w.data)
+            for tap in range(k):
+                segment = xp[:, :, tap * dilation: tap * dilation + t: stride]
+                gw[:, :, tap] = np.einsum("not,nct->oc", grad, segment, optimize=True)
+            w._accumulate(gw)
+        if b is not None and b.requires_grad:
+            b._accumulate(grad.sum(axis=(0, 2)))
+
+    return Tensor._make(out_data, parents, backward)
+
+
+def avg_pool1d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Tensor:
+    """Average pooling over the last axis of a ``(N, C, T)`` tensor.
+
+    Incomplete trailing windows are dropped, matching PyTorch's default.
+    """
+    if x.ndim != 3:
+        raise ValueError(f"expected (N, C, T), got {x.shape}")
+    stride = stride or kernel_size
+    n, c, t = x.shape
+    t_out = (t - kernel_size) // stride + 1
+    if t_out <= 0:
+        raise ValueError(f"pooling window {kernel_size} larger than input length {t}")
+
+    out_data = np.zeros((n, c, t_out))
+    for offset in range(kernel_size):
+        out_data += x.data[:, :, offset: offset + stride * t_out: stride]
+    out_data /= kernel_size
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        gx = np.zeros_like(x.data)
+        scaled = grad / kernel_size
+        for offset in range(kernel_size):
+            gx[:, :, offset: offset + stride * t_out: stride] += scaled
+        x._accumulate(gx)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def max_pool1d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Tensor:
+    """Max pooling over the last axis of a ``(N, C, T)`` tensor."""
+    if x.ndim != 3:
+        raise ValueError(f"expected (N, C, T), got {x.shape}")
+    stride = stride or kernel_size
+    n, c, t = x.shape
+    t_out = (t - kernel_size) // stride + 1
+    if t_out <= 0:
+        raise ValueError(f"pooling window {kernel_size} larger than input length {t}")
+
+    windows = np.stack(
+        [x.data[:, :, offset: offset + stride * t_out: stride] for offset in range(kernel_size)],
+        axis=-1)  # (N, C, T_out, K)
+    argmax = windows.argmax(axis=-1)
+    out_data = np.take_along_axis(windows, argmax[..., None], axis=-1).squeeze(-1)
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        gx = np.zeros_like(x.data)
+        # Scatter each output gradient back to the argmax input position.
+        n_idx, c_idx, t_idx = np.meshgrid(
+            np.arange(n), np.arange(c), np.arange(t_out), indexing="ij")
+        src_t = t_idx * stride + argmax
+        np.add.at(gx, (n_idx, c_idx, src_t), grad)
+        x._accumulate(gx)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def global_avg_pool1d(x: Tensor) -> Tensor:
+    """Mean over the time axis: ``(N, C, T) -> (N, C)``."""
+    return x.mean(axis=2)

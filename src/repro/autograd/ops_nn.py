@@ -1,0 +1,115 @@
+"""Neural-network specific differentiable operations.
+
+Contains the numerically-stable softmax family, the straight-through
+Heaviside binarization used by PIT's γ parameters (paper Eq. 2), and a
+dropout primitive.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "binarize_ste",
+    "dropout",
+    "logsumexp",
+]
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        # J^T g = s * (g - sum(g * s))
+        dot = (grad * out_data).sum(axis=axis, keepdims=True)
+        x._accumulate(out_data * (grad - dot))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - lse
+    soft = np.exp(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        x._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
+    """Numerically stable log-sum-exp reduction."""
+    m = x.data.max(axis=axis, keepdims=True)
+    out_data = np.log(np.exp(x.data - m).sum(axis=axis, keepdims=True)) + m
+    soft = np.exp(x.data - out_data)
+    if not keepdims:
+        out_squeezed = out_data.squeeze(axis=axis)
+    else:
+        out_squeezed = out_data
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        g = grad if keepdims else np.expand_dims(grad, axis=axis)
+        x._accumulate(g * soft)
+
+    return Tensor._make(out_squeezed, (x,), backward)
+
+
+def binarize_ste(x: Tensor, threshold: float = 0.5) -> Tensor:
+    """Heaviside step with a straight-through estimator (paper Eq. 2).
+
+    Forward::
+
+        H(x - threshold) = 1 if x >= threshold else 0
+
+    Backward: the step's true derivative is zero almost everywhere, so —
+    following BinaryConnect [19] — the gradient passes through unchanged
+    (identity), letting the float "shadow" parameters γ̂ keep learning.
+    """
+    out_data = (x.data >= threshold).astype(x.data.dtype)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def dropout(x: Tensor, p: float, training: bool,
+            rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout: scales kept activations by ``1 / (1 - p)``.
+
+    At evaluation time (``training=False``) this is the identity, so no
+    rescaling is needed at inference — the convention used by PyTorch and
+    assumed by the deployment flow in :mod:`repro.hw`.
+    """
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    if not training or p == 0.0:
+        return x
+    rng = rng or np.random.default_rng()
+    keep = (rng.random(x.shape) >= p) / (1.0 - p)
+    out_data = x.data * keep
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * keep)
+
+    return Tensor._make(out_data, (x,), backward)

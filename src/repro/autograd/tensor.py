@@ -1,0 +1,826 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This module is the foundation of the whole reproduction: the paper's method
+(PIT) is a differentiable architecture search, so it needs a tensor library
+with gradients.  The environment provides no deep-learning framework, hence
+we implement a small but complete tape-based reverse-mode engine, in the
+spirit of PyTorch's eager autograd:
+
+* :class:`Tensor` wraps a ``numpy.ndarray`` and records the operations that
+  produced it (its *parents* and a backward closure).
+* Calling :meth:`Tensor.backward` topologically sorts the recorded graph and
+  accumulates gradients into every leaf with ``requires_grad=True``.
+* All elementwise ops broadcast like numpy; gradients are "unbroadcast"
+  (summed) back to the original operand shapes.
+
+Every operator defined here has a numerical-vs-analytic gradient test in
+``tests/test_autograd_*.py`` (see also :mod:`repro.autograd.gradcheck`).
+
+The default dtype is ``float64``: the networks in the paper are tiny by
+modern standards, and exact-ish gradients make the NAS algorithm (and its
+tests) far easier to reason about.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "tensor",
+    "zeros",
+    "ones",
+    "full",
+    "arange",
+    "randn",
+    "rand",
+    "concatenate",
+    "stack",
+    "where",
+    "maximum",
+    "minimum",
+]
+
+_GRAD_ENABLED = True
+
+DEFAULT_DTYPE = np.float64
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling graph recording (like ``torch.no_grad``)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations are currently recorded on the tape."""
+    return _GRAD_ENABLED
+
+
+def _as_array(value) -> np.ndarray:
+    """Coerce python scalars / lists / arrays to a float ndarray."""
+    if isinstance(value, np.ndarray):
+        if value.dtype != DEFAULT_DTYPE:
+            return value.astype(DEFAULT_DTYPE)
+        return value
+    return np.asarray(value, dtype=DEFAULT_DTYPE)
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, inverting numpy broadcasting.
+
+    Broadcasting may both prepend axes and stretch size-1 axes; the adjoint
+    of a broadcast is a sum over the broadcasted axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over prepended axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over stretched (size-1) axes.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy-backed array with reverse-mode automatic differentiation.
+
+    Parameters
+    ----------
+    data:
+        Anything ``numpy.asarray`` accepts.  Stored as ``float64``.
+    requires_grad:
+        If True, gradients are accumulated into :attr:`grad` during
+        :meth:`backward`.
+    name:
+        Optional label used in error messages and debugging dumps.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(self, data, requires_grad: bool = False, name: Optional[str] = None):
+        self.data = _as_array(data)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple["Tensor", ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        label = f", name={self.name!r}" if self.name else ""
+        return f"Tensor({self.data!r}{grad_flag}{label})"
+
+    def item(self) -> float:
+        """Return the value of a single-element tensor as a python float."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else self._raise_item()
+
+    def _raise_item(self):
+        raise ValueError(f"item() requires a single-element tensor, got shape {self.shape}")
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy).  Do not mutate in graphs."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but severed from the graph."""
+        out = Tensor(self.data)
+        out.data = self.data  # share storage, skip the copy made by asarray
+        return out
+
+    def copy(self) -> "Tensor":
+        """Return a detached deep copy."""
+        return Tensor(self.data.copy())
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(data: np.ndarray, parents: Sequence["Tensor"],
+              backward: Callable[[np.ndarray], None]) -> "Tensor":
+        """Create the result tensor of an op, wiring the tape if needed."""
+        out = Tensor(data)
+        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into :attr:`grad`, allocating on first use."""
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += grad
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the final objective w.r.t. this tensor.  Defaults to
+            1.0, which requires this tensor to be a scalar (as with a loss).
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError(
+                    f"backward() without an explicit gradient requires a scalar "
+                    f"output, got shape {self.shape}")
+            grad = np.ones_like(self.data)
+        grad = _as_array(grad)
+        if grad.shape != self.data.shape:
+            raise ValueError(f"gradient shape {grad.shape} does not match tensor shape {self.shape}")
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    # ------------------------------------------------------------------
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = _ensure_tensor(other)
+        out_data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad, other.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    def __radd__(self, other) -> "Tensor":
+        return self.__add__(other)
+
+    def __sub__(self, other) -> "Tensor":
+        other = _ensure_tensor(other)
+        out_data = self.data - other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(-grad, other.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    def __rsub__(self, other) -> "Tensor":
+        return _ensure_tensor(other).__sub__(self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = _ensure_tensor(other)
+        out_data = self.data * other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad * other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad * self.data, other.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    def __rmul__(self, other) -> "Tensor":
+        return self.__mul__(other)
+
+    def __truediv__(self, other) -> "Tensor":
+        other = _ensure_tensor(other)
+        out_data = self.data / other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad / other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(
+                    _unbroadcast(-grad * self.data / (other.data ** 2), other.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return _ensure_tensor(other).__truediv__(self)
+
+    def __neg__(self) -> "Tensor":
+        out_data = -self.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(-grad)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def __pow__(self, exponent) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data ** exponent
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        """Elementwise absolute value; subgradient 0 at exactly 0."""
+        out_data = np.abs(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * np.sign(self.data))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * out_data)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad / self.data)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        out_data = np.sqrt(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * 0.5 / out_data)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        """Clamp values to ``[low, high]``; gradient is zero outside."""
+        out_data = np.clip(self.data, low, high)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                inside = (self.data >= low) & (self.data <= high)
+                self._accumulate(grad * inside)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Comparisons (produce detached float masks, useful for metrics)
+    # ------------------------------------------------------------------
+    def __gt__(self, other):
+        return Tensor(self.data > _raw(other))
+
+    def __lt__(self, other):
+        return Tensor(self.data < _raw(other))
+
+    def __ge__(self, other):
+        return Tensor(self.data >= _raw(other))
+
+    def __le__(self, other):
+        return Tensor(self.data <= _raw(other))
+
+    # ------------------------------------------------------------------
+    # Matrix multiplication
+    # ------------------------------------------------------------------
+    def __matmul__(self, other) -> "Tensor":
+        other = _ensure_tensor(other)
+        out_data = self.data @ other.data
+        a, b = self, other
+
+        def backward(grad: np.ndarray) -> None:
+            a_data, b_data = a.data, b.data
+            if a.requires_grad:
+                if b_data.ndim == 1:
+                    grad_a = np.multiply.outer(grad, b_data) if a_data.ndim > 1 else grad * b_data
+                    if a_data.ndim == 1:
+                        grad_a = grad * b_data
+                    else:
+                        grad_a = np.expand_dims(grad, -1) * b_data
+                elif a_data.ndim == 1:
+                    grad_a = grad @ np.swapaxes(b_data, -1, -2)
+                    grad_a = _unbroadcast(grad_a, a_data.shape)
+                else:
+                    grad_a = grad @ np.swapaxes(b_data, -1, -2)
+                    grad_a = _unbroadcast(grad_a, a_data.shape)
+                a._accumulate(grad_a.reshape(a_data.shape))
+            if b.requires_grad:
+                if a_data.ndim == 1:
+                    if b_data.ndim == 1:
+                        grad_b = grad * a_data
+                    else:
+                        grad_b = np.multiply.outer(a_data, grad)
+                elif b_data.ndim == 1:
+                    grad_b = np.swapaxes(a_data, -1, -2) @ np.expand_dims(grad, -1)
+                    grad_b = grad_b.squeeze(-1)
+                    grad_b = _unbroadcast(grad_b, b_data.shape)
+                else:
+                    grad_b = np.swapaxes(a_data, -1, -2) @ grad
+                    grad_b = _unbroadcast(grad_b, b_data.shape)
+                b._accumulate(grad_b.reshape(b_data.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = grad
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=_normalize_axes(axis, self.ndim))
+            self._accumulate(np.broadcast_to(g, self.shape).copy())
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.mean(axis=axis, keepdims=keepdims)
+        count = self.data.size if axis is None else _axis_size(self.shape, axis)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = grad / count
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=_normalize_axes(axis, self.ndim))
+            self._accumulate(np.broadcast_to(g, self.shape).copy())
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Biased (population) variance, built from differentiable primitives."""
+        mu = self.mean(axis=axis, keepdims=True)
+        centered = self - mu
+        sq = centered * centered
+        return sq.mean(axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = grad
+            o = out_data
+            if axis is not None and not keepdims:
+                axes = _normalize_axes(axis, self.ndim)
+                g = np.expand_dims(g, axis=axes)
+                o = np.expand_dims(o, axis=axes)
+            mask = (self.data == o)
+            # Split gradient evenly across ties, matching numpy semantics only
+            # approximately but keeping the adjoint well defined.
+            counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            self._accumulate(mask * (g / counts))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def min(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return -((-self).max(axis=axis, keepdims=keepdims))
+
+    def prod(self) -> "Tensor":
+        """Product of all elements (zero-safe adjoint).
+
+        Used by the differentiable mask construction (paper Eq. 4), where
+        columns of binarized γ values are multiplied together; entries can be
+        exactly zero, so the naive ``out/x`` gradient is replaced with a
+        product-of-others computation.
+        """
+        flat = self.data.reshape(-1)
+        out_data = np.array(flat.prod())
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            n = flat.size
+            # prefix[i] = prod(flat[:i]), suffix[i] = prod(flat[i+1:])
+            prefix = np.ones(n)
+            suffix = np.ones(n)
+            np.cumprod(flat[:-1], out=prefix[1:]) if n > 1 else None
+            if n > 1:
+                suffix[:-1] = np.cumprod(flat[::-1][:-1])[::-1]
+            partial = prefix * suffix
+            self._accumulate((grad.reshape(()) * partial).reshape(self.shape))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+        original = self.shape
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.reshape(original))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        out_data = self.data.transpose(axes)
+        inverse = tuple(np.argsort(axes))
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.transpose(inverse))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        axes = list(range(self.ndim))
+        axes[axis1], axes[axis2] = axes[axis2], axes[axis1]
+        return self.transpose(tuple(axes))
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, index, grad)
+                self._accumulate(full)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def pad1d(self, left: int, right: int, value: float = 0.0) -> "Tensor":
+        """Pad the last axis with ``value`` (used for causal convolutions)."""
+        if left < 0 or right < 0:
+            raise ValueError("padding must be non-negative")
+        pad_width = [(0, 0)] * (self.ndim - 1) + [(left, right)]
+        out_data = np.pad(self.data, pad_width, constant_values=value)
+        length = self.shape[-1]
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                sl = [slice(None)] * (self.ndim - 1) + [slice(left, left + length)]
+                self._accumulate(grad[tuple(sl)])
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def squeeze(self, axis: int) -> "Tensor":
+        """Remove a size-1 axis."""
+        if self.shape[axis] != 1:
+            raise ValueError(f"axis {axis} has size {self.shape[axis]}, not 1")
+        out_data = self.data.squeeze(axis=axis)
+        original = self.shape
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.reshape(original))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def unsqueeze(self, axis: int) -> "Tensor":
+        """Insert a size-1 axis."""
+        out_data = np.expand_dims(self.data, axis=axis)
+        original = self.shape
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.reshape(original))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def flip(self, axis: int = -1) -> "Tensor":
+        """Reverse along one axis (used to convert lag-order masks to
+        kernel order)."""
+        out_data = np.flip(self.data, axis=axis).copy()
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(np.flip(grad, axis=axis))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def split(self, sections: int, axis: int = 0) -> list:
+        """Split into ``sections`` equal parts along ``axis``."""
+        if self.shape[axis] % sections != 0:
+            raise ValueError(f"axis {axis} of size {self.shape[axis]} does not "
+                             f"divide into {sections} sections")
+        size = self.shape[axis] // sections
+        parts = []
+        for i in range(sections):
+            index = [slice(None)] * self.ndim
+            index[axis] = slice(i * size, (i + 1) * size)
+            parts.append(self[tuple(index)])
+        return parts
+
+    def repeat(self, repeats: int, axis: int) -> "Tensor":
+        """Tile the tensor ``repeats`` times along an existing axis
+        (gradient sums over the copies)."""
+        if repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        out_data = np.concatenate([self.data] * repeats, axis=axis)
+        size = self.shape[axis]
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            total = np.zeros_like(self.data)
+            for i in range(repeats):
+                index = [slice(None)] * self.ndim
+                index[axis] = slice(i * size, (i + 1) * size)
+                total += grad[tuple(index)]
+            self._accumulate(total)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def sigmoid(self) -> "Tensor":
+        out_data = _stable_sigmoid(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * out_data * (1.0 - out_data))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * (1.0 - out_data ** 2))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        out_data = np.maximum(self.data, 0.0)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * (self.data > 0.0))
+
+        return Tensor._make(out_data, (self,), backward)
+
+
+# ----------------------------------------------------------------------
+# Free functions
+# ----------------------------------------------------------------------
+
+def _ensure_tensor(value) -> Tensor:
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+def _raw(value) -> np.ndarray:
+    return value.data if isinstance(value, Tensor) else _as_array(value)
+
+
+def _normalize_axes(axis, ndim: int):
+    if isinstance(axis, int):
+        return axis % ndim
+    return tuple(a % ndim for a in axis)
+
+
+def _axis_size(shape: Tuple[int, ...], axis) -> int:
+    if isinstance(axis, int):
+        return shape[axis % len(shape)]
+    size = 1
+    for a in axis:
+        size *= shape[a % len(shape)]
+    return size
+
+
+def _stable_sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    expx = np.exp(x[~positive])
+    out[~positive] = expx / (1.0 + expx)
+    return out
+
+
+def tensor(data, requires_grad: bool = False, name: Optional[str] = None) -> Tensor:
+    """Create a :class:`Tensor` (convenience mirror of the constructor)."""
+    return Tensor(data, requires_grad=requires_grad, name=name)
+
+
+def zeros(*shape, requires_grad: bool = False) -> Tensor:
+    if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+        shape = tuple(shape[0])
+    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+
+def ones(*shape, requires_grad: bool = False) -> Tensor:
+    if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+        shape = tuple(shape[0])
+    return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+
+def full(shape, fill_value: float, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.full(shape, fill_value, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)
+
+
+def arange(*args, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.arange(*args, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)
+
+
+def randn(*shape, rng: Optional[np.random.Generator] = None,
+          requires_grad: bool = False) -> Tensor:
+    rng = rng or np.random.default_rng()
+    if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+        shape = tuple(shape[0])
+    return Tensor(rng.standard_normal(shape), requires_grad=requires_grad)
+
+
+def rand(*shape, rng: Optional[np.random.Generator] = None,
+         requires_grad: bool = False) -> Tensor:
+    rng = rng or np.random.default_rng()
+    if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+        shape = tuple(shape[0])
+    return Tensor(rng.random(shape), requires_grad=requires_grad)
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Differentiable ``numpy.concatenate``."""
+    tensors = [_ensure_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if t.requires_grad:
+                sl = [slice(None)] * grad.ndim
+                sl[axis] = slice(start, stop)
+                t._accumulate(grad[tuple(sl)])
+
+    return Tensor._make(out_data, tuple(tensors), backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Differentiable ``numpy.stack``."""
+    tensors = [_ensure_tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        moved = np.moveaxis(grad, axis, 0)
+        for i, t in enumerate(tensors):
+            if t.requires_grad:
+                t._accumulate(moved[i])
+
+    return Tensor._make(out_data, tuple(tensors), backward)
+
+
+def where(condition, a, b) -> Tensor:
+    """Differentiable ``numpy.where``; the condition is never differentiated."""
+    cond = _raw(condition).astype(bool)
+    a = _ensure_tensor(a)
+    b = _ensure_tensor(b)
+    out_data = np.where(cond, a.data, b.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(_unbroadcast(grad * cond, a.shape))
+        if b.requires_grad:
+            b._accumulate(_unbroadcast(grad * ~cond, b.shape))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def maximum(a, b) -> Tensor:
+    """Differentiable elementwise maximum (ties send gradient to ``a``)."""
+    a = _ensure_tensor(a)
+    b = _ensure_tensor(b)
+    out_data = np.maximum(a.data, b.data)
+
+    def backward(grad: np.ndarray) -> None:
+        take_a = a.data >= b.data
+        if a.requires_grad:
+            a._accumulate(_unbroadcast(grad * take_a, a.shape))
+        if b.requires_grad:
+            b._accumulate(_unbroadcast(grad * ~take_a, b.shape))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def minimum(a, b) -> Tensor:
+    """Differentiable elementwise minimum (ties send gradient to ``a``)."""
+    a = _ensure_tensor(a)
+    b = _ensure_tensor(b)
+    out_data = np.minimum(a.data, b.data)
+
+    def backward(grad: np.ndarray) -> None:
+        take_a = a.data <= b.data
+        if a.requires_grad:
+            a._accumulate(_unbroadcast(grad * take_a, a.shape))
+        if b.requires_grad:
+            b._accumulate(_unbroadcast(grad * ~take_a, b.shape))
+
+    return Tensor._make(out_data, (a, b), backward)

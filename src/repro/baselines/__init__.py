@@ -1,0 +1,31 @@
+"""NAS baselines: ProxylessNAS (paper Table II / Fig. 5) and random search."""
+
+from .proxyless import (
+    ProxylessDilatedConv1d,
+    proxylessify,
+    proxyless_layers,
+    export_proxyless,
+    expected_size,
+    ProxylessResult,
+    ProxylessTrainer,
+)
+from .random_search import (
+    RandomSearchResult,
+    random_configurations,
+    random_search,
+    exhaustive_search,
+)
+
+__all__ = [
+    "ProxylessDilatedConv1d",
+    "proxylessify",
+    "proxyless_layers",
+    "export_proxyless",
+    "expected_size",
+    "ProxylessResult",
+    "ProxylessTrainer",
+    "RandomSearchResult",
+    "random_configurations",
+    "random_search",
+    "exhaustive_search",
+]

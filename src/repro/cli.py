@@ -1,0 +1,219 @@
+"""Command-line interface for the PIT reproduction.
+
+Subcommands::
+
+    python -m repro.cli info   --benchmark ppg
+    python -m repro.cli search --benchmark ppg --lam 0.02 --width 0.25
+    python -m repro.cli sweep  --benchmark music --lambdas 0 1e-3 1e-2
+    python -m repro.cli deploy --benchmark ppg --dilations 2 2 1 4 4 8 8
+
+* ``info``   — seed statistics: parameters, search-space size, layer budgets;
+* ``search`` — one full PIT run (Algorithm 1); optionally saves a checkpoint;
+* ``sweep``  — the λ design-space exploration (Fig. 4 workflow);
+* ``deploy`` — build a fixed-dilation network and price it on the GAP8 model.
+
+Every command accepts ``--benchmark {music, ppg}`` selecting the
+ResTCN/Nottingham or TEMPONet/PPG-Dalia pairing, and ``--width`` to scale
+the experiment (1.0 = paper width).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _loaders(benchmark: str, seed: int, batch: Optional[int] = None):
+    from .data import (
+        DataLoader,
+        NottinghamConfig,
+        PPGDaliaConfig,
+        make_nottingham,
+        make_ppg_dalia,
+        train_val_test_split,
+    )
+    if benchmark == "music":
+        dataset = make_nottingham(NottinghamConfig(num_tunes=24, seq_len=48),
+                                  seed=seed)
+        batch = batch or 4
+    else:
+        dataset = make_ppg_dalia(PPGDaliaConfig(num_subjects=3,
+                                                seconds_per_subject=60),
+                                 seed=seed)
+        batch = batch or 16
+    train, val, test = train_val_test_split(
+        dataset, rng=np.random.default_rng(seed))
+    return (DataLoader(train, batch, shuffle=True,
+                       rng=np.random.default_rng(seed + 1)),
+            DataLoader(val, batch), DataLoader(test, batch))
+
+
+def _seed_model(benchmark: str, width: float, seed: int):
+    from .models import restcn_seed, temponet_seed
+    if benchmark == "music":
+        return restcn_seed(width_mult=width, seed=seed)
+    return temponet_seed(width_mult=width, seed=seed)
+
+
+def _loss(benchmark: str):
+    from .nn import mae_loss, polyphonic_nll
+    return polyphonic_nll if benchmark == "music" else mae_loss
+
+
+def _input_shape(benchmark: str):
+    return (1, 88, 128) if benchmark == "music" else (1, 4, 256)
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+
+def cmd_info(args: argparse.Namespace) -> int:
+    from .core import layer_choices, parameter_range, pit_layers, search_space_size
+    model = _seed_model(args.benchmark, args.width, args.seed)
+    layers = pit_layers(model)
+    print(f"benchmark      : {args.benchmark}")
+    print(f"seed parameters: {model.count_parameters()}")
+    print(f"searchable convs: {len(layers)}")
+    for i, layer in enumerate(layers):
+        print(f"  conv{i}: rf_max={layer.rf_max:>3d} "
+              f"choices={layer_choices(layer)}")
+    print(f"search space   : {search_space_size(model)} configurations")
+    ranges = parameter_range(model)
+    print(f"parameter range: {ranges['min_params']} .. {ranges['max_params']}")
+    return 0
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    from .core import PITTrainer, export_network
+    train_loader, val_loader, _ = _loaders(args.benchmark, args.seed)
+    model = _seed_model(args.benchmark, args.width, args.seed)
+    trainer = PITTrainer(
+        model, _loss(args.benchmark), lam=args.lam, gamma_lr=args.gamma_lr,
+        warmup_epochs=args.warmup, max_prune_epochs=args.epochs,
+        prune_patience=args.patience, finetune_epochs=args.finetune,
+        finetune_patience=args.patience, verbose=not args.quiet)
+    result = trainer.fit(train_loader, val_loader)
+    print(f"dilations : {result.dilations}")
+    print(f"val loss  : {result.best_val:.4f}")
+    print(f"params    : {result.effective_params}")
+    print(f"time      : {result.total_seconds:.1f} s")
+    if args.save:
+        from .nn.serialization import save_model
+        save_model(model, args.save, metadata={
+            "benchmark": args.benchmark, "lam": args.lam,
+            "dilations": list(result.dilations),
+            "val_loss": result.best_val})
+        print(f"checkpoint: {args.save}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from .evaluation import run_dse
+    train_loader, val_loader, _ = _loaders(args.benchmark, args.seed)
+
+    def factory():
+        return _seed_model(args.benchmark, args.width, args.seed)
+
+    result = run_dse(factory, _loss(args.benchmark), train_loader, val_loader,
+                     lambdas=args.lambdas, warmups=tuple(args.warmups),
+                     trainer_kwargs=dict(gamma_lr=args.gamma_lr,
+                                         max_prune_epochs=args.epochs,
+                                         prune_patience=args.patience,
+                                         finetune_epochs=args.finetune,
+                                         finetune_patience=args.patience),
+                     verbose=not args.quiet)
+    print(f"{'lambda':>10s} {'warmup':>6s} {'params':>8s} {'loss':>9s}  dilations")
+    for p in sorted(result.points, key=lambda q: q.params):
+        print(f"{p.lam:>10g} {p.warmup_epochs:>6d} {p.params:>8d} "
+              f"{p.loss:>9.4f}  {p.dilations}")
+    front = result.pareto()
+    print(f"pareto front: {[(p.params, round(p.loss, 4)) for p in front]}")
+    return 0
+
+
+def cmd_deploy(args: argparse.Namespace) -> int:
+    from .hw import GAP8Model
+    from .models import restcn_fixed, temponet_fixed
+    dilations = tuple(args.dilations) if args.dilations else None
+    if args.benchmark == "music":
+        network = restcn_fixed(dilations, width_mult=args.width, seed=args.seed)
+    else:
+        network = temponet_fixed(dilations, width_mult=args.width, seed=args.seed)
+    report = GAP8Model().estimate(network, _input_shape(args.benchmark))
+    print(f"network  : {args.benchmark} dilations={dilations or 'all-1'}")
+    print(f"params   : {network.count_parameters()}")
+    print(f"estimate : {report.summary()}")
+    if args.layers:
+        print(f"{'layer':<28s} {'kind':<10s} {'MACs':>10s} {'kcycles':>9s}")
+        for layer in report.layers:
+            print(f"{layer.name:<28s} {layer.kind:<10s} {layer.macs:>10d} "
+                  f"{layer.cycles / 1e3:>9.1f}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="PIT (DAC 2021) reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--benchmark", choices=("music", "ppg"), default="ppg")
+        p.add_argument("--width", type=float, default=0.25,
+                       help="width multiplier (1.0 = paper scale)")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--quiet", action="store_true")
+
+    p_info = sub.add_parser("info", help="seed and search-space statistics")
+    common(p_info)
+    p_info.set_defaults(func=cmd_info)
+
+    def training(p):
+        p.add_argument("--gamma-lr", type=float, default=0.03)
+        p.add_argument("--warmup", type=int, default=2)
+        p.add_argument("--epochs", type=int, default=6,
+                       help="max pruning epochs")
+        p.add_argument("--finetune", type=int, default=4)
+        p.add_argument("--patience", type=int, default=4)
+
+    p_search = sub.add_parser("search", help="run one PIT search")
+    common(p_search)
+    training(p_search)
+    p_search.add_argument("--lam", type=float, default=0.02)
+    p_search.add_argument("--save", type=str, default=None,
+                          help="write an npz checkpoint here")
+    p_search.set_defaults(func=cmd_search)
+
+    p_sweep = sub.add_parser("sweep", help="λ design-space exploration")
+    common(p_sweep)
+    training(p_sweep)
+    p_sweep.add_argument("--lambdas", type=float, nargs="+",
+                         default=[0.0, 0.02, 0.2])
+    p_sweep.add_argument("--warmups", type=int, nargs="+", default=[2])
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_deploy = sub.add_parser("deploy", help="GAP8 cost of a fixed network")
+    common(p_deploy)
+    p_deploy.add_argument("--dilations", type=int, nargs="+", default=None)
+    p_deploy.add_argument("--layers", action="store_true",
+                          help="print the per-layer breakdown")
+    p_deploy.set_defaults(func=cmd_deploy)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

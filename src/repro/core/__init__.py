@@ -1,0 +1,93 @@
+"""PIT — the paper's primary contribution.
+
+Public surface:
+
+* :class:`PITConv1d` — searchable causal convolution (Eq. 5).
+* :class:`TimeMask` and the mask algebra (Eq. 2-4, Fig. 2).
+* :func:`size_regularizer` / :func:`flops_regularizer` (Eq. 6).
+* :class:`PITTrainer` — the 3-phase search (Algorithm 1).
+* :func:`export_network` — collapse the searched net into a plain TCN.
+* Search-space accounting (Sec. IV-B).
+"""
+
+from .masks import (
+    TimeMask,
+    num_gamma,
+    gamma_index_for_lag,
+    lag_gamma_indices,
+    mask_from_binary_gamma,
+    mask_from_dilation,
+    gamma_from_dilation,
+    effective_dilation,
+    kept_lags,
+    build_t_matrix,
+    build_k_matrix,
+    mask_eq4,
+)
+from .pit_conv import PITConv1d
+from .regularizer import (
+    gamma_size_coefficients,
+    size_regularizer,
+    flops_regularizer,
+    pit_layers,
+)
+from .export import (
+    export_conv,
+    export_network,
+    network_dilations,
+    network_summary,
+    effective_parameters,
+)
+from .search_space import (
+    layer_choices,
+    search_space_size,
+    enumerate_configurations,
+    parameter_range,
+)
+from .trainer import PITTrainer, PITResult, train_plain, evaluate, TrainResult
+from .channel_mask import (
+    ChannelMask,
+    PITChannelConv1d,
+    channel_regularizer,
+    channel_layers,
+    export_channel_conv,
+)
+
+__all__ = [
+    "TimeMask",
+    "num_gamma",
+    "gamma_index_for_lag",
+    "lag_gamma_indices",
+    "mask_from_binary_gamma",
+    "mask_from_dilation",
+    "gamma_from_dilation",
+    "effective_dilation",
+    "kept_lags",
+    "build_t_matrix",
+    "build_k_matrix",
+    "mask_eq4",
+    "PITConv1d",
+    "gamma_size_coefficients",
+    "size_regularizer",
+    "flops_regularizer",
+    "pit_layers",
+    "export_conv",
+    "export_network",
+    "network_dilations",
+    "network_summary",
+    "effective_parameters",
+    "layer_choices",
+    "search_space_size",
+    "enumerate_configurations",
+    "parameter_range",
+    "PITTrainer",
+    "PITResult",
+    "train_plain",
+    "evaluate",
+    "TrainResult",
+    "ChannelMask",
+    "PITChannelConv1d",
+    "channel_regularizer",
+    "channel_layers",
+    "export_channel_conv",
+]

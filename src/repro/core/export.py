@@ -1,0 +1,114 @@
+"""Architecture export: collapse a searched PIT network into a plain TCN.
+
+After the pruning phase every :class:`PITConv1d` encodes a single
+power-of-two dilation.  Export replaces each of them with an equivalent
+:class:`repro.nn.CausalConv1d` whose kernel keeps only the alive time
+slices — the network a user would actually deploy (and the one the GAP8
+flow in :mod:`repro.hw` consumes).
+
+The exported layer is *numerically identical* to the masked supernet layer
+(same floats on the same inputs): the masked convolution computes
+
+    y[t] = Σ_{lag alive} W[·,·,lag] x[t - lag],   alive = {0, d, 2d, ...}
+
+and the compact convolution with kernel size ``k = len(alive)`` and
+dilation ``d`` computes exactly the same sum with the kept taps re-indexed.
+This invariant is property-tested in ``tests/test_core_export.py``.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..nn.layers import CausalConv1d
+from ..nn.module import Module
+from .masks import kept_lags
+from .pit_conv import PITConv1d
+
+__all__ = ["export_conv", "export_network", "network_dilations", "network_summary"]
+
+
+def export_conv(layer: PITConv1d) -> CausalConv1d:
+    """Convert one searched PIT layer into a compact dilated convolution."""
+    dilation = layer.current_dilation()
+    lags = kept_lags(layer.rf_max, dilation)
+    kernel_size = len(lags)
+    conv = CausalConv1d(layer.in_channels, layer.out_channels, kernel_size,
+                        dilation=dilation, stride=layer.stride,
+                        bias=layer.bias is not None)
+    # Kernel index i of the full layer corresponds to lag rf_max-1-i; the
+    # compact kernel index j corresponds to lag (kernel_size-1-j)*dilation.
+    for j in range(kernel_size):
+        lag = (kernel_size - 1 - j) * dilation
+        source_index = layer.rf_max - 1 - lag
+        conv.weight.data[:, :, j] = layer.weight.data[:, :, source_index]
+    if layer.bias is not None:
+        conv.bias.data[...] = layer.bias.data
+    return conv
+
+
+def export_network(model: Module) -> Module:
+    """Deep-copy ``model`` with every ``PITConv1d`` replaced by its export.
+
+    The copy leaves the original searchable model untouched, so the same
+    seed can keep exploring other λ values (how Fig. 4's fronts are built).
+    """
+    exported = copy.deepcopy(model)
+    for module in exported.modules():
+        for name, child in list(module._modules.items()):
+            if isinstance(child, PITConv1d):
+                setattr(module, name, export_conv(child))
+    return exported
+
+
+def network_dilations(model: Module) -> Tuple[int, ...]:
+    """Per-layer dilations of a searched or exported network (Table I rows).
+
+    Only *temporal* convolutions are reported: 1-tap convolutions
+    (pointwise heads, residual downsamples) have no dilation to speak of
+    and are skipped, matching the layer lists of paper Table I.
+    """
+    from .channel_mask import PITChannelConv1d
+
+    dilations: List[int] = []
+    for module in model.modules():
+        if isinstance(module, (PITConv1d, PITChannelConv1d)):
+            dilations.append(module.current_dilation())
+        elif isinstance(module, CausalConv1d) and module.kernel_size > 1:
+            dilations.append(module.dilation)
+    return tuple(dilations)
+
+
+def network_summary(model: Module) -> Dict[str, object]:
+    """Size/dilation summary used by the benchmark tables."""
+    return {
+        "dilations": network_dilations(model),
+        "params": model.count_parameters(),
+        "pit_params_effective": effective_parameters(model),
+    }
+
+
+def effective_parameters(model: Module) -> int:
+    """Parameter count of the network *after* export.
+
+    For a searchable model this counts only alive kernel slices of PIT
+    layers (plus everything else); for an already-exported model it equals
+    ``count_parameters()``.
+    """
+    from .channel_mask import PITChannelConv1d
+
+    total = 0
+    counted = set()
+    for module in model.modules():
+        if isinstance(module, (PITConv1d, PITChannelConv1d)):
+            total += module.effective_params()
+            for _, p in module.named_parameters():
+                counted.add(id(p))
+            # γ̂ are search-time parameters, never deployed.
+    for _, p in model.named_parameters():
+        if id(p) not in counted:
+            total += p.data.size
+    return total

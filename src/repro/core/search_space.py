@@ -1,0 +1,73 @@
+"""Search-space accounting and enumeration.
+
+Paper Sec. IV-B quantifies the explored space: "PIT operates in a search
+space of ~10^5 different solutions for the ResTCN ... for TEMPONet, the
+search includes ~10^4 alternatives".  Each PIT layer with ``L`` γ values
+offers ``L`` power-of-two dilations (``2^0 .. 2^{L-1}``); the space is the
+cartesian product over layers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Tuple
+
+from ..nn.module import Module
+from .masks import num_gamma
+from .pit_conv import PITConv1d
+from .regularizer import pit_layers
+
+__all__ = [
+    "layer_choices",
+    "search_space_size",
+    "enumerate_configurations",
+    "parameter_range",
+]
+
+
+def layer_choices(layer: PITConv1d) -> List[int]:
+    """Dilations reachable by one PIT layer: ``1, 2, ..., 2^{L-1}``."""
+    length = num_gamma(layer.rf_max)
+    return [2 ** i for i in range(length)]
+
+
+def search_space_size(model: Module) -> int:
+    """Number of distinct dilation assignments of the whole network."""
+    size = 1
+    for layer in pit_layers(model):
+        size *= len(layer_choices(layer))
+    return size
+
+
+def enumerate_configurations(model: Module) -> Iterator[Tuple[int, ...]]:
+    """Yield every dilation assignment (use only for small spaces/tests)."""
+    choices = [layer_choices(layer) for layer in pit_layers(model)]
+    return itertools.product(*choices)
+
+
+def parameter_range(model: Module) -> Dict[str, int]:
+    """Smallest and largest exported parameter counts over the space.
+
+    The extremes are attained at the max-dilation and min-dilation corner
+    configurations respectively, because each layer's size is monotone in
+    its own kept-tap count (paper: ResTCN spans 0.4M–3M params, TEMPONet
+    0.4M–0.9M).
+    """
+    layers = pit_layers(model)
+    saved = [layer.mask.gamma_hat.data.copy() for layer in layers]
+    try:
+        for layer in layers:
+            layer.set_dilation(max(layer_choices(layer)))
+        smallest = _effective(model)
+        for layer in layers:
+            layer.set_dilation(1)
+        largest = _effective(model)
+    finally:
+        for layer, gamma in zip(layers, saved):
+            layer.mask.gamma_hat.data[...] = gamma
+    return {"min_params": smallest, "max_params": largest}
+
+
+def _effective(model: Module) -> int:
+    from .export import effective_parameters
+    return effective_parameters(model)

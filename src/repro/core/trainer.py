@@ -1,0 +1,291 @@
+"""PIT's three-phase training procedure (paper Algorithm 1).
+
+Phase 1 — *warmup*: γ̂ initialized to 1 (all masks fully on); only the
+weights train, on the plain task loss, for ``warmup_epochs``.
+
+Phase 2 — *pruning*: weights and γ̂ train concurrently on
+``L_PIT = L_perf(W) + L_R(γ)`` (Eq. 7); the loop runs until the validation
+task loss stops improving (patience-based convergence) or a hard epoch cap.
+
+Phase 3 — *fine-tuning*: γ are frozen at their latest binarized values and
+the resulting dilated network fine-tunes on the task loss alone; the best
+validation state is restored at the end.
+
+The paper notes both warmup and fine-tuning "significantly improve the
+final accuracy" — the ablation bench exercises exactly that claim.
+
+The module also provides :func:`train_plain` / :func:`evaluate`, the
+vanilla loops used by the No-NAS reference of Fig. 5 and by the
+ProxylessNAS baseline.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..autograd import Tensor, no_grad
+from ..nn.module import Module
+from ..optim import Adam, EarlyStopping, clip_grad_norm
+from .export import effective_parameters, network_dilations
+from .regularizer import flops_regularizer, pit_layers, size_regularizer
+
+__all__ = ["PITResult", "PITTrainer", "train_plain", "evaluate", "TrainResult"]
+
+LossFn = Callable[[Tensor, Tensor], Tensor]
+
+
+def evaluate(model: Module, loss_fn: LossFn, loader) -> float:
+    """Mean task loss over a data loader, in evaluation mode, no gradients."""
+    was_training = model.training
+    model.eval()
+    total, batches = 0.0, 0
+    with no_grad():
+        for x, y in loader:
+            pred = model(Tensor(x))
+            loss = loss_fn(pred, Tensor(y))
+            total += loss.item()
+            batches += 1
+    if was_training:
+        model.train()
+    if batches == 0:
+        raise ValueError("evaluation loader produced no batches")
+    return total / batches
+
+
+def _train_epoch(model: Module, loss_fn: LossFn, optimizer, loader,
+                 extra_loss: Optional[Callable[[], Tensor]] = None,
+                 grad_clip: Optional[float] = None) -> float:
+    """One optimization epoch; returns the mean (task-only) training loss."""
+    model.train()
+    total, batches = 0.0, 0
+    for x, y in loader:
+        optimizer.zero_grad()
+        pred = model(Tensor(x))
+        task_loss = loss_fn(pred, Tensor(y))
+        loss = task_loss if extra_loss is None else task_loss + extra_loss()
+        loss.backward()
+        if grad_clip is not None:
+            clip_grad_norm(optimizer.params, grad_clip)
+        optimizer.step()
+        total += task_loss.item()
+        batches += 1
+    if batches == 0:
+        raise ValueError("training loader produced no batches")
+    return total / batches
+
+
+@dataclass
+class TrainResult:
+    """Outcome of a plain (no-NAS) training run."""
+    best_val: float
+    epochs: int
+    seconds: float
+    history: List[Tuple[float, float]] = field(default_factory=list)
+
+
+def train_plain(model: Module, loss_fn: LossFn, train_loader, val_loader,
+                epochs: int = 50, lr: float = 1e-3, patience: int = 10,
+                grad_clip: Optional[float] = None,
+                weight_decay: float = 0.0) -> TrainResult:
+    """Standard training with early stopping and best-state restore."""
+    optimizer = Adam(model.parameters(), lr=lr, weight_decay=weight_decay)
+    stopper = EarlyStopping(patience=patience, mode="min")
+    start = time.perf_counter()
+    history: List[Tuple[float, float]] = []
+    ran = 0
+    for _ in range(epochs):
+        train_loss = _train_epoch(model, loss_fn, optimizer, train_loader,
+                                  grad_clip=grad_clip)
+        val_loss = evaluate(model, loss_fn, val_loader)
+        history.append((train_loss, val_loss))
+        ran += 1
+        stopper.update(val_loss, state=model.state_dict())
+        if stopper.should_stop:
+            break
+    if stopper.best_state is not None:
+        model.load_state_dict(stopper.best_state)
+    best = (float(stopper.best) if stopper.best is not None
+            else evaluate(model, loss_fn, val_loader))
+    return TrainResult(best_val=best, epochs=ran,
+                       seconds=time.perf_counter() - start, history=history)
+
+
+@dataclass
+class PITResult:
+    """Everything the benchmarks need from one PIT run."""
+    dilations: Tuple[int, ...]
+    best_val: float
+    effective_params: int
+    warmup_seconds: float
+    prune_seconds: float
+    finetune_seconds: float
+    warmup_epochs: int
+    prune_epochs: int
+    finetune_epochs: int
+    history: Dict[str, List[float]] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.warmup_seconds + self.prune_seconds + self.finetune_seconds
+
+
+class PITTrainer:
+    """Runs Algorithm 1 on a model containing :class:`PITConv1d` layers.
+
+    Parameters
+    ----------
+    model:
+        Seed network with PIT layers (γ̂ initialized to 1, i.e. d=1).
+    loss_fn:
+        Task loss ``L_perf`` (e.g. :func:`repro.nn.polyphonic_nll`).
+    lam:
+        Regularization strength λ of Eq. 6.  The λ sweep is what produces
+        the Pareto front of Fig. 4.
+    warmup_epochs:
+        Length of phase 1 ("Steps_wu"; shorter warmup biases the search
+        toward simpler models, paper Sec. III-C).
+    prune_patience / max_prune_epochs:
+        Convergence criterion of the pruning loop.
+    finetune_epochs / finetune_patience:
+        Length / early stop of phase 3.
+    regularizer:
+        ``"size"`` (Eq. 6, the paper's choice) or ``"flops"``.
+    """
+
+    def __init__(self, model: Module, loss_fn: LossFn, lam: float,
+                 lr: float = 1e-3, gamma_lr: Optional[float] = None,
+                 warmup_epochs: int = 5, prune_patience: int = 5,
+                 max_prune_epochs: int = 50, finetune_epochs: int = 30,
+                 finetune_patience: int = 10, regularizer: str = "size",
+                 channel_lam: float = 0.0,
+                 grad_clip: Optional[float] = None, verbose: bool = False):
+        if regularizer not in ("size", "flops"):
+            raise ValueError("regularizer must be 'size' or 'flops'")
+        self.model = model
+        self.loss_fn = loss_fn
+        self.lam = lam
+        self.lr = lr
+        self.gamma_lr = gamma_lr if gamma_lr is not None else lr
+        self.warmup_epochs = warmup_epochs
+        self.prune_patience = prune_patience
+        self.max_prune_epochs = max_prune_epochs
+        self.finetune_epochs = finetune_epochs
+        self.finetune_patience = finetune_patience
+        self.regularizer = regularizer
+        self.channel_lam = channel_lam
+        self.grad_clip = grad_clip
+        self.verbose = verbose
+        if not self._searchable_layers():
+            raise ValueError("model contains no searchable (PITConv1d / "
+                             "PITChannelConv1d) layers")
+
+    def _searchable_layers(self):
+        from .channel_mask import channel_layers
+        return pit_layers(self.model) + channel_layers(self.model)
+
+    # ------------------------------------------------------------------
+    def _split_params(self):
+        gamma_params, weight_params = [], []
+        for name, p in self.model.named_parameters():
+            (gamma_params if name.endswith("gamma_hat") else weight_params).append(p)
+        return weight_params, gamma_params
+
+    def _regularizer_term(self) -> Tensor:
+        if self.regularizer == "size":
+            term = size_regularizer(self.model, self.lam)
+        else:
+            term = flops_regularizer(self.model, self.lam)
+        if self.channel_lam:
+            from .channel_mask import channel_regularizer
+            term = term + channel_regularizer(self.model, self.channel_lam)
+        return term
+
+    def _log(self, message: str) -> None:
+        if self.verbose:
+            print(f"[PIT] {message}")
+
+    # ------------------------------------------------------------------
+    def fit(self, train_loader, val_loader) -> PITResult:
+        """Run warmup → pruning → fine-tuning; return the search outcome."""
+        history: Dict[str, List[float]] = {
+            "warmup_val": [], "prune_val": [], "finetune_val": [],
+            "prune_params": [],
+        }
+        weight_params, gamma_params = self._split_params()
+
+        # ---------------- Phase 1: warmup (weights only) ----------------
+        start = time.perf_counter()
+        warmup_ran = 0
+        if self.warmup_epochs > 0:
+            optimizer = Adam(weight_params, lr=self.lr)
+            for _ in range(self.warmup_epochs):
+                _train_epoch(self.model, self.loss_fn, optimizer, train_loader,
+                             grad_clip=self.grad_clip)
+                history["warmup_val"].append(evaluate(self.model, self.loss_fn, val_loader))
+                warmup_ran += 1
+            self._log(f"warmup done, val={history['warmup_val'][-1]:.4f}")
+        warmup_seconds = time.perf_counter() - start
+
+        # ---------------- Phase 2: pruning (weights + γ) ----------------
+        start = time.perf_counter()
+        groups = [{"params": weight_params, "lr": self.lr}]
+        if gamma_params:
+            groups.append({"params": gamma_params, "lr": self.gamma_lr,
+                           "weight_decay": 0.0})
+        optimizer = Adam(groups, lr=self.lr)
+        stopper = EarlyStopping(patience=self.prune_patience, mode="min")
+        prune_ran = 0
+        for _ in range(self.max_prune_epochs):
+            _train_epoch(self.model, self.loss_fn, optimizer, train_loader,
+                         extra_loss=self._regularizer_term, grad_clip=self.grad_clip)
+            val_loss = evaluate(self.model, self.loss_fn, val_loader)
+            history["prune_val"].append(val_loss)
+            history["prune_params"].append(float(effective_parameters(self.model)))
+            prune_ran += 1
+            stopper.update(val_loss)
+            if stopper.should_stop:
+                break
+        prune_seconds = time.perf_counter() - start
+        self._log(f"pruning converged after {prune_ran} epochs, "
+                  f"dilations={network_dilations(self.model)}")
+
+        # ---------------- Phase 3: freeze + fine-tune --------------------
+        start = time.perf_counter()
+        for layer in self._searchable_layers():
+            layer.freeze()
+        optimizer = Adam(weight_params, lr=self.lr)
+        stopper = EarlyStopping(patience=self.finetune_patience, mode="min")
+        finetune_ran = 0
+        for _ in range(self.finetune_epochs):
+            _train_epoch(self.model, self.loss_fn, optimizer, train_loader,
+                         grad_clip=self.grad_clip)
+            val_loss = evaluate(self.model, self.loss_fn, val_loader)
+            history["finetune_val"].append(val_loss)
+            finetune_ran += 1
+            stopper.update(val_loss, state=self.model.state_dict())
+            if stopper.should_stop:
+                break
+        if stopper.best_state is not None:
+            self.model.load_state_dict(stopper.best_state)
+        finetune_seconds = time.perf_counter() - start
+
+        best_val = (float(stopper.best) if stopper.best is not None
+                    else evaluate(self.model, self.loss_fn, val_loader))
+        self._log(f"fine-tuning done, best val={best_val:.4f}")
+
+        return PITResult(
+            dilations=network_dilations(self.model),
+            best_val=best_val,
+            effective_params=effective_parameters(self.model),
+            warmup_seconds=warmup_seconds,
+            prune_seconds=prune_seconds,
+            finetune_seconds=finetune_seconds,
+            warmup_epochs=warmup_ran,
+            prune_epochs=prune_ran,
+            finetune_epochs=finetune_ran,
+            history=history,
+        )

@@ -1,0 +1,57 @@
+"""Datasets and loading utilities.
+
+Both of the paper's benchmarks are provided as seeded synthetic generators
+(see DESIGN.md §4 for the substitution rationale): ``make_nottingham`` for
+the polyphonic-music task and ``make_ppg_dalia`` for heart-rate estimation.
+"""
+
+from .dataset import Dataset, ArrayDataset, DataLoader, train_val_test_split
+from .nottingham import (
+    NottinghamConfig,
+    generate_tune,
+    make_nottingham,
+    next_frame_pairs,
+    NUM_KEYS,
+)
+from .windowing import (
+    sliding_windows,
+    window_count,
+    jitter,
+    scale_channels,
+    time_mask_augment,
+    channel_dropout,
+    Augmenter,
+)
+from .ppg_dalia import (
+    PPGDaliaConfig,
+    generate_subject,
+    make_ppg_dalia,
+    WINDOW_SAMPLES,
+    SAMPLE_RATE_HZ,
+    NUM_CHANNELS,
+)
+
+__all__ = [
+    "Dataset",
+    "ArrayDataset",
+    "DataLoader",
+    "train_val_test_split",
+    "NottinghamConfig",
+    "generate_tune",
+    "make_nottingham",
+    "next_frame_pairs",
+    "NUM_KEYS",
+    "PPGDaliaConfig",
+    "generate_subject",
+    "make_ppg_dalia",
+    "WINDOW_SAMPLES",
+    "SAMPLE_RATE_HZ",
+    "NUM_CHANNELS",
+    "sliding_windows",
+    "window_count",
+    "jitter",
+    "scale_channels",
+    "time_mask_augment",
+    "channel_dropout",
+    "Augmenter",
+]

@@ -1,0 +1,109 @@
+"""Dataset / DataLoader abstractions.
+
+A :class:`Dataset` is an indexable collection of ``(input, target)`` numpy
+pairs; :class:`DataLoader` batches and (optionally) shuffles it with an
+explicit seeded generator so every experiment is reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Dataset", "ArrayDataset", "DataLoader", "train_val_test_split"]
+
+
+class Dataset:
+    """Minimal dataset protocol: ``__len__`` and ``__getitem__``."""
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, np.ndarray]:
+        raise NotImplementedError
+
+
+class ArrayDataset(Dataset):
+    """Dataset over pre-materialized input/target arrays (first axis = sample)."""
+
+    def __init__(self, inputs: np.ndarray, targets: np.ndarray):
+        if len(inputs) != len(targets):
+            raise ValueError(f"inputs ({len(inputs)}) and targets ({len(targets)}) "
+                             f"must have the same length")
+        self.inputs = np.asarray(inputs, dtype=np.float64)
+        self.targets = np.asarray(targets, dtype=np.float64)
+
+    def __len__(self) -> int:
+        return len(self.inputs)
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, np.ndarray]:
+        return self.inputs[index], self.targets[index]
+
+
+class DataLoader:
+    """Batched iteration over a dataset.
+
+    Parameters
+    ----------
+    dataset:
+        Source dataset.
+    batch_size:
+        Samples per batch; the last partial batch is kept (``drop_last=False``)
+        or dropped.
+    shuffle:
+        Reshuffle indices at the start of every epoch using ``rng``.
+    rng:
+        Seeded generator; when None a default (non-deterministic) one is used.
+    """
+
+    def __init__(self, dataset: Dataset, batch_size: int = 32, shuffle: bool = False,
+                 drop_last: bool = False, rng: Optional[np.random.Generator] = None):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.rng = rng or np.random.default_rng()
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        indices = np.arange(len(self.dataset))
+        if self.shuffle:
+            self.rng.shuffle(indices)
+        for start in range(0, len(indices), self.batch_size):
+            batch = indices[start:start + self.batch_size]
+            if self.drop_last and len(batch) < self.batch_size:
+                return
+            xs, ys = zip(*(self.dataset[int(i)] for i in batch))
+            yield np.stack(xs), np.stack(ys)
+
+
+def train_val_test_split(dataset: ArrayDataset, val_fraction: float = 0.15,
+                         test_fraction: float = 0.15,
+                         rng: Optional[np.random.Generator] = None
+                         ) -> Tuple[ArrayDataset, ArrayDataset, ArrayDataset]:
+    """Random split into train/val/test ``ArrayDataset`` views."""
+    if val_fraction + test_fraction >= 1.0:
+        raise ValueError("val + test fractions must leave room for training data")
+    rng = rng or np.random.default_rng()
+    n = len(dataset)
+    order = rng.permutation(n)
+    n_val = max(1, int(round(n * val_fraction)))
+    n_test = max(1, int(round(n * test_fraction)))
+    val_idx = order[:n_val]
+    test_idx = order[n_val:n_val + n_test]
+    train_idx = order[n_val + n_test:]
+    if len(train_idx) == 0:
+        raise ValueError("dataset too small for the requested split")
+
+    def subset(idx: np.ndarray) -> ArrayDataset:
+        return ArrayDataset(dataset.inputs[idx], dataset.targets[idx])
+
+    return subset(train_idx), subset(val_idx), subset(test_idx)

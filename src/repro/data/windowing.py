@@ -1,0 +1,122 @@
+"""Sliding-window utilities and time-series augmentation.
+
+The PPG-Dalia protocol slices continuous recordings into overlapping
+windows (8 s window, 2 s shift); :func:`sliding_windows` implements that
+generically.  The augmentation transforms are the standard label-preserving
+ones for sensor time series (jitter, scaling, channel dropout, time
+masking) — used to regularize the small-data trainings in the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "sliding_windows",
+    "window_count",
+    "jitter",
+    "scale_channels",
+    "time_mask_augment",
+    "channel_dropout",
+    "Augmenter",
+]
+
+
+def window_count(length: int, window: int, shift: int) -> int:
+    """Number of complete windows a sequence of ``length`` yields."""
+    if window < 1 or shift < 1:
+        raise ValueError("window and shift must be >= 1")
+    if length < window:
+        return 0
+    return (length - window) // shift + 1
+
+
+def sliding_windows(signal: np.ndarray, window: int, shift: int) -> np.ndarray:
+    """Slice ``(C, T)`` into ``(N, C, window)`` with hop ``shift``.
+
+    Incomplete trailing windows are dropped (the PPG-Dalia convention).
+    """
+    if signal.ndim != 2:
+        raise ValueError(f"expected (C, T), got {signal.shape}")
+    count = window_count(signal.shape[1], window, shift)
+    if count == 0:
+        return np.zeros((0, signal.shape[0], window))
+    return np.stack([signal[:, i * shift: i * shift + window]
+                     for i in range(count)])
+
+
+def jitter(x: np.ndarray, sigma: float, rng: np.random.Generator) -> np.ndarray:
+    """Additive Gaussian sensor noise."""
+    return x + rng.normal(0.0, sigma, size=x.shape)
+
+
+def scale_channels(x: np.ndarray, sigma: float,
+                   rng: np.random.Generator) -> np.ndarray:
+    """Per-channel multiplicative gain drift, ``gain ~ N(1, sigma)``."""
+    if x.ndim != 2:
+        raise ValueError(f"expected (C, T), got {x.shape}")
+    gains = rng.normal(1.0, sigma, size=(x.shape[0], 1))
+    return x * gains
+
+
+def time_mask_augment(x: np.ndarray, max_fraction: float,
+                      rng: np.random.Generator) -> np.ndarray:
+    """Zero a random contiguous time span (sensor-dropout simulation)."""
+    if not 0.0 <= max_fraction <= 1.0:
+        raise ValueError("max_fraction must be in [0, 1]")
+    out = x.copy()
+    t = x.shape[-1]
+    span = int(rng.integers(0, max(1, int(t * max_fraction)) + 1))
+    if span > 0:
+        start = int(rng.integers(0, t - span + 1))
+        out[..., start: start + span] = 0.0
+    return out
+
+
+def channel_dropout(x: np.ndarray, p: float,
+                    rng: np.random.Generator) -> np.ndarray:
+    """Zero whole channels independently with probability ``p``.
+
+    At least one channel always survives.
+    """
+    if x.ndim != 2:
+        raise ValueError(f"expected (C, T), got {x.shape}")
+    keep = rng.random(x.shape[0]) >= p
+    if not keep.any():
+        keep[int(rng.integers(0, x.shape[0]))] = True
+    return x * keep[:, None]
+
+
+class Augmenter:
+    """Composable augmentation pipeline for ``(C, T)`` windows.
+
+    Parameters mirror the individual transforms; any set to 0 disables
+    that transform.  Deterministic given its generator.
+    """
+
+    def __init__(self, jitter_sigma: float = 0.0, scale_sigma: float = 0.0,
+                 time_mask_fraction: float = 0.0, channel_drop_p: float = 0.0,
+                 rng: Optional[np.random.Generator] = None):
+        self.jitter_sigma = jitter_sigma
+        self.scale_sigma = scale_sigma
+        self.time_mask_fraction = time_mask_fraction
+        self.channel_drop_p = channel_drop_p
+        self.rng = rng or np.random.default_rng()
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        out = x
+        if self.scale_sigma > 0:
+            out = scale_channels(out, self.scale_sigma, self.rng)
+        if self.jitter_sigma > 0:
+            out = jitter(out, self.jitter_sigma, self.rng)
+        if self.time_mask_fraction > 0:
+            out = time_mask_augment(out, self.time_mask_fraction, self.rng)
+        if self.channel_drop_p > 0:
+            out = channel_dropout(out, self.channel_drop_p, self.rng)
+        return out
+
+    def batch(self, xs: np.ndarray) -> np.ndarray:
+        """Apply independently to every window of an ``(N, C, T)`` batch."""
+        return np.stack([self(x) for x in xs])

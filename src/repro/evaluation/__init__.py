@@ -1,0 +1,30 @@
+"""Evaluation: metrics, Pareto analysis, design-space exploration."""
+
+from .metrics import nll_metric, mae_metric, evaluate_metric, count_macs
+from .pareto import dominates, pareto_front, pareto_points, hypervolume_2d
+from .dse import DSEPoint, DSEResult, run_dse, select_small_medium_large
+from .reporting import (
+    format_table,
+    format_markdown_table,
+    ExperimentRegistry,
+    Comparison,
+)
+
+__all__ = [
+    "nll_metric",
+    "mae_metric",
+    "evaluate_metric",
+    "count_macs",
+    "dominates",
+    "pareto_front",
+    "pareto_points",
+    "hypervolume_2d",
+    "DSEPoint",
+    "DSEResult",
+    "run_dse",
+    "select_small_medium_large",
+    "format_table",
+    "format_markdown_table",
+    "ExperimentRegistry",
+    "Comparison",
+]

@@ -1,0 +1,99 @@
+"""Design-space-exploration driver (paper Sec. IV-B).
+
+The paper obtains the Pareto fronts of Fig. 4 "by tweaking the λ
+regularization-strength of PIT and the warmup duration".  This module
+drives that sweep: one :class:`repro.core.PITTrainer` run per (λ, warmup)
+pair, each from a fresh copy of the seed, collecting ``(params, loss)``
+points plus the discovered dilations.
+
+It also implements the small/medium/large selection rule of Tables I-III:
+*small* = fewest parameters, *large* = most parameters, *medium* = closest
+in size to the hand-engineered reference network.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.trainer import PITResult, PITTrainer
+from ..nn import Module
+from .pareto import pareto_front
+
+__all__ = ["DSEPoint", "DSEResult", "run_dse", "select_small_medium_large"]
+
+
+@dataclass
+class DSEPoint:
+    """One trained architecture in the design space."""
+    lam: float
+    warmup_epochs: int
+    dilations: Tuple[int, ...]
+    params: int
+    loss: float
+    result: PITResult = field(repr=False, default=None)
+
+
+@dataclass
+class DSEResult:
+    """Outcome of a full (λ × warmup) sweep."""
+    points: List[DSEPoint]
+
+    def pareto(self) -> List[DSEPoint]:
+        coords = [(p.params, p.loss) for p in self.points]
+        return [self.points[i] for i in pareto_front(coords)]
+
+    def best_loss(self) -> DSEPoint:
+        return min(self.points, key=lambda p: p.loss)
+
+    def smallest(self) -> DSEPoint:
+        return min(self.points, key=lambda p: p.params)
+
+
+def run_dse(seed_factory: Callable[[], Module], loss_fn: Callable,
+            train_loader, val_loader,
+            lambdas: Sequence[float], warmups: Sequence[int] = (5,),
+            trainer_kwargs: Optional[Dict] = None,
+            verbose: bool = False) -> DSEResult:
+    """Sweep (λ, warmup); one full PIT search per grid point.
+
+    ``seed_factory`` must return a *fresh* searchable seed each call so the
+    runs are independent (identical init per the factory's internal seed).
+    """
+    trainer_kwargs = dict(trainer_kwargs or {})
+    trainer_kwargs.pop("lam", None)
+    trainer_kwargs.pop("warmup_epochs", None)
+    points: List[DSEPoint] = []
+    for warmup in warmups:
+        for lam in lambdas:
+            model = seed_factory()
+            trainer = PITTrainer(model, loss_fn, lam=lam,
+                                 warmup_epochs=warmup, **trainer_kwargs)
+            result = trainer.fit(train_loader, val_loader)
+            point = DSEPoint(
+                lam=lam, warmup_epochs=warmup, dilations=result.dilations,
+                params=result.effective_params, loss=result.best_val,
+                result=result)
+            points.append(point)
+            if verbose:
+                print(f"[DSE] lam={lam:g} warmup={warmup}: "
+                      f"{point.params} params, loss={point.loss:.4f}, "
+                      f"d={point.dilations}")
+    return DSEResult(points=points)
+
+
+def select_small_medium_large(points: Sequence[DSEPoint],
+                              reference_params: int) -> Dict[str, DSEPoint]:
+    """The paper's Table I selection rule over a set of DSE points.
+
+    * ``small``: the smallest network found;
+    * ``large``: the largest network found;
+    * ``medium``: the closest in size to the hand-designed reference.
+    """
+    if not points:
+        raise ValueError("no DSE points to select from")
+    small = min(points, key=lambda p: p.params)
+    large = max(points, key=lambda p: p.params)
+    medium = min(points, key=lambda p: abs(p.params - reference_params))
+    return {"small": small, "medium": medium, "large": large}

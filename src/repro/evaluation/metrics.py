@@ -1,0 +1,52 @@
+"""Evaluation metrics matching the paper's reporting.
+
+* Nottingham: frame-level negative log-likelihood (lower is better);
+* PPG-Dalia: mean absolute error in BPM (lower is better);
+* plus generic helpers for classification-style tasks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..autograd import Tensor, no_grad
+from ..nn import Module, mae_loss, polyphonic_nll
+
+__all__ = ["nll_metric", "mae_metric", "evaluate_metric", "count_macs"]
+
+
+def nll_metric(model: Module, loader) -> float:
+    """Mean per-frame NLL over a loader (paper Fig. 4 top / Table III)."""
+    return evaluate_metric(model, loader, polyphonic_nll)
+
+
+def mae_metric(model: Module, loader) -> float:
+    """Mean absolute error in BPM (paper Fig. 4 bottom / Table III)."""
+    return evaluate_metric(model, loader, mae_loss)
+
+
+def evaluate_metric(model: Module, loader,
+                    metric: Callable[[Tensor, Tensor], Tensor]) -> float:
+    """Average a tensor metric over a loader in evaluation mode."""
+    was_training = model.training
+    model.eval()
+    total, batches = 0.0, 0
+    with no_grad():
+        for x, y in loader:
+            value = metric(model(Tensor(x)), Tensor(y))
+            total += value.item()
+            batches += 1
+    if was_training:
+        model.train()
+    if batches == 0:
+        raise ValueError("loader produced no batches")
+    return total / batches
+
+
+def count_macs(model: Module, input_shape) -> int:
+    """Multiply-accumulate count of one inference (via the GAP8 tracer)."""
+    from ..hw.gap8 import GAP8Model
+    report = GAP8Model().estimate(model, input_shape)
+    return report.total_macs

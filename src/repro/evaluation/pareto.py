@@ -1,0 +1,57 @@
+"""Pareto-front utilities for the accuracy-vs-size design space (Fig. 4).
+
+All functions treat points as ``(cost, loss)`` pairs where *both*
+coordinates are minimized (parameters and NLL/MAE).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+__all__ = ["dominates", "pareto_front", "pareto_points", "hypervolume_2d"]
+
+Point = Tuple[float, float]
+
+
+def dominates(a: Point, b: Point) -> bool:
+    """True if ``a`` Pareto-dominates ``b`` (<= in all, < in at least one)."""
+    return a[0] <= b[0] and a[1] <= b[1] and (a[0] < b[0] or a[1] < b[1])
+
+
+def pareto_front(points: Sequence[Point]) -> List[int]:
+    """Indices of the non-dominated points, sorted by the first coordinate."""
+    indices = []
+    for i, p in enumerate(points):
+        if not any(dominates(q, p) for j, q in enumerate(points) if j != i):
+            indices.append(i)
+    indices.sort(key=lambda i: (points[i][0], points[i][1]))
+    return indices
+
+
+def pareto_points(points: Sequence[Point]) -> List[Point]:
+    """The non-dominated points themselves, sorted by cost."""
+    return [points[i] for i in pareto_front(points)]
+
+
+def hypervolume_2d(points: Sequence[Point], reference: Point) -> float:
+    """Dominated hypervolume w.r.t. a reference (upper-right) point.
+
+    Scalar quality of a 2-D minimization front: the area dominated between
+    the front and ``reference`` (larger is better).  Points outside the
+    reference box contribute nothing.
+
+    Sweeping the front left to right, the dominated region at abscissa
+    ``x`` has height ``ref_y - min{y_i : x_i <= x}``; summing the strips
+    between consecutive front points gives the exact area.
+    """
+    front = [p for p in pareto_points(points)
+             if p[0] <= reference[0] and p[1] <= reference[1]]
+    if not front:
+        return 0.0
+    volume = 0.0
+    best_y = reference[1]
+    for i, (x, y) in enumerate(front):
+        next_x = front[i + 1][0] if i + 1 < len(front) else reference[0]
+        best_y = min(best_y, y)
+        volume += max(0.0, next_x - x) * max(0.0, reference[1] - best_y)
+    return volume

@@ -1,0 +1,31 @@
+"""Hardware deployment substrate: int8 quantization + GAP8 SoC model."""
+
+from .quantization import (
+    QuantizedArray,
+    quantize_array,
+    dequantize_array,
+    fake_quantize,
+    FakeQuant,
+    QuantWrapper,
+    quantize_network,
+    quantization_error,
+)
+from .gap8 import GAP8Config, LayerCost, GAP8Report, GAP8Model
+from .deployment import DeploymentReport, deploy
+
+__all__ = [
+    "QuantizedArray",
+    "quantize_array",
+    "dequantize_array",
+    "fake_quantize",
+    "FakeQuant",
+    "QuantWrapper",
+    "quantize_network",
+    "quantization_error",
+    "GAP8Config",
+    "LayerCost",
+    "GAP8Report",
+    "GAP8Model",
+    "DeploymentReport",
+    "deploy",
+]

@@ -1,0 +1,70 @@
+"""NN-Tool-like deployment flow (paper Sec. IV-A "Deployment").
+
+The paper's flow: take a trained network, quantize it to int8 with
+GreenWaves' NN-Tool, and run it on GAP8's 8-core cluster at 100 MHz.  The
+:func:`deploy` function reproduces that pipeline on our substrate:
+
+1. export the searchable model (if needed) into a fixed-dilation TCN;
+2. int8 fake-quantization with activation-range calibration;
+3. quantized-accuracy evaluation on a test loader;
+4. latency/energy estimation with the calibrated GAP8 model.
+
+The result is one row of Table III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from ..core.export import export_network
+from ..core.regularizer import pit_layers
+from ..core.trainer import evaluate
+from ..nn import Module
+from .gap8 import GAP8Config, GAP8Model, GAP8Report
+from .quantization import quantize_network
+
+__all__ = ["DeploymentReport", "deploy"]
+
+
+@dataclass
+class DeploymentReport:
+    """One deployed network: the columns of paper Table III."""
+    name: str
+    params: int
+    float_loss: float
+    quantized_loss: float
+    latency_ms: float
+    energy_mj: float
+    gap8: GAP8Report
+
+    def row(self) -> str:
+        """Render in the Table III layout."""
+        return (f"{self.name:<24s} {self.params / 1e6:7.2f}M "
+                f"{self.quantized_loss:8.3f} {self.latency_ms:9.1f} ms "
+                f"{self.energy_mj:7.1f} mJ")
+
+
+def deploy(network: Module, loss_fn: Callable, calibration_loader, test_loader,
+           input_shape: Tuple[int, ...], name: str = "network",
+           quantize: bool = True, bits: int = 8,
+           config: Optional[GAP8Config] = None) -> DeploymentReport:
+    """Run the full deployment flow on a trained network."""
+    if pit_layers(network):
+        network = export_network(network)
+    float_loss = evaluate(network, loss_fn, test_loader)
+    if quantize:
+        quantized = quantize_network(network, calibration_loader, bits=bits)
+        quantized_loss = evaluate(quantized, loss_fn, test_loader)
+    else:
+        quantized_loss = float_loss
+    report = GAP8Model(config).estimate(network, input_shape)
+    return DeploymentReport(
+        name=name,
+        params=network.count_parameters(),
+        float_loss=float_loss,
+        quantized_loss=quantized_loss,
+        latency_ms=report.latency_ms,
+        energy_mj=report.energy_mj,
+        gap8=report,
+    )

@@ -1,0 +1,182 @@
+"""Post-training int8 quantization (the paper deploys "int8-quantized models").
+
+Implements the standard NN-Tool/X-CUBE-AI-style scheme:
+
+* weights: symmetric per-output-channel int8 (zero-point 0);
+* activations: affine per-tensor uint8, ranges collected from a calibration
+  pass over representative data;
+* biases: int32 (kept in float here — they are exact at these scales).
+
+:func:`quantize_network` produces a *fake-quantized* copy of a model: every
+``CausalConv1d``/``Linear`` weight is replaced by its quantize-dequantize
+image and a :class:`FakeQuant` node is attached to its output, so the float
+forward pass reproduces int8 inference numerics (what the accuracy column
+of Table III is measured on).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..autograd import Tensor, no_grad
+from ..nn import CausalConv1d, Linear, Module
+
+__all__ = [
+    "QuantizedArray",
+    "quantize_array",
+    "dequantize_array",
+    "fake_quantize",
+    "FakeQuant",
+    "QuantWrapper",
+    "quantize_network",
+    "quantization_error",
+]
+
+
+@dataclass
+class QuantizedArray:
+    """Integer codes plus the affine decoding parameters."""
+    q: np.ndarray
+    scale: np.ndarray  # scalar or per-channel
+    zero_point: np.ndarray
+
+    def dequantize(self) -> np.ndarray:
+        return (self.q.astype(np.float64) - self.zero_point) * self.scale
+
+
+def quantize_array(x: np.ndarray, bits: int = 8, symmetric: bool = True,
+                   per_channel_axis: Optional[int] = None) -> QuantizedArray:
+    """Quantize a float array to ``bits``-bit integers.
+
+    Symmetric mode maps ``[-max|x|, +max|x|]`` onto the signed integer range
+    (weights); affine mode maps ``[min, max]`` onto the unsigned range
+    (activations).
+    """
+    if bits < 2 or bits > 16:
+        raise ValueError(f"bits must be in [2, 16], got {bits}")
+    x = np.asarray(x, dtype=np.float64)
+    if per_channel_axis is not None:
+        reduce_axes = tuple(a for a in range(x.ndim) if a != per_channel_axis)
+    else:
+        reduce_axes = tuple(range(x.ndim))
+
+    if symmetric:
+        qmax = 2 ** (bits - 1) - 1
+        amax = np.abs(x).max(axis=reduce_axes, keepdims=True)
+        scale = np.where(amax > 0, amax / qmax, 1.0)
+        q = np.clip(np.round(x / scale), -qmax - 1, qmax).astype(np.int32)
+        zero_point = np.zeros_like(scale)
+    else:
+        qmax = 2 ** bits - 1
+        lo = x.min(axis=reduce_axes, keepdims=True)
+        hi = x.max(axis=reduce_axes, keepdims=True)
+        span = np.where(hi - lo > 0, hi - lo, 1.0)
+        scale = span / qmax
+        zero_point = np.round(-lo / scale)
+        q = np.clip(np.round(x / scale) + zero_point, 0, qmax).astype(np.int32)
+    return QuantizedArray(q=q, scale=scale, zero_point=zero_point)
+
+
+def dequantize_array(qa: QuantizedArray) -> np.ndarray:
+    return qa.dequantize()
+
+
+def fake_quantize(x: np.ndarray, bits: int = 8, symmetric: bool = True,
+                  per_channel_axis: Optional[int] = None) -> np.ndarray:
+    """Quantize-dequantize round trip (the int8 image in float arithmetic)."""
+    return quantize_array(x, bits, symmetric, per_channel_axis).dequantize()
+
+
+class FakeQuant(Module):
+    """Activation fake-quantizer with range calibration.
+
+    In ``calibrating`` mode it records the running min/max of what passes
+    through; afterwards it clamps + quantize-dequantizes to ``bits`` levels.
+    """
+
+    def __init__(self, bits: int = 8):
+        super().__init__()
+        self.bits = bits
+        self.calibrating = True
+        self.lo = np.inf
+        self.hi = -np.inf
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.calibrating:
+            self.lo = min(self.lo, float(x.data.min()))
+            self.hi = max(self.hi, float(x.data.max()))
+            return x
+        if not np.isfinite(self.lo) or self.hi <= self.lo:
+            return x
+        qmax = 2 ** self.bits - 1
+        scale = (self.hi - self.lo) / qmax
+        q = np.clip(np.round((x.data - self.lo) / scale), 0, qmax)
+        return Tensor(q * scale + self.lo)
+
+    def __repr__(self) -> str:
+        return f"FakeQuant(bits={self.bits}, range=({self.lo:.3g}, {self.hi:.3g}))"
+
+
+class QuantWrapper(Module):
+    """A conv/linear layer with quantized weights and output fake-quant."""
+
+    def __init__(self, layer: Module, bits: int = 8):
+        super().__init__()
+        per_channel = 0  # output channels lead both weight layouts
+        layer.weight.data[...] = fake_quantize(
+            layer.weight.data, bits=bits, symmetric=True,
+            per_channel_axis=per_channel)
+        self.layer = layer
+        self.act_quant = FakeQuant(bits=bits)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.act_quant(self.layer(x))
+
+    def __repr__(self) -> str:
+        return f"QuantWrapper({self.layer!r})"
+
+
+def quantize_network(model: Module, calibration_loader, bits: int = 8,
+                     max_batches: int = 4) -> Module:
+    """Return a fake-quantized deep copy of ``model``.
+
+    Weights are per-channel symmetric int8; activation ranges are calibrated
+    by running up to ``max_batches`` batches through the wrapped network.
+    """
+    quantized = copy.deepcopy(model)
+    quantized.eval()
+    for module in quantized.modules():
+        for name, child in list(module._modules.items()):
+            if isinstance(child, (CausalConv1d, Linear)):
+                setattr(module, name, QuantWrapper(child, bits=bits))
+    # Calibration pass.
+    with no_grad():
+        for i, (x, _) in enumerate(calibration_loader):
+            quantized(Tensor(x))
+            if i + 1 >= max_batches:
+                break
+    for module in quantized.modules():
+        if isinstance(module, FakeQuant):
+            module.calibrating = False
+    return quantized
+
+
+def quantization_error(model: Module, quantized: Module, loader,
+                       max_batches: int = 4) -> float:
+    """Mean relative L2 output error of the quantized network."""
+    errors: List[float] = []
+    model.eval()
+    quantized.eval()
+    with no_grad():
+        for i, (x, _) in enumerate(loader):
+            ref = model(Tensor(x)).data
+            out = quantized(Tensor(x)).data
+            denom = np.linalg.norm(ref) + 1e-12
+            errors.append(float(np.linalg.norm(out - ref) / denom))
+            if i + 1 >= max_batches:
+                break
+    return float(np.mean(errors))

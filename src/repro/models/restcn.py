@@ -1,0 +1,143 @@
+"""ResTCN — the residual TCN of Bai et al. [6] used on Nottingham.
+
+The network is a stack of residual temporal blocks, two causal convolutions
+per block, with the classic hand-tuned dilation schedule ``(1, 1, 2, 2, 4,
+4, 8, 8)`` and base kernel size 5 — giving per-conv receptive fields
+``(5, 5, 9, 9, 17, 17, 33, 33)``.
+
+Following paper Sec. IV-A, the *seed* network for PIT keeps those receptive
+fields but sets ``d = 1`` everywhere with maximally-sized filters; in
+searchable mode each convolution is a :class:`repro.core.PITConv1d` with
+``rf_max`` equal to the layer's receptive field.  With kernel 5 and 4
+blocks this yields a search space of ``3·3·4·4·5·5·6·6 ≈ 1.3e5``
+configurations — the "~10^5 solutions" of paper Sec. IV-B.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..core.masks import kept_lags
+from ..core.pit_conv import PITConv1d
+from ..nn import CausalConv1d, Dropout, Module, ReLU, Sequential
+
+__all__ = ["ResTCN", "RESTCN_HAND_DILATIONS", "RESTCN_RECEPTIVE_FIELDS"]
+
+RESTCN_HAND_DILATIONS: Tuple[int, ...] = (1, 1, 2, 2, 4, 4, 8, 8)
+_BASE_KERNEL = 5
+RESTCN_RECEPTIVE_FIELDS: Tuple[int, ...] = tuple(
+    (_BASE_KERNEL - 1) * d + 1 for d in RESTCN_HAND_DILATIONS)
+
+
+def _make_conv(in_ch: int, out_ch: int, rf: int, dilation: Optional[int],
+               searchable: bool, rng: np.random.Generator) -> Module:
+    """One temporal conv: searchable PIT layer, or fixed conv at ``dilation``.
+
+    A fixed conv with dilation ``d`` keeps the receptive field ``rf`` by
+    using ``len(kept_lags(rf, d))`` taps (``d=1`` reproduces the maximally-
+    sized seed filter).
+    """
+    if searchable:
+        return PITConv1d(in_ch, out_ch, rf_max=rf, rng=rng)
+    d = dilation if dilation is not None else 1
+    kernel = len(kept_lags(rf, d))
+    return CausalConv1d(in_ch, out_ch, kernel_size=kernel, dilation=d, rng=rng)
+
+
+class _ResidualBlock(Module):
+    """Two causal convs with ReLU/dropout and an additive skip connection."""
+
+    def __init__(self, in_ch: int, out_ch: int, rfs: Sequence[int],
+                 dilations: Sequence[Optional[int]], dropout: float,
+                 searchable: bool, rng: np.random.Generator):
+        super().__init__()
+        self.conv1 = _make_conv(in_ch, out_ch, rfs[0], dilations[0], searchable, rng)
+        self.relu1 = ReLU()
+        self.drop1 = Dropout(dropout, rng=rng)
+        self.conv2 = _make_conv(out_ch, out_ch, rfs[1], dilations[1], searchable, rng)
+        self.relu2 = ReLU()
+        self.drop2 = Dropout(dropout, rng=rng)
+        self.downsample = (CausalConv1d(in_ch, out_ch, kernel_size=1, rng=rng)
+                           if in_ch != out_ch else None)
+        self.out_relu = ReLU()
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.drop1(self.relu1(self.conv1(x)))
+        out = self.drop2(self.relu2(self.conv2(out)))
+        skip = x if self.downsample is None else self.downsample(x)
+        return self.out_relu(out + skip)
+
+
+class ResTCN(Module):
+    """Residual TCN for polyphonic-music next-frame prediction.
+
+    Parameters
+    ----------
+    input_channels / output_channels:
+        88 piano keys in and out (logits per key per frame).
+    hidden:
+        Width of every block (Bai et al. use 150 for Nottingham).
+    searchable:
+        When True every conv is a :class:`PITConv1d` seed layer (d=1,
+        maximal filters); when False, fixed convs at ``dilations``.
+    dilations:
+        Per-conv dilation tuple (len 8); defaults to all-1 (the seed) when
+        not searchable.  Use ``RESTCN_HAND_DILATIONS`` for the hand-tuned
+        network of [6].
+    width_mult:
+        Scales ``hidden`` (used to shrink experiments to laptop scale).
+    """
+
+    def __init__(self, input_channels: int = 88, output_channels: int = 88,
+                 hidden: int = 150, dropout: float = 0.1,
+                 searchable: bool = False,
+                 dilations: Optional[Sequence[int]] = None,
+                 width_mult: float = 1.0, head_bias_init: float = -3.0,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        hidden = max(4, int(round(hidden * width_mult)))
+        self.input_channels = input_channels
+        self.output_channels = output_channels
+        self.hidden = hidden
+
+        rfs = RESTCN_RECEPTIVE_FIELDS
+        if dilations is None:
+            dils: Tuple[Optional[int], ...] = (None,) * len(rfs)
+        else:
+            if len(dilations) != len(rfs):
+                raise ValueError(f"expected {len(rfs)} dilations, got {len(dilations)}")
+            dils = tuple(dilations)
+
+        blocks = []
+        in_ch = input_channels
+        for b in range(len(rfs) // 2):
+            blocks.append(_ResidualBlock(
+                in_ch, hidden, rfs[2 * b: 2 * b + 2], dils[2 * b: 2 * b + 2],
+                dropout, searchable, rng))
+            in_ch = hidden
+        self.blocks = Sequential(*blocks)
+        # Per-timestep linear head, implemented as a 1-tap convolution.  The
+        # bias starts at the piano-roll base rate (~4.5% of keys active per
+        # frame -> logit ~ -3), so training begins at the marginal
+        # distribution instead of the uninformative 50% point.
+        self.head = CausalConv1d(hidden, output_channels, kernel_size=1, rng=rng)
+        self.head.bias.data[...] = head_bias_init
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Map ``(N, 88, T)`` piano-roll frames to next-frame logits."""
+        return self.head(self.blocks(x))
+
+    @property
+    def receptive_field(self) -> int:
+        """Total temporal receptive field of the stack."""
+        total = 1
+        for module in self.modules():
+            if isinstance(module, PITConv1d):
+                total += module.rf_max - 1
+            elif isinstance(module, CausalConv1d) and module.kernel_size > 1:
+                total += module.receptive_field - 1
+        return total

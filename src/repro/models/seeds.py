@@ -1,0 +1,65 @@
+"""Seed-network construction helpers (paper Sec. IV-A).
+
+The paper's protocol: take a hand-engineered TCN, keep every layer's
+receptive field, set ``d = 1`` with maximally-sized filters, and hand the
+result to PIT.  These helpers build the searchable seeds, the fixed d=1
+references, and the hand-tuned originals for both benchmarks, with a
+``width_mult`` knob that shrinks the experiment to laptop scale without
+changing its structure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .restcn import ResTCN, RESTCN_HAND_DILATIONS
+from .temponet import TEMPONet, TEMPONET_HAND_DILATIONS
+
+__all__ = [
+    "restcn_seed",
+    "restcn_fixed",
+    "restcn_hand_tuned",
+    "temponet_seed",
+    "temponet_fixed",
+    "temponet_hand_tuned",
+]
+
+
+def restcn_seed(width_mult: float = 1.0, seed: int = 0, **kwargs) -> ResTCN:
+    """Searchable ResTCN seed: PIT layers, d=1, maximal filters."""
+    return ResTCN(searchable=True, width_mult=width_mult,
+                  rng=np.random.default_rng(seed), **kwargs)
+
+
+def restcn_fixed(dilations: Optional[Sequence[int]] = None, width_mult: float = 1.0,
+                 seed: int = 0, **kwargs) -> ResTCN:
+    """Fixed-dilation ResTCN (``None`` = all-1, the undilated seed)."""
+    return ResTCN(searchable=False, dilations=dilations, width_mult=width_mult,
+                  rng=np.random.default_rng(seed), **kwargs)
+
+
+def restcn_hand_tuned(width_mult: float = 1.0, seed: int = 0, **kwargs) -> ResTCN:
+    """The hand-engineered ResTCN of Bai et al. (d = 1,1,2,2,4,4,8,8)."""
+    return restcn_fixed(RESTCN_HAND_DILATIONS, width_mult=width_mult,
+                        seed=seed, **kwargs)
+
+
+def temponet_seed(width_mult: float = 1.0, seed: int = 0, **kwargs) -> TEMPONet:
+    """Searchable TEMPONet seed: PIT layers, d=1, maximal filters."""
+    return TEMPONet(searchable=True, width_mult=width_mult,
+                    rng=np.random.default_rng(seed), **kwargs)
+
+
+def temponet_fixed(dilations: Optional[Sequence[int]] = None, width_mult: float = 1.0,
+                   seed: int = 0, **kwargs) -> TEMPONet:
+    """Fixed-dilation TEMPONet (``None`` = all-1, the undilated seed)."""
+    return TEMPONet(searchable=False, dilations=dilations, width_mult=width_mult,
+                    rng=np.random.default_rng(seed), **kwargs)
+
+
+def temponet_hand_tuned(width_mult: float = 1.0, seed: int = 0, **kwargs) -> TEMPONet:
+    """The hand-engineered TEMPONet of Zanghieri et al. (d = 2,2,1,4,4,8,8)."""
+    return temponet_fixed(TEMPONET_HAND_DILATIONS, width_mult=width_mult,
+                          seed=seed, **kwargs)

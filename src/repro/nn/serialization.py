@@ -1,0 +1,65 @@
+"""Model checkpointing: save/load state dicts to ``.npz`` archives.
+
+The library's models are plain numpy underneath, so a compressed npz of
+the ``state_dict`` is a complete, dependency-free checkpoint.  Metadata
+(arbitrary JSON-serializable dict) travels alongside, which the DSE driver
+uses to record the λ / warmup / dilations that produced a model.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_model", "load_model", "save_state", "load_state"]
+
+_META_KEY = "__repro_metadata__"
+
+
+def save_state(state: Dict[str, np.ndarray], path: Union[str, Path],
+               metadata: Optional[dict] = None) -> None:
+    """Write a state dict (+ optional metadata) to a compressed npz."""
+    path = Path(path)
+    payload = dict(state)
+    if _META_KEY in payload:
+        raise ValueError(f"state may not contain the reserved key {_META_KEY!r}")
+    if metadata is not None:
+        payload[_META_KEY] = np.frombuffer(
+            json.dumps(metadata).encode("utf-8"), dtype=np.uint8)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **payload)
+
+
+def load_state(path: Union[str, Path]) -> Tuple[Dict[str, np.ndarray], Optional[dict]]:
+    """Read back a state dict and its metadata (None if absent)."""
+    with np.load(Path(path)) as archive:
+        state = {}
+        metadata = None
+        for key in archive.files:
+            if key == _META_KEY:
+                metadata = json.loads(bytes(archive[key]).decode("utf-8"))
+            else:
+                state[key] = archive[key]
+    return state, metadata
+
+
+def save_model(model: Module, path: Union[str, Path],
+               metadata: Optional[dict] = None) -> None:
+    """Checkpoint a model's parameters and buffers."""
+    save_state(model.state_dict(), path, metadata=metadata)
+
+
+def load_model(model: Module, path: Union[str, Path]) -> Optional[dict]:
+    """Load a checkpoint into an already-constructed model.
+
+    The model must have the same architecture (strict key/shape matching,
+    enforced by :meth:`Module.load_state_dict`).  Returns the metadata.
+    """
+    state, metadata = load_state(path)
+    model.load_state_dict(state)
+    return metadata

@@ -1,0 +1,16 @@
+"""Optimizers, LR schedulers, gradient clipping and early stopping."""
+
+from .optimizers import Optimizer, SGD, Adam
+from .schedulers import StepLR, CosineAnnealingLR, ReduceLROnPlateau, clip_grad_norm
+from .early_stopping import EarlyStopping
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "StepLR",
+    "CosineAnnealingLR",
+    "ReduceLROnPlateau",
+    "clip_grad_norm",
+    "EarlyStopping",
+]

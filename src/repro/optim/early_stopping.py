@@ -1,0 +1,66 @@
+"""Early stopping on a validation metric.
+
+The paper uses validation-loss convergence to end PIT's pruning phase
+(Algorithm 1, "while not converged") and an early-stop patience of 50
+epochs in the ProxylessNAS comparison (Sec. IV-C).  This helper implements
+the standard patience-based criterion with best-state checkpointing.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = ["EarlyStopping"]
+
+
+class EarlyStopping:
+    """Track a metric and signal convergence after ``patience`` stale epochs.
+
+    Parameters
+    ----------
+    patience:
+        Number of consecutive non-improving observations tolerated before
+        :attr:`should_stop` flips to True.
+    min_delta:
+        Minimum improvement (in ``mode`` direction) to reset the counter.
+    mode:
+        ``"min"`` for losses, ``"max"`` for accuracies.
+    """
+
+    def __init__(self, patience: int = 10, min_delta: float = 0.0, mode: str = "min"):
+        if mode not in ("min", "max"):
+            raise ValueError("mode must be 'min' or 'max'")
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.mode = mode
+        self.best: Optional[float] = None
+        self.best_state: Optional[Dict[str, np.ndarray]] = None
+        self.stale = 0
+        self.should_stop = False
+
+    def update(self, metric: float, state: Optional[Dict[str, np.ndarray]] = None) -> bool:
+        """Record one observation; return True when it improved the best."""
+        improved = self.best is None or (
+            metric < self.best - self.min_delta if self.mode == "min"
+            else metric > self.best + self.min_delta)
+        if improved:
+            self.best = metric
+            self.stale = 0
+            if state is not None:
+                self.best_state = copy.deepcopy(state)
+        else:
+            self.stale += 1
+            if self.stale >= self.patience:
+                self.should_stop = True
+        return improved
+
+    def reset(self) -> None:
+        self.best = None
+        self.best_state = None
+        self.stale = 0
+        self.should_stop = False

@@ -1,0 +1,140 @@
+"""Gradient-descent optimizers: SGD (momentum/Nesterov) and Adam.
+
+The paper trains both the network weights ``W`` and the architecture
+parameters ``γ`` with standard first-order optimizers (Algorithm 1 lines
+2/5/8).  Parameter groups let the PIT trainer give ``γ`` its own learning
+rate and exclude it from weight decay, as is standard for DMaskingNAS.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..nn.module import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+ParamsLike = Union[Sequence[Parameter], Sequence[Dict]]
+
+
+class Optimizer:
+    """Base optimizer with parameter groups and per-group hyperparameters."""
+
+    def __init__(self, params: ParamsLike, defaults: Dict):
+        self.defaults = dict(defaults)
+        self.param_groups: List[Dict] = []
+        params = list(params)
+        if not params:
+            raise ValueError("optimizer got an empty parameter list")
+        if isinstance(params[0], dict):
+            for group in params:
+                self.add_param_group(group)
+        else:
+            self.add_param_group({"params": params})
+
+    def add_param_group(self, group: Dict) -> None:
+        group = dict(group)
+        group["params"] = list(group["params"])
+        for key, value in self.defaults.items():
+            group.setdefault(key, value)
+        self.param_groups.append(group)
+
+    @property
+    def params(self) -> List[Parameter]:
+        return [p for group in self.param_groups for p in group["params"]]
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def set_lr(self, lr: float) -> None:
+        """Set the learning rate of every group (used by schedulers)."""
+        for group in self.param_groups:
+            group["lr"] = lr
+
+    def get_lr(self) -> float:
+        return self.param_groups[0]["lr"]
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with momentum, Nesterov and weight decay."""
+
+    def __init__(self, params: ParamsLike, lr: float = 0.01, momentum: float = 0.0,
+                 weight_decay: float = 0.0, nesterov: bool = False):
+        if nesterov and momentum <= 0:
+            raise ValueError("Nesterov momentum requires momentum > 0")
+        super().__init__(params, dict(lr=lr, momentum=momentum,
+                                      weight_decay=weight_decay, nesterov=nesterov))
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for group in self.param_groups:
+            lr = group["lr"]
+            momentum = group["momentum"]
+            weight_decay = group["weight_decay"]
+            nesterov = group["nesterov"]
+            for p in group["params"]:
+                if p.grad is None:
+                    continue
+                grad = p.grad
+                if weight_decay:
+                    grad = grad + weight_decay * p.data
+                if momentum:
+                    buf = self._velocity.get(id(p))
+                    if buf is None:
+                        buf = np.zeros_like(p.data)
+                        self._velocity[id(p)] = buf
+                    buf *= momentum
+                    buf += grad
+                    grad = grad + momentum * buf if nesterov else buf
+                p.data -= lr * grad
+
+
+class Adam(Optimizer):
+    """Adam with optional decoupled weight decay (AdamW-style)."""
+
+    def __init__(self, params: ParamsLike, lr: float = 1e-3,
+                 betas: tuple = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0, decoupled: bool = False):
+        super().__init__(params, dict(lr=lr, betas=betas, eps=eps,
+                                      weight_decay=weight_decay, decoupled=decoupled))
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+        self._t: Dict[int, int] = {}
+
+    def step(self) -> None:
+        for group in self.param_groups:
+            lr = group["lr"]
+            beta1, beta2 = group["betas"]
+            eps = group["eps"]
+            weight_decay = group["weight_decay"]
+            decoupled = group["decoupled"]
+            for p in group["params"]:
+                if p.grad is None:
+                    continue
+                grad = p.grad
+                if weight_decay and not decoupled:
+                    grad = grad + weight_decay * p.data
+                key = id(p)
+                if key not in self._m:
+                    self._m[key] = np.zeros_like(p.data)
+                    self._v[key] = np.zeros_like(p.data)
+                    self._t[key] = 0
+                self._t[key] += 1
+                t = self._t[key]
+                m, v = self._m[key], self._v[key]
+                m *= beta1
+                m += (1 - beta1) * grad
+                v *= beta2
+                v += (1 - beta2) * grad * grad
+                m_hat = m / (1 - beta1 ** t)
+                v_hat = v / (1 - beta2 ** t)
+                update = m_hat / (np.sqrt(v_hat) + eps)
+                if weight_decay and decoupled:
+                    update = update + weight_decay * p.data
+                p.data -= lr * update

@@ -1,0 +1,96 @@
+"""Learning-rate schedulers and gradient clipping."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..nn.module import Parameter
+from .optimizers import Optimizer
+
+__all__ = ["StepLR", "CosineAnnealingLR", "ReduceLROnPlateau", "clip_grad_norm"]
+
+
+class StepLR:
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        if step_size < 1:
+            raise ValueError("step_size must be >= 1")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self.base_lr = optimizer.get_lr()
+        self.epoch = 0
+
+    def step(self) -> None:
+        self.epoch += 1
+        factor = self.gamma ** (self.epoch // self.step_size)
+        self.optimizer.set_lr(self.base_lr * factor)
+
+
+class CosineAnnealingLR:
+    """Cosine decay from the base LR to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0):
+        if t_max < 1:
+            raise ValueError("t_max must be >= 1")
+        self.optimizer = optimizer
+        self.t_max = t_max
+        self.eta_min = eta_min
+        self.base_lr = optimizer.get_lr()
+        self.epoch = 0
+
+    def step(self) -> None:
+        self.epoch = min(self.epoch + 1, self.t_max)
+        cos = (1 + math.cos(math.pi * self.epoch / self.t_max)) / 2
+        self.optimizer.set_lr(self.eta_min + (self.base_lr - self.eta_min) * cos)
+
+
+class ReduceLROnPlateau:
+    """Reduce the LR by ``factor`` after ``patience`` non-improving epochs."""
+
+    def __init__(self, optimizer: Optimizer, factor: float = 0.5,
+                 patience: int = 5, min_lr: float = 1e-6, mode: str = "min"):
+        if mode not in ("min", "max"):
+            raise ValueError("mode must be 'min' or 'max'")
+        self.optimizer = optimizer
+        self.factor = factor
+        self.patience = patience
+        self.min_lr = min_lr
+        self.mode = mode
+        self.best: Optional[float] = None
+        self.stale = 0
+
+    def step(self, metric: float) -> None:
+        improved = (self.best is None
+                    or (self.mode == "min" and metric < self.best)
+                    or (self.mode == "max" and metric > self.best))
+        if improved:
+            self.best = metric
+            self.stale = 0
+            return
+        self.stale += 1
+        if self.stale > self.patience:
+            new_lr = max(self.optimizer.get_lr() * self.factor, self.min_lr)
+            self.optimizer.set_lr(new_lr)
+            self.stale = 0
+
+
+def clip_grad_norm(params: Sequence[Parameter], max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm (useful for logging training health).
+    """
+    total = 0.0
+    grads = [p.grad for p in params if p.grad is not None]
+    for g in grads:
+        total += float(np.sum(g * g))
+    norm = math.sqrt(total)
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        for g in grads:
+            g *= scale
+    return norm

@@ -1,0 +1,99 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["search"])
+        assert args.benchmark == "ppg"
+        assert args.width == 0.25
+        assert args.lam == 0.02
+
+    def test_invalid_benchmark(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["info", "--benchmark", "imagenet"])
+
+    def test_lambda_list(self):
+        args = build_parser().parse_args(["sweep", "--lambdas", "0", "0.1"])
+        assert args.lambdas == [0.0, 0.1]
+
+
+class TestInfo:
+    def test_ppg_info(self, capsys):
+        assert main(["info", "--benchmark", "ppg", "--width", "0.125"]) == 0
+        out = capsys.readouterr().out
+        assert "search space   : 10800" in out
+        assert "searchable convs: 7" in out
+
+    def test_music_info(self, capsys):
+        assert main(["info", "--benchmark", "music", "--width", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "search space   : 129600" in out
+        assert "rf_max= 33" in out
+
+
+class TestDeploy:
+    def test_deploy_default_dilations(self, capsys):
+        assert main(["deploy", "--benchmark", "ppg", "--width", "0.125"]) == 0
+        out = capsys.readouterr().out
+        assert "all-1" in out
+        assert "ms" in out
+
+    def test_deploy_custom_dilations(self, capsys):
+        assert main(["deploy", "--benchmark", "ppg", "--width", "0.125",
+                     "--dilations", "2", "2", "1", "4", "4", "8", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "(2, 2, 1, 4, 4, 8, 8)" in out
+
+    def test_deploy_layer_breakdown(self, capsys):
+        assert main(["deploy", "--benchmark", "ppg", "--width", "0.125",
+                     "--layers"]) == 0
+        out = capsys.readouterr().out
+        assert "conv1d" in out
+        assert "linear" in out
+
+    def test_deploy_wrong_dilation_count(self):
+        with pytest.raises(ValueError):
+            main(["deploy", "--benchmark", "ppg", "--dilations", "2", "2"])
+
+
+class TestSearch:
+    def test_search_runs_and_reports(self, capsys):
+        code = main(["search", "--benchmark", "ppg", "--width", "0.1",
+                     "--lam", "0.5", "--gamma-lr", "0.1", "--warmup", "0",
+                     "--epochs", "2", "--finetune", "1", "--quiet"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dilations :" in out
+        assert "val loss  :" in out
+
+    def test_search_saves_checkpoint(self, tmp_path, capsys):
+        path = tmp_path / "ckpt.npz"
+        main(["search", "--benchmark", "ppg", "--width", "0.1",
+              "--lam", "0.0", "--warmup", "0", "--epochs", "1",
+              "--finetune", "0", "--quiet", "--save", str(path)])
+        assert path.exists()
+        from repro.nn.serialization import load_state
+        _, metadata = load_state(path)
+        assert metadata["benchmark"] == "ppg"
+        assert "dilations" in metadata
+
+
+class TestSweep:
+    def test_sweep_prints_front(self, capsys):
+        code = main(["sweep", "--benchmark", "ppg", "--width", "0.1",
+                     "--lambdas", "0", "1.0", "--gamma-lr", "0.1",
+                     "--warmup", "0", "--epochs", "2", "--finetune", "0",
+                     "--quiet"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pareto front" in out
+        assert "lambda" in out

@@ -1,0 +1,114 @@
+"""Integration tests: PITTrainer driving the combined time+channel search."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PITChannelConv1d,
+    PITTrainer,
+    channel_layers,
+    effective_parameters,
+    flops_regularizer,
+    size_regularizer,
+)
+from repro.data import ArrayDataset, DataLoader
+from repro.nn import CausalConv1d, Module, ReLU, mse_loss
+
+RNG = np.random.default_rng(31)
+
+
+class CombinedTCN(Module):
+    def __init__(self, seed=0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.c1 = PITChannelConv1d(1, 6, rf_max=9, rng=rng)
+        self.r1 = ReLU()
+        self.c2 = PITChannelConv1d(6, 6, rf_max=9, min_channels=2, rng=rng)
+        self.r2 = ReLU()
+        self.head = CausalConv1d(6, 1, kernel_size=1, rng=rng)
+
+    def forward(self, x):
+        return self.head(self.r2(self.c2(self.r1(self.c1(x)))))
+
+
+def make_loaders(n=16, t=12, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, 1, t))
+    y = np.concatenate([np.zeros((n, 1, 1)), x[:, :, :-1]], axis=2)
+    train = ArrayDataset(x[: n // 2], y[: n // 2])
+    val = ArrayDataset(x[n // 2:], y[n // 2:])
+    return (DataLoader(train, 8, shuffle=True, rng=np.random.default_rng(1)),
+            DataLoader(val, 8))
+
+
+class TestRegularizersCoverCombinedLayers:
+    def test_size_regularizer_includes_time_masks(self):
+        model = CombinedTCN()
+        value = size_regularizer(model, 1.0).item()
+        from repro.core import gamma_size_coefficients
+        expected = (1 * 6 + 6 * 6) * sum(gamma_size_coefficients(9))
+        assert value == pytest.approx(expected)
+
+    def test_flops_regularizer_includes_time_masks(self):
+        model = CombinedTCN()
+        from repro.autograd import Tensor
+        model(Tensor(RNG.standard_normal((1, 1, 10))))
+        assert flops_regularizer(model, 1.0).item() > 0
+
+    def test_gradients_reach_combined_time_gamma(self):
+        model = CombinedTCN()
+        size_regularizer(model, 1.0).backward()
+        assert model.c1.time_mask.gamma_hat.grad is not None
+
+
+class TestTrainerOnCombinedModel:
+    def test_trainer_accepts_combined_model(self):
+        train, val = make_loaders()
+        trainer = PITTrainer(CombinedTCN(), mse_loss, lam=0.0,
+                             warmup_epochs=1, max_prune_epochs=1,
+                             finetune_epochs=1)
+        result = trainer.fit(train, val)
+        assert len(result.dilations) == 2
+
+    def test_combined_search_prunes_both_axes(self):
+        train, val = make_loaders()
+        model = CombinedTCN(seed=1)
+        trainer = PITTrainer(model, mse_loss, lam=5.0, channel_lam=5.0,
+                             gamma_lr=0.1, warmup_epochs=0,
+                             max_prune_epochs=20, prune_patience=20,
+                             finetune_epochs=0)
+        trainer.fit(train, val)
+        assert model.c1.current_dilation() > 1
+        assert model.c2.current_dilation() > 1
+        alive = [layer.alive_channels() for layer in channel_layers(model)]
+        assert alive[0] < 6 or alive[1] < 6
+        # min_channels floor respected.
+        assert alive[1] >= 2
+        assert alive[0] >= 1
+
+    def test_masks_frozen_after_fit(self):
+        train, val = make_loaders()
+        model = CombinedTCN()
+        PITTrainer(model, mse_loss, lam=0.0, warmup_epochs=0,
+                   max_prune_epochs=1, finetune_epochs=1).fit(train, val)
+        for layer in channel_layers(model):
+            assert layer.time_mask.frozen
+            assert layer.channel_mask.frozen
+
+    def test_effective_parameters_accounts_channels(self):
+        model = CombinedTCN()
+        full = effective_parameters(model)
+        model.c2.channel_mask.set_alive(
+            np.array([1, 1, 0, 0, 0, 0], dtype=float))
+        pruned = effective_parameters(model)
+        assert pruned < full
+
+    def test_channel_lam_zero_keeps_channels(self):
+        train, val = make_loaders()
+        model = CombinedTCN(seed=2)
+        trainer = PITTrainer(model, mse_loss, lam=0.0, channel_lam=0.0,
+                             warmup_epochs=1, max_prune_epochs=2,
+                             finetune_epochs=0)
+        trainer.fit(train, val)
+        for layer in channel_layers(model):
+            assert layer.alive_channels() == layer.out_channels

@@ -1,0 +1,104 @@
+"""Tests for network export and effective-parameter accounting."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core import (
+    PITConv1d,
+    effective_parameters,
+    export_network,
+    network_dilations,
+    network_summary,
+    pit_layers,
+)
+from repro.models import ResTCN, restcn_seed, temponet_seed
+from repro.nn import CausalConv1d
+
+RNG = np.random.default_rng(17)
+
+
+class TestExportNetwork:
+    def test_replaces_all_pit_layers(self):
+        seed = restcn_seed(width_mult=0.05, seed=0)
+        exported = export_network(seed)
+        assert pit_layers(exported) == []
+        assert len(pit_layers(seed)) == 8  # original untouched
+
+    def test_forward_identical_after_export(self):
+        seed = temponet_seed(width_mult=0.125, seed=0)
+        for i, layer in enumerate(pit_layers(seed)):
+            choices = [1, 2, 4]
+            layer.set_dilation(choices[i % 3])
+        seed.eval()
+        exported = export_network(seed)
+        exported.eval()
+        x = Tensor(RNG.standard_normal((2, 4, 256)))
+        assert np.allclose(seed(x).data, exported(x).data, atol=1e-10)
+
+    def test_export_is_deep_copy(self):
+        seed = restcn_seed(width_mult=0.05, seed=0)
+        exported = export_network(seed)
+        first_conv = [m for m in exported.modules()
+                      if isinstance(m, CausalConv1d) and m.kernel_size > 1][0]
+        first_conv.weight.data[...] = 0.0
+        assert not np.allclose(pit_layers(seed)[0].weight.data, 0.0)
+
+    def test_exported_dilations_preserved(self):
+        seed = restcn_seed(width_mult=0.05, seed=0)
+        target = (1, 2, 4, 8, 1, 2, 16, 32)
+        for layer, d in zip(pit_layers(seed), target):
+            layer.set_dilation(d)
+        exported = export_network(seed)
+        # The head conv (k=1) and downsample convs report d=1 too; check the
+        # searchable positions are present in order.
+        dils = network_dilations(exported)
+        searchable = [d for d in dils][:len(target) + 4]
+        assert all(d in dils for d in target)
+
+    def test_exported_param_count_matches_effective(self):
+        seed = temponet_seed(width_mult=0.125, seed=0)
+        for layer in pit_layers(seed):
+            layer.set_dilation(layer.mask.rf_max > 5 and 4 or 2)
+        assert export_network(seed).count_parameters() == effective_parameters(seed)
+
+
+class TestNetworkDilations:
+    def test_searchable_model(self):
+        seed = restcn_seed(width_mult=0.05, seed=0)
+        dils = network_dilations(seed)
+        assert len([m for m in seed.modules() if isinstance(m, PITConv1d)]) == 8
+
+    def test_reflects_set_dilation(self):
+        seed = restcn_seed(width_mult=0.05, seed=0)
+        for layer in pit_layers(seed):
+            layer.set_dilation(2)
+        dils = network_dilations(seed)
+        assert dils[:8].count(2) >= 8 or 2 in dils
+
+
+class TestEffectiveParameters:
+    def test_equals_count_at_d1(self):
+        """At d=1 nothing is masked except γ̂ (search-only params)."""
+        seed = restcn_seed(width_mult=0.05, seed=0)
+        gamma_count = sum(layer.mask.gamma_hat.data.size for layer in pit_layers(seed))
+        assert effective_parameters(seed) == seed.count_parameters() - gamma_count
+
+    def test_decreases_with_dilation(self):
+        seed = restcn_seed(width_mult=0.05, seed=0)
+        full = effective_parameters(seed)
+        for layer in pit_layers(seed):
+            layer.set_dilation(max(layer.mask.rf_max > 5 and 8 or 4, 2))
+        assert effective_parameters(seed) < full
+
+    def test_plain_model_is_count_parameters(self):
+        model = ResTCN(width_mult=0.05, rng=np.random.default_rng(0))
+        assert effective_parameters(model) == model.count_parameters()
+
+
+class TestNetworkSummary:
+    def test_fields(self):
+        seed = restcn_seed(width_mult=0.05, seed=0)
+        summary = network_summary(seed)
+        assert set(summary) == {"dilations", "params", "pit_params_effective"}
+        assert summary["params"] >= summary["pit_params_effective"]

@@ -1,0 +1,211 @@
+"""Tests for the 3-phase PIT trainer (paper Algorithm 1) and train_plain."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core import PITConv1d, PITTrainer, pit_layers, train_plain, evaluate
+from repro.data import ArrayDataset, DataLoader
+from repro.nn import Module, ReLU, Sequential, mse_loss
+
+RNG = np.random.default_rng(42)
+
+
+class TinyTCN(Module):
+    """Two searchable convs + pointwise head on a 1-channel sequence."""
+
+    def __init__(self, seed=0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.c1 = PITConv1d(1, 4, rf_max=9, rng=rng)
+        self.r1 = ReLU()
+        self.c2 = PITConv1d(4, 4, rf_max=9, rng=rng)
+        self.r2 = ReLU()
+        from repro.nn import CausalConv1d
+        self.head = CausalConv1d(4, 1, kernel_size=1, rng=rng)
+
+    def forward(self, x):
+        return self.head(self.r2(self.c2(self.r1(self.c1(x)))))
+
+
+def make_loaders(n=24, t=16, seed=0):
+    """Lag-1 echo task: y_t = x_{t-1}; solvable at any dilation."""
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, 1, t))
+    y = np.concatenate([np.zeros((n, 1, 1)), x[:, :, :-1]], axis=2)
+    ds = ArrayDataset(x, y)
+    train = ArrayDataset(ds.inputs[: n // 2], ds.targets[: n // 2])
+    val = ArrayDataset(ds.inputs[n // 2:], ds.targets[n // 2:])
+    return (DataLoader(train, 8, shuffle=True, rng=np.random.default_rng(1)),
+            DataLoader(val, 8))
+
+
+class TestPITTrainerMechanics:
+    def test_rejects_model_without_pit_layers(self):
+        with pytest.raises(ValueError):
+            PITTrainer(Sequential(ReLU()), mse_loss, lam=0.0)
+
+    def test_rejects_bad_regularizer(self):
+        with pytest.raises(ValueError):
+            PITTrainer(TinyTCN(), mse_loss, lam=0.0, regularizer="latency")
+
+    def test_phases_recorded(self):
+        train, val = make_loaders()
+        trainer = PITTrainer(TinyTCN(), mse_loss, lam=0.0, warmup_epochs=2,
+                             max_prune_epochs=3, prune_patience=5,
+                             finetune_epochs=2, finetune_patience=5)
+        result = trainer.fit(train, val)
+        assert result.warmup_epochs == 2
+        assert result.prune_epochs == 3
+        assert result.finetune_epochs == 2
+        assert len(result.history["warmup_val"]) == 2
+        assert len(result.history["prune_val"]) == 3
+        assert len(result.history["finetune_val"]) == 2
+
+    def test_timings_positive(self):
+        train, val = make_loaders()
+        trainer = PITTrainer(TinyTCN(), mse_loss, lam=0.0, warmup_epochs=1,
+                             max_prune_epochs=1, finetune_epochs=1)
+        result = trainer.fit(train, val)
+        assert result.warmup_seconds > 0
+        assert result.prune_seconds > 0
+        assert result.finetune_seconds > 0
+        assert result.total_seconds == pytest.approx(
+            result.warmup_seconds + result.prune_seconds + result.finetune_seconds)
+
+    def test_masks_frozen_after_fit(self):
+        train, val = make_loaders()
+        model = TinyTCN()
+        PITTrainer(model, mse_loss, lam=0.0, warmup_epochs=1,
+                   max_prune_epochs=1, finetune_epochs=1).fit(train, val)
+        assert all(layer.mask.frozen for layer in pit_layers(model))
+
+    def test_warmup_does_not_move_gamma(self):
+        train, val = make_loaders()
+        model = TinyTCN()
+        trainer = PITTrainer(model, mse_loss, lam=1.0, warmup_epochs=3,
+                             max_prune_epochs=0, finetune_epochs=0)
+        trainer.fit(train, val)
+        for layer in pit_layers(model):
+            assert np.allclose(layer.mask.gamma_hat.data, 1.0)
+
+    def test_zero_warmup_allowed(self):
+        train, val = make_loaders()
+        trainer = PITTrainer(TinyTCN(), mse_loss, lam=0.0, warmup_epochs=0,
+                             max_prune_epochs=1, finetune_epochs=1)
+        result = trainer.fit(train, val)
+        assert result.warmup_epochs == 0
+
+    def test_prune_early_stops(self):
+        # lr=0 -> validation loss never improves -> patience ends the loop.
+        train, val = make_loaders()
+        trainer = PITTrainer(TinyTCN(), mse_loss, lam=0.0, lr=0.0,
+                             warmup_epochs=0, max_prune_epochs=50,
+                             prune_patience=2, finetune_epochs=0)
+        result = trainer.fit(train, val)
+        # Epoch 1 sets the best; epochs 2-3 are stale -> patience(2) fires.
+        assert result.prune_epochs == 3
+
+    def test_result_dilations_match_model(self):
+        train, val = make_loaders()
+        model = TinyTCN()
+        result = PITTrainer(model, mse_loss, lam=0.0, warmup_epochs=1,
+                            max_prune_epochs=1, finetune_epochs=1).fit(train, val)
+        assert len(result.dilations) >= 2
+
+
+class TestRegularizationEffect:
+    def test_strong_lambda_prunes_to_max_dilation(self):
+        """With overwhelming λ, every layer should reach its max dilation."""
+        train, val = make_loaders()
+        model = TinyTCN()
+        trainer = PITTrainer(model, mse_loss, lam=10.0, gamma_lr=0.05,
+                             warmup_epochs=0, max_prune_epochs=30,
+                             prune_patience=30, finetune_epochs=0)
+        result = trainer.fit(train, val)
+        for layer in pit_layers(model):
+            assert layer.current_dilation() == 8
+
+    def test_zero_lambda_keeps_dilation_one(self):
+        """Without size pressure, the echo task keeps all taps alive."""
+        train, val = make_loaders()
+        model = TinyTCN()
+        trainer = PITTrainer(model, mse_loss, lam=0.0, warmup_epochs=1,
+                             max_prune_epochs=3, prune_patience=5,
+                             finetune_epochs=0)
+        trainer.fit(train, val)
+        # γ̂ may drift slightly but must stay above the 0.5 threshold.
+        for layer in pit_layers(model):
+            assert layer.current_dilation() in (1, 2)
+
+    def test_larger_lambda_gives_smaller_or_equal_model(self):
+        train, val = make_loaders()
+        sizes = []
+        for lam in (0.0, 10.0):
+            model = TinyTCN(seed=3)
+            trainer = PITTrainer(model, mse_loss, lam=lam, gamma_lr=0.05,
+                                 warmup_epochs=1, max_prune_epochs=20,
+                                 prune_patience=20, finetune_epochs=0)
+            result = trainer.fit(train, val)
+            sizes.append(result.effective_params)
+        assert sizes[1] <= sizes[0]
+
+    def test_flops_regularizer_runs(self):
+        train, val = make_loaders()
+        trainer = PITTrainer(TinyTCN(), mse_loss, lam=0.01, regularizer="flops",
+                             warmup_epochs=0, max_prune_epochs=2,
+                             finetune_epochs=0)
+        result = trainer.fit(train, val)
+        assert result.prune_epochs == 2
+
+
+class TestTraining:
+    def test_loss_improves_on_echo_task(self):
+        train, val = make_loaders()
+        model = TinyTCN()
+        before = evaluate(model, mse_loss, val)
+        trainer = PITTrainer(model, mse_loss, lam=0.0, lr=0.01, warmup_epochs=3,
+                             max_prune_epochs=5, prune_patience=5,
+                             finetune_epochs=5, finetune_patience=5)
+        result = trainer.fit(train, val)
+        assert result.best_val < before
+
+    def test_best_state_restored(self):
+        train, val = make_loaders()
+        model = TinyTCN()
+        result = PITTrainer(model, mse_loss, lam=0.0, warmup_epochs=1,
+                            max_prune_epochs=2, finetune_epochs=3,
+                            finetune_patience=3).fit(train, val)
+        final = evaluate(model, mse_loss, val)
+        assert final == pytest.approx(result.best_val, rel=1e-6)
+
+
+class TestTrainPlain:
+    def test_improves_and_reports(self):
+        train, val = make_loaders()
+        from repro.nn import CausalConv1d
+        model = Sequential(CausalConv1d(1, 4, 3, rng=np.random.default_rng(0)),
+                           ReLU(),
+                           CausalConv1d(4, 1, 1, rng=np.random.default_rng(1)))
+        before = evaluate(model, mse_loss, val)
+        result = train_plain(model, mse_loss, train, val, epochs=10, lr=0.01,
+                             patience=10)
+        assert result.best_val < before
+        assert result.epochs <= 10
+        assert result.seconds > 0
+        assert len(result.history) == result.epochs
+
+    def test_early_stopping_triggers(self):
+        train, val = make_loaders()
+        from repro.nn import CausalConv1d
+        model = Sequential(CausalConv1d(1, 1, 1, rng=np.random.default_rng(0)))
+        result = train_plain(model, mse_loss, train, val, epochs=100, lr=0.0,
+                             patience=3)
+        assert result.epochs < 100
+
+    def test_evaluate_requires_batches(self):
+        empty = DataLoader(ArrayDataset(np.zeros((0, 1, 4)), np.zeros((0, 1, 4))), 4)
+        from repro.nn import CausalConv1d
+        model = Sequential(CausalConv1d(1, 1, 1, rng=np.random.default_rng(0)))
+        with pytest.raises(ValueError):
+            evaluate(model, mse_loss, empty)

@@ -1,0 +1,140 @@
+"""Tests for sliding windows and time-series augmentation."""
+
+import numpy as np
+import pytest
+
+from repro.data.windowing import (
+    Augmenter,
+    channel_dropout,
+    jitter,
+    scale_channels,
+    sliding_windows,
+    time_mask_augment,
+    window_count,
+)
+
+RNG = np.random.default_rng(99)
+
+
+class TestWindowCount:
+    @pytest.mark.parametrize("length,window,shift,expected", [
+        (10, 4, 2, 4),
+        (10, 10, 1, 1),
+        (9, 10, 1, 0),
+        (256, 256, 64, 1),
+        (960, 256, 64, 12),  # the PPG-Dalia 30s case
+    ])
+    def test_values(self, length, window, shift, expected):
+        assert window_count(length, window, shift) == expected
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            window_count(10, 0, 1)
+        with pytest.raises(ValueError):
+            window_count(10, 4, 0)
+
+
+class TestSlidingWindows:
+    def test_shapes(self):
+        out = sliding_windows(RNG.standard_normal((3, 20)), window=8, shift=4)
+        assert out.shape == (4, 3, 8)
+
+    def test_content(self):
+        signal = np.arange(10, dtype=float).reshape(1, 10)
+        out = sliding_windows(signal, window=4, shift=3)
+        assert out[0, 0].tolist() == [0, 1, 2, 3]
+        assert out[1, 0].tolist() == [3, 4, 5, 6]
+        assert out[2, 0].tolist() == [6, 7, 8, 9]
+
+    def test_too_short_returns_empty(self):
+        out = sliding_windows(np.zeros((2, 5)), window=8, shift=1)
+        assert out.shape == (0, 2, 8)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            sliding_windows(np.zeros(10), 4, 2)
+
+
+class TestTransforms:
+    def test_jitter_changes_values_bounded(self):
+        x = np.zeros((2, 100))
+        out = jitter(x, 0.1, np.random.default_rng(0))
+        assert not np.allclose(out, 0.0)
+        assert np.abs(out).max() < 1.0
+
+    def test_jitter_zero_sigma_near_identity(self):
+        x = RNG.standard_normal((2, 10))
+        out = jitter(x, 0.0, np.random.default_rng(0))
+        assert np.allclose(out, x)
+
+    def test_scale_channels_per_channel_gain(self):
+        x = np.ones((3, 50))
+        out = scale_channels(x, 0.2, np.random.default_rng(0))
+        # Constant within a channel, different across channels.
+        assert np.allclose(out.std(axis=1), 0.0)
+        assert out[:, 0].std() > 0
+
+    def test_scale_rejects_1d(self):
+        with pytest.raises(ValueError):
+            scale_channels(np.zeros(5), 0.1, np.random.default_rng(0))
+
+    def test_time_mask_zeroes_span(self):
+        x = np.ones((2, 50))
+        out = time_mask_augment(x, 0.5, np.random.default_rng(3))
+        zero_cols = np.all(out == 0, axis=0)
+        if zero_cols.any():
+            idx = np.nonzero(zero_cols)[0]
+            assert np.all(np.diff(idx) == 1)  # contiguous
+            assert len(idx) <= 25
+
+    def test_time_mask_fraction_validation(self):
+        with pytest.raises(ValueError):
+            time_mask_augment(np.ones((1, 4)), 1.5, np.random.default_rng(0))
+
+    def test_time_mask_does_not_mutate_input(self):
+        x = np.ones((1, 20))
+        time_mask_augment(x, 0.5, np.random.default_rng(0))
+        assert np.allclose(x, 1.0)
+
+    def test_channel_dropout_keeps_one(self):
+        x = np.ones((4, 10))
+        out = channel_dropout(x, 1.0, np.random.default_rng(0))
+        alive = np.any(out != 0, axis=1)
+        assert alive.sum() == 1
+
+    def test_channel_dropout_probability(self):
+        rng = np.random.default_rng(0)
+        dropped = 0
+        for _ in range(200):
+            out = channel_dropout(np.ones((5, 4)), 0.3, rng)
+            dropped += (out.sum(axis=1) == 0).sum()
+        assert dropped / (200 * 5) == pytest.approx(0.3, abs=0.06)
+
+
+class TestAugmenter:
+    def test_disabled_is_identity(self):
+        aug = Augmenter()
+        x = RNG.standard_normal((3, 20))
+        assert np.allclose(aug(x), x)
+
+    def test_deterministic_given_rng(self):
+        x = RNG.standard_normal((3, 20))
+        a = Augmenter(jitter_sigma=0.1, rng=np.random.default_rng(5))(x)
+        b = Augmenter(jitter_sigma=0.1, rng=np.random.default_rng(5))(x)
+        assert np.allclose(a, b)
+
+    def test_batch_applies_independently(self):
+        aug = Augmenter(jitter_sigma=0.1, rng=np.random.default_rng(0))
+        xs = np.zeros((4, 2, 10))
+        out = aug.batch(xs)
+        assert out.shape == xs.shape
+        # Different noise per window.
+        assert not np.allclose(out[0], out[1])
+
+    def test_composition_order_runs_all(self):
+        aug = Augmenter(jitter_sigma=0.05, scale_sigma=0.1,
+                        time_mask_fraction=0.2, channel_drop_p=0.2,
+                        rng=np.random.default_rng(0))
+        out = aug(np.ones((4, 30)))
+        assert out.shape == (4, 30)
+        assert not np.allclose(out, 1.0)

@@ -1,0 +1,177 @@
+"""Tests for metrics, Pareto analysis and the DSE driver."""
+
+import numpy as np
+import pytest
+
+from repro.core import PITResult
+from repro.data import ArrayDataset, DataLoader
+from repro.evaluation import (
+    DSEPoint,
+    count_macs,
+    dominates,
+    evaluate_metric,
+    hypervolume_2d,
+    mae_metric,
+    nll_metric,
+    pareto_front,
+    pareto_points,
+    run_dse,
+    select_small_medium_large,
+)
+from repro.nn import CausalConv1d, Linear, Flatten, ReLU, Sequential, mse_loss
+
+RNG = np.random.default_rng(61)
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        assert dominates((1, 1), (2, 2))
+
+    def test_partial_dominance(self):
+        assert dominates((1, 2), (2, 2))
+        assert dominates((2, 1), (2, 2))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates((1, 1), (1, 1))
+
+    def test_tradeoff_points_incomparable(self):
+        assert not dominates((1, 3), (3, 1))
+        assert not dominates((3, 1), (1, 3))
+
+
+class TestParetoFront:
+    POINTS = [(1.0, 5.0), (2.0, 3.0), (3.0, 4.0), (4.0, 1.0), (5.0, 2.0)]
+
+    def test_front_indices(self):
+        assert pareto_front(self.POINTS) == [0, 1, 3]
+
+    def test_front_points_sorted(self):
+        assert pareto_points(self.POINTS) == [(1.0, 5.0), (2.0, 3.0), (4.0, 1.0)]
+
+    def test_single_point(self):
+        assert pareto_front([(1.0, 1.0)]) == [0]
+
+    def test_duplicates_both_kept(self):
+        # Equal points do not dominate each other; both survive.
+        front = pareto_front([(1.0, 1.0), (1.0, 1.0)])
+        assert front == [0, 1]
+
+    def test_all_dominated_by_one(self):
+        points = [(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]
+        assert pareto_front(points) == [0]
+
+
+class TestHypervolume:
+    def test_single_point_rectangle(self):
+        assert hypervolume_2d([(1.0, 1.0)], (3.0, 3.0)) == pytest.approx(4.0)
+
+    def test_point_outside_reference_ignored(self):
+        assert hypervolume_2d([(5.0, 5.0)], (3.0, 3.0)) == 0.0
+
+    def test_two_point_staircase(self):
+        # Boxes [1,4]x[2,4] and [2,4]x[1,4]: area 6 + 2? Sweep: strip [1,2]
+        # height (4-2)=2 -> 2; strip [2,4] height (4-1)=3 -> 6; total 8.
+        hv = hypervolume_2d([(1.0, 2.0), (2.0, 1.0)], (4.0, 4.0))
+        assert hv == pytest.approx(8.0)
+
+    def test_dominated_point_does_not_change_hv(self):
+        base = hypervolume_2d([(1.0, 2.0), (2.0, 1.0)], (4.0, 4.0))
+        more = hypervolume_2d([(1.0, 2.0), (2.0, 1.0), (3.0, 3.0)], (4.0, 4.0))
+        assert more == pytest.approx(base)
+
+    def test_better_front_larger_hv(self):
+        worse = hypervolume_2d([(2.0, 2.0)], (4.0, 4.0))
+        better = hypervolume_2d([(1.0, 1.0)], (4.0, 4.0))
+        assert better > worse
+
+    def test_empty(self):
+        assert hypervolume_2d([], (1.0, 1.0)) == 0.0
+
+
+class TestMetrics:
+    def test_evaluate_metric_averages_batches(self):
+        net = Sequential(CausalConv1d(1, 1, 1, rng=np.random.default_rng(0)))
+        x = RNG.standard_normal((6, 1, 4))
+        data = ArrayDataset(x, np.zeros((6, 1, 4)))
+        loader = DataLoader(data, 2)
+        value = evaluate_metric(net, loader, mse_loss)
+        assert np.isfinite(value)
+
+    def test_nll_metric_runs(self):
+        net = Sequential(CausalConv1d(88, 88, 1, rng=np.random.default_rng(0)))
+        data = ArrayDataset(RNG.standard_normal((4, 88, 6)),
+                            (RNG.random((4, 88, 6)) > 0.9).astype(float))
+        assert nll_metric(net, DataLoader(data, 2)) > 0
+
+    def test_mae_metric_runs(self):
+        net = Sequential(Flatten(), Linear(8, 1, rng=np.random.default_rng(0)))
+        data = ArrayDataset(RNG.standard_normal((4, 2, 4)),
+                            np.full((4, 1), 70.0))
+        assert mae_metric(net, DataLoader(data, 2)) > 0
+
+    def test_count_macs(self):
+        net = Sequential(CausalConv1d(2, 4, 3, rng=np.random.default_rng(0)))
+        assert count_macs(net, (1, 2, 10)) == 2 * 4 * 3 * 10
+
+    def test_empty_loader_raises(self):
+        net = Sequential(CausalConv1d(1, 1, 1, rng=np.random.default_rng(0)))
+        loader = DataLoader(ArrayDataset(np.zeros((0, 1, 4)), np.zeros((0, 1, 4))), 2)
+        with pytest.raises(ValueError):
+            evaluate_metric(net, loader, mse_loss)
+
+
+def _point(lam, params, loss):
+    return DSEPoint(lam=lam, warmup_epochs=1, dilations=(1,),
+                    params=params, loss=loss, result=None)
+
+
+class TestSelection:
+    POINTS = [_point(0.1, 100, 5.0), _point(0.2, 400, 3.0),
+              _point(0.3, 900, 2.0), _point(0.4, 250, 4.0)]
+
+    def test_small_is_fewest_params(self):
+        sel = select_small_medium_large(self.POINTS, reference_params=420)
+        assert sel["small"].params == 100
+
+    def test_large_is_most_params(self):
+        sel = select_small_medium_large(self.POINTS, reference_params=420)
+        assert sel["large"].params == 900
+
+    def test_medium_closest_to_reference(self):
+        sel = select_small_medium_large(self.POINTS, reference_params=420)
+        assert sel["medium"].params == 400
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            select_small_medium_large([], reference_params=100)
+
+
+class TestRunDSE:
+    def test_sweep_produces_grid_points(self):
+        from repro.core import PITConv1d
+        from repro.nn import Module
+
+        class Tiny(Module):
+            def __init__(self):
+                super().__init__()
+                self.c = PITConv1d(1, 2, rf_max=5, rng=np.random.default_rng(0))
+                self.h = CausalConv1d(2, 1, 1, rng=np.random.default_rng(1))
+
+            def forward(self, x):
+                return self.h(self.c(x))
+
+        x = RNG.standard_normal((8, 1, 10))
+        y = np.concatenate([np.zeros((8, 1, 1)), x[:, :, :-1]], axis=2)
+        train = DataLoader(ArrayDataset(x[:4], y[:4]), 4)
+        val = DataLoader(ArrayDataset(x[4:], y[4:]), 4)
+        result = run_dse(Tiny, mse_loss, train, val,
+                         lambdas=[0.0, 5.0], warmups=[0, 1],
+                         trainer_kwargs=dict(max_prune_epochs=2, finetune_epochs=1,
+                                             gamma_lr=0.1))
+        assert len(result.points) == 4
+        assert {p.lam for p in result.points} == {0.0, 5.0}
+        assert {p.warmup_epochs for p in result.points} == {0, 1}
+        front = result.pareto()
+        assert front  # at least one non-dominated point
+        assert result.smallest().params <= min(p.params for p in result.points)
+        assert result.best_loss().loss <= min(p.loss for p in result.points)

@@ -1,0 +1,166 @@
+"""Tests for int8 post-training quantization."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.data import ArrayDataset, DataLoader
+from repro.hw import (
+    FakeQuant,
+    QuantWrapper,
+    fake_quantize,
+    quantization_error,
+    quantize_array,
+    quantize_network,
+)
+from repro.nn import CausalConv1d, Linear, ReLU, Sequential
+
+RNG = np.random.default_rng(77)
+
+
+class TestQuantizeArray:
+    def test_symmetric_codes_in_range(self):
+        qa = quantize_array(RNG.standard_normal(1000), bits=8, symmetric=True)
+        assert qa.q.min() >= -128
+        assert qa.q.max() <= 127
+
+    def test_affine_codes_in_range(self):
+        qa = quantize_array(RNG.standard_normal(1000), bits=8, symmetric=False)
+        assert qa.q.min() >= 0
+        assert qa.q.max() <= 255
+
+    def test_symmetric_zero_point_is_zero(self):
+        qa = quantize_array(RNG.standard_normal(10), symmetric=True)
+        assert np.allclose(qa.zero_point, 0.0)
+
+    def test_round_trip_error_bounded_by_half_step(self):
+        x = RNG.standard_normal(500)
+        qa = quantize_array(x, bits=8, symmetric=True)
+        err = np.abs(qa.dequantize() - x)
+        assert err.max() <= float(np.max(qa.scale)) / 2 + 1e-12
+
+    def test_more_bits_less_error(self):
+        x = RNG.standard_normal(500)
+        e8 = np.abs(fake_quantize(x, bits=8) - x).max()
+        e4 = np.abs(fake_quantize(x, bits=4) - x).max()
+        assert e8 < e4
+
+    def test_per_channel_scales(self):
+        x = np.stack([np.ones(10) * 0.01, np.ones(10) * 100.0])
+        qa = quantize_array(x, per_channel_axis=0)
+        assert qa.scale.reshape(-1).shape == (2,)
+        # Per-channel keeps the small channel accurate.
+        assert np.allclose(qa.dequantize()[0], 0.01, rtol=0.01)
+
+    def test_per_tensor_crushes_small_channel(self):
+        x = np.stack([np.ones(10) * 0.01, np.ones(10) * 100.0])
+        qa = quantize_array(x)  # per-tensor
+        assert not np.allclose(qa.dequantize()[0], 0.01, rtol=0.2)
+
+    def test_all_zero_input(self):
+        qa = quantize_array(np.zeros(10))
+        assert np.allclose(qa.dequantize(), 0.0)
+
+    def test_constant_affine_input(self):
+        qa = quantize_array(np.full(10, 3.0), symmetric=False)
+        assert np.allclose(qa.dequantize(), 3.0, atol=0.05)
+
+    def test_bits_validation(self):
+        with pytest.raises(ValueError):
+            quantize_array(np.zeros(3), bits=1)
+        with pytest.raises(ValueError):
+            quantize_array(np.zeros(3), bits=17)
+
+
+class TestFakeQuant:
+    def test_calibration_records_range(self):
+        fq = FakeQuant()
+        fq(Tensor(np.array([-2.0, 3.0])))
+        fq(Tensor(np.array([-5.0, 1.0])))
+        assert fq.lo == -5.0
+        assert fq.hi == 3.0
+
+    def test_calibrating_is_identity(self):
+        fq = FakeQuant()
+        x = Tensor(RNG.standard_normal(10))
+        assert fq(x) is x
+
+    def test_quantizes_after_calibration(self):
+        fq = FakeQuant(bits=2)  # 4 levels: quantization visible
+        fq(Tensor(np.linspace(-1, 1, 100)))
+        fq.calibrating = False
+        out = fq(Tensor(np.linspace(-1, 1, 100)))
+        assert len(np.unique(out.data)) <= 4
+
+    def test_clamps_outliers(self):
+        fq = FakeQuant()
+        fq(Tensor(np.array([0.0, 1.0])))
+        fq.calibrating = False
+        out = fq(Tensor(np.array([10.0])))
+        assert out.data[0] <= 1.0
+
+    def test_uncalibrated_passthrough(self):
+        fq = FakeQuant()
+        fq.calibrating = False
+        x = Tensor(np.array([1.0, 2.0]))
+        assert np.allclose(fq(x).data, x.data)
+
+
+class TestQuantizeNetwork:
+    def make_net_and_loader(self):
+        rng = np.random.default_rng(0)
+        net = Sequential(
+            CausalConv1d(2, 4, 3, rng=rng), ReLU(),
+            CausalConv1d(4, 2, 3, rng=rng))
+        data = ArrayDataset(RNG.standard_normal((8, 2, 10)),
+                            RNG.standard_normal((8, 2, 10)))
+        return net, DataLoader(data, 4)
+
+    def test_wraps_all_conv_and_linear(self):
+        net, loader = self.make_net_and_loader()
+        quantized = quantize_network(net, loader)
+        wrappers = [m for m in quantized.modules() if isinstance(m, QuantWrapper)]
+        assert len(wrappers) == 2
+
+    def test_original_untouched(self):
+        net, loader = self.make_net_and_loader()
+        before = net[0].weight.data.copy()
+        quantize_network(net, loader)
+        assert np.allclose(net[0].weight.data, before)
+
+    def test_calibration_completed(self):
+        net, loader = self.make_net_and_loader()
+        quantized = quantize_network(net, loader)
+        for module in quantized.modules():
+            if isinstance(module, FakeQuant):
+                assert not module.calibrating
+                assert np.isfinite(module.lo)
+
+    def test_outputs_close_to_float(self):
+        net, loader = self.make_net_and_loader()
+        net.eval()
+        quantized = quantize_network(net, loader)
+        err = quantization_error(net, quantized, loader)
+        assert err < 0.05  # int8 should be within a few percent
+
+    def test_weights_are_quantized(self):
+        net, loader = self.make_net_and_loader()
+        quantized = quantize_network(net, loader, bits=4)
+        conv = [m for m in quantized.modules() if isinstance(m, CausalConv1d)][0]
+        # 4-bit weights: at most 16 distinct values per output channel.
+        for ch in range(conv.weight.data.shape[0]):
+            assert len(np.unique(conv.weight.data[ch])) <= 16
+
+    def test_quantizes_linear_layers(self):
+        rng = np.random.default_rng(0)
+        net = Sequential(Linear(4, 3, rng=rng))
+        data = ArrayDataset(RNG.standard_normal((6, 4)), RNG.standard_normal((6, 3)))
+        quantized = quantize_network(net, DataLoader(data, 3))
+        assert isinstance(quantized[0], QuantWrapper)
+
+    def test_lower_bits_higher_error(self):
+        net, loader = self.make_net_and_loader()
+        net.eval()
+        e8 = quantization_error(net, quantize_network(net, loader, bits=8), loader)
+        e3 = quantization_error(net, quantize_network(net, loader, bits=3), loader)
+        assert e3 > e8

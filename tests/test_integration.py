@@ -1,0 +1,154 @@
+"""Integration tests: full pipelines across modules.
+
+These exercise the paper's claims end-to-end at laptop scale:
+seed -> PIT search -> export -> quantize -> GAP8 deployment, plus the
+PIT-vs-baseline comparisons.
+"""
+
+import numpy as np
+import pytest
+
+from repro import PITTrainer, evaluate, export_network, train_plain
+from repro.baselines import ProxylessTrainer, proxylessify
+from repro.core import pit_layers
+from repro.data import (
+    DataLoader,
+    NottinghamConfig,
+    PPGDaliaConfig,
+    make_nottingham,
+    make_ppg_dalia,
+    train_val_test_split,
+)
+from repro.evaluation import pareto_front
+from repro.hw import GAP8Model, deploy, quantize_network
+from repro.models import restcn_seed, temponet_seed
+from repro.nn import mae_loss, polyphonic_nll
+
+
+@pytest.fixture(scope="module")
+def ppg_loaders():
+    cfg = PPGDaliaConfig(num_subjects=2, seconds_per_subject=40)
+    ds = make_ppg_dalia(cfg, seed=0)
+    train, val, test = train_val_test_split(ds, rng=np.random.default_rng(0))
+    return (DataLoader(train, 16, shuffle=True, rng=np.random.default_rng(1)),
+            DataLoader(val, 16), DataLoader(test, 16))
+
+
+@pytest.fixture(scope="module")
+def music_loaders():
+    cfg = NottinghamConfig(num_tunes=12, seq_len=24)
+    ds = make_nottingham(cfg, seed=0)
+    train, val, test = train_val_test_split(ds, rng=np.random.default_rng(0))
+    return (DataLoader(train, 4, shuffle=True, rng=np.random.default_rng(1)),
+            DataLoader(val, 4), DataLoader(test, 4))
+
+
+class TestPPGPipeline:
+    def test_pit_search_and_deploy(self, ppg_loaders):
+        train, val, test = ppg_loaders
+        seed = temponet_seed(width_mult=0.125, seed=0)
+        trainer = PITTrainer(seed, mae_loss, lam=2e-4, gamma_lr=0.02,
+                             warmup_epochs=1, max_prune_epochs=4,
+                             prune_patience=4, finetune_epochs=2,
+                             finetune_patience=2)
+        result = trainer.fit(train, val)
+        assert np.isfinite(result.best_val)
+        assert len(result.dilations) == 7
+
+        network = export_network(seed)
+        report = deploy(network, mae_loss, train, test, (1, 4, 256),
+                        name="PIT TEMPONet")
+        assert report.params == network.count_parameters()
+        assert report.latency_ms > 0
+        assert np.isfinite(report.quantized_loss)
+
+    def test_size_pressure_reduces_deployment_cost(self, ppg_loaders):
+        """High-λ PIT output must be smaller AND faster than the seed."""
+        train, val, _ = ppg_loaders
+        gap8 = GAP8Model()
+
+        seed_net = export_network(temponet_seed(width_mult=0.125, seed=0))
+        seed_report = gap8.estimate(seed_net, (1, 4, 256))
+
+        searched = temponet_seed(width_mult=0.125, seed=0)
+        trainer = PITTrainer(searched, mae_loss, lam=5.0, gamma_lr=0.1,
+                             warmup_epochs=0, max_prune_epochs=6,
+                             prune_patience=6, finetune_epochs=0)
+        result = trainer.fit(train, val)
+        pruned_net = export_network(searched)
+        pruned_report = gap8.estimate(pruned_net, (1, 4, 256))
+
+        assert pruned_net.count_parameters() < seed_net.count_parameters()
+        assert pruned_report.latency_ms < seed_report.latency_ms
+        assert max(result.dilations) > 1
+
+
+class TestMusicPipeline:
+    def test_pit_on_restcn(self, music_loaders):
+        train, val, _ = music_loaders
+        seed = restcn_seed(width_mult=0.04, seed=0)
+        trainer = PITTrainer(seed, polyphonic_nll, lam=1e-3, gamma_lr=0.02,
+                             warmup_epochs=1, max_prune_epochs=2,
+                             prune_patience=2, finetune_epochs=1,
+                             finetune_patience=1)
+        result = trainer.fit(train, val)
+        assert len(result.dilations) == 8
+        assert np.isfinite(result.best_val)
+        network = export_network(seed)
+        out = evaluate(network, polyphonic_nll, val)
+        assert out == pytest.approx(result.best_val, rel=0.2)
+
+
+class TestBaselineComparison:
+    def test_pit_and_proxyless_same_space(self, ppg_loaders):
+        train, val, _ = ppg_loaders
+        pit_seed = temponet_seed(width_mult=0.125, seed=0)
+        supernet = proxylessify(pit_seed, rng=np.random.default_rng(0))
+
+        px_trainer = ProxylessTrainer(supernet, mae_loss, lam=0.0,
+                                      warmup_epochs=1, max_search_epochs=1,
+                                      search_patience=2, finetune_epochs=1,
+                                      finetune_patience=1)
+        px_result = px_trainer.fit(train, val)
+        assert len(px_result.dilations) == 7
+        # Every chosen dilation is reachable by PIT's search space.
+        for layer, d in zip(pit_layers(pit_seed), px_result.dilations):
+            from repro.core import layer_choices
+            assert d in layer_choices(layer)
+
+    def test_pit_step_cost_cheaper_than_supernet_storage(self, ppg_loaders):
+        """The supernet holds one weight set per branch; PIT holds one."""
+        pit_seed = temponet_seed(width_mult=0.125, seed=0)
+        supernet = proxylessify(pit_seed, rng=np.random.default_rng(0))
+        assert supernet.count_parameters() > pit_seed.count_parameters()
+
+
+class TestQuantizationPipeline:
+    def test_quantized_accuracy_close_to_float(self, ppg_loaders):
+        train, val, test = ppg_loaders
+        seed = temponet_seed(width_mult=0.125, seed=0)
+        network = export_network(seed)
+        train_plain(network, mae_loss, train, val, epochs=3, patience=3)
+        float_mae = evaluate(network, mae_loss, test)
+        quantized = quantize_network(network, train)
+        quant_mae = evaluate(quantized, mae_loss, test)
+        # int8 PTQ costs at most a few percent on this task.
+        assert quant_mae == pytest.approx(float_mae, rel=0.10)
+
+
+class TestParetoShape:
+    def test_lambda_sweep_traces_tradeoff(self, ppg_loaders):
+        """A (tiny) λ sweep yields size-diverse points with a valid front."""
+        train, val, _ = ppg_loaders
+        points = []
+        for lam in (0.0, 5.0):
+            seed = temponet_seed(width_mult=0.125, seed=0)
+            trainer = PITTrainer(seed, mae_loss, lam=lam, gamma_lr=0.1,
+                                 warmup_epochs=1, max_prune_epochs=4,
+                                 prune_patience=4, finetune_epochs=1,
+                                 finetune_patience=1)
+            result = trainer.fit(train, val)
+            points.append((result.effective_params, result.best_val))
+        sizes = [p for p, _ in points]
+        assert sizes[1] < sizes[0]  # stronger λ -> smaller model
+        assert pareto_front(points)  # front is non-empty/consistent

@@ -1,0 +1,172 @@
+"""Tests for the ResTCN and TEMPONet seed architectures."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core import PITConv1d, pit_layers, search_space_size
+from repro.models import (
+    RESTCN_HAND_DILATIONS,
+    RESTCN_RECEPTIVE_FIELDS,
+    ResTCN,
+    TEMPONET_HAND_DILATIONS,
+    TEMPONET_RECEPTIVE_FIELDS,
+    TEMPONet,
+    restcn_fixed,
+    restcn_hand_tuned,
+    restcn_seed,
+    temponet_fixed,
+    temponet_hand_tuned,
+    temponet_seed,
+)
+
+RNG = np.random.default_rng(3)
+
+
+class TestConstants:
+    def test_restcn_hand_dilations_match_paper_table1(self):
+        assert RESTCN_HAND_DILATIONS == (1, 1, 2, 2, 4, 4, 8, 8)
+
+    def test_temponet_hand_dilations_match_paper_table1(self):
+        assert TEMPONET_HAND_DILATIONS == (2, 2, 1, 4, 4, 8, 8)
+
+    def test_receptive_fields_consistent(self):
+        # rf = (k-1)*d + 1 with base kernel 5.
+        assert RESTCN_RECEPTIVE_FIELDS == (5, 5, 9, 9, 17, 17, 33, 33)
+        assert TEMPONET_RECEPTIVE_FIELDS == (5, 5, 5, 9, 9, 17, 17)
+
+
+class TestResTCN:
+    def test_searchable_has_8_pit_layers(self):
+        assert len(pit_layers(restcn_seed(width_mult=0.05))) == 8
+
+    def test_pit_rf_max_match_receptive_fields(self):
+        layers = pit_layers(restcn_seed(width_mult=0.05))
+        assert tuple(layer.rf_max for layer in layers) == RESTCN_RECEPTIVE_FIELDS
+
+    def test_fixed_has_no_pit_layers(self):
+        assert pit_layers(restcn_fixed(width_mult=0.05)) == []
+
+    def test_forward_shape(self):
+        model = restcn_fixed(width_mult=0.05)
+        out = model(Tensor(RNG.standard_normal((2, 88, 30))))
+        assert out.shape == (2, 88, 30)
+
+    def test_hand_tuned_kernel_sizes(self):
+        """Fixed-dilation convs keep the receptive field: k=5 everywhere."""
+        model = restcn_hand_tuned(width_mult=0.05)
+        from repro.nn import CausalConv1d
+        convs = [m for m in model.modules()
+                 if isinstance(m, CausalConv1d) and m.kernel_size > 1]
+        assert all(c.kernel_size == 5 for c in convs)
+        assert tuple(c.dilation for c in convs) == RESTCN_HAND_DILATIONS
+
+    def test_seed_kernel_equals_rf(self):
+        model = restcn_fixed(None, width_mult=0.05)
+        from repro.nn import CausalConv1d
+        convs = [m for m in model.modules()
+                 if isinstance(m, CausalConv1d) and m.kernel_size > 1]
+        assert tuple(c.kernel_size for c in convs) == RESTCN_RECEPTIVE_FIELDS
+
+    def test_full_scale_parameter_counts(self):
+        """Seed ≈ 2.9M, hand-tuned ≈ 0.9M (paper: 3.53M / 1.05M, same shape:
+        the seed is ~3.2-3.4x larger than the hand-tuned network)."""
+        seed_params = restcn_fixed(None).count_parameters()
+        hand_params = restcn_hand_tuned().count_parameters()
+        assert 2.5e6 < seed_params < 4e6
+        assert 0.7e6 < hand_params < 1.3e6
+        assert 2.8 < seed_params / hand_params < 3.9
+
+    def test_search_space_near_1e5(self):
+        assert 1e5 <= search_space_size(restcn_seed(width_mult=0.05)) < 2e5
+
+    def test_causality(self):
+        model = restcn_fixed(width_mult=0.05)
+        model.eval()
+        x = RNG.standard_normal((1, 88, 20))
+        base = model(Tensor(x)).data
+        x2 = x.copy()
+        x2[:, :, -1] += 5.0
+        out = model(Tensor(x2)).data
+        assert np.allclose(out[:, :, :-1], base[:, :, :-1])
+
+    def test_wrong_dilation_count_rejected(self):
+        with pytest.raises(ValueError):
+            ResTCN(dilations=(1, 2, 4), width_mult=0.05)
+
+    def test_receptive_field_property(self):
+        model = restcn_fixed(None, width_mult=0.05)
+        # Sum of (rf - 1) over the 8 convs + 1.
+        assert model.receptive_field == sum(rf - 1 for rf in RESTCN_RECEPTIVE_FIELDS) + 1
+
+    def test_width_mult_scales_params(self):
+        small = restcn_fixed(width_mult=0.1).count_parameters()
+        big = restcn_fixed(width_mult=0.2).count_parameters()
+        assert big > 2 * small
+
+    def test_gradients_reach_all_parameters(self):
+        model = restcn_seed(width_mult=0.05)
+        out = model(Tensor(RNG.standard_normal((1, 88, 12))))
+        out.sum().backward()
+        missing = [name for name, p in model.named_parameters() if p.grad is None]
+        assert missing == []
+
+
+class TestTEMPONet:
+    def test_searchable_has_7_pit_layers(self):
+        assert len(pit_layers(temponet_seed(width_mult=0.125))) == 7
+
+    def test_pit_rf_max_match_receptive_fields(self):
+        layers = pit_layers(temponet_seed(width_mult=0.125))
+        assert tuple(layer.rf_max for layer in layers) == TEMPONET_RECEPTIVE_FIELDS
+
+    def test_forward_shape(self):
+        model = temponet_fixed(width_mult=0.125)
+        out = model(Tensor(RNG.standard_normal((3, 4, 256))))
+        assert out.shape == (3, 1)
+
+    def test_rejects_wrong_input_length(self):
+        model = temponet_fixed(width_mult=0.125)
+        with pytest.raises(ValueError):
+            model(Tensor(RNG.standard_normal((1, 4, 128))))
+
+    def test_full_scale_parameter_counts(self):
+        """Seed ≈ 0.8M, hand-tuned ≈ 0.4M (paper: 939K / 423K)."""
+        seed_params = temponet_fixed(None).count_parameters()
+        hand_params = temponet_hand_tuned().count_parameters()
+        assert 0.6e6 < seed_params < 1.1e6
+        assert 0.3e6 < hand_params < 0.55e6
+        assert 1.6 < seed_params / hand_params < 2.6
+
+    def test_search_space_near_1e4(self):
+        assert 1e4 <= search_space_size(temponet_seed(width_mult=0.125)) < 2e4
+
+    def test_hand_tuned_dilations_applied(self):
+        model = temponet_hand_tuned(width_mult=0.125)
+        from repro.nn import CausalConv1d
+        convs = [m for m in model.modules()
+                 if isinstance(m, CausalConv1d) and m.kernel_size > 1]
+        assert tuple(c.dilation for c in convs) == TEMPONET_HAND_DILATIONS
+
+    def test_wrong_dilation_count_rejected(self):
+        with pytest.raises(ValueError):
+            TEMPONet(dilations=(1, 2), width_mult=0.125)
+
+    def test_gradients_reach_all_parameters(self):
+        model = temponet_seed(width_mult=0.125)
+        out = model(Tensor(RNG.standard_normal((2, 4, 256))))
+        out.sum().backward()
+        missing = [name for name, p in model.named_parameters() if p.grad is None]
+        assert missing == []
+
+    def test_custom_input_length(self):
+        model = TEMPONet(input_length=128, width_mult=0.125,
+                         rng=np.random.default_rng(0))
+        assert model(Tensor(RNG.standard_normal((1, 4, 128)))).shape == (1, 1)
+
+    def test_deterministic_construction(self):
+        a = temponet_seed(width_mult=0.125, seed=9)
+        b = temponet_seed(width_mult=0.125, seed=9)
+        for (na, pa), (nb, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert na == nb
+            assert np.allclose(pa.data, pb.data)

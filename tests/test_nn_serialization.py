@@ -1,0 +1,100 @@
+"""Tests for npz model checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.models import temponet_seed
+from repro.nn import BatchNorm1d, CausalConv1d, Linear, ReLU, Sequential
+from repro.nn.serialization import load_model, load_state, save_model, save_state
+
+RNG = np.random.default_rng(404)
+
+
+def make_net(seed=0):
+    from repro.nn import GlobalAvgPool1d
+    rng = np.random.default_rng(seed)
+    return Sequential(CausalConv1d(2, 4, 3, rng=rng), BatchNorm1d(4), ReLU(),
+                      GlobalAvgPool1d(), Linear(4, 2, rng=rng))
+
+
+class TestStateRoundTrip:
+    def test_save_and_load_state(self, tmp_path):
+        state = {"a": np.arange(6.0).reshape(2, 3), "b": np.ones(4)}
+        path = tmp_path / "ckpt.npz"
+        save_state(state, path)
+        loaded, metadata = load_state(path)
+        assert metadata is None
+        assert set(loaded) == {"a", "b"}
+        assert np.allclose(loaded["a"], state["a"])
+
+    def test_metadata_round_trip(self, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        meta = {"lam": 1e-3, "dilations": [1, 2, 4], "name": "pit-small"}
+        save_state({"w": np.zeros(2)}, path, metadata=meta)
+        _, loaded = load_state(path)
+        assert loaded == meta
+
+    def test_reserved_key_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_state({"__repro_metadata__": np.zeros(1)}, tmp_path / "x.npz")
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "nested" / "dir" / "ckpt.npz"
+        save_state({"w": np.zeros(1)}, path)
+        assert path.exists()
+
+
+class TestModelRoundTrip:
+    def test_weights_restored_exactly(self, tmp_path):
+        source = make_net(seed=1)
+        target = make_net(seed=2)
+        path = tmp_path / "model.npz"
+        save_model(source, path)
+        load_model(target, path)
+        for (na, pa), (nb, pb) in zip(source.named_parameters(),
+                                      target.named_parameters()):
+            assert na == nb
+            assert np.allclose(pa.data, pb.data)
+
+    def test_buffers_restored(self, tmp_path):
+        source = make_net(seed=1)
+        # Move the BatchNorm running stats away from init.
+        source(Tensor(RNG.standard_normal((8, 2, 10)) * 3 + 1))
+        target = make_net(seed=2)
+        path = tmp_path / "model.npz"
+        save_model(source, path)
+        load_model(target, path)
+        bn_source = source[1]
+        bn_target = target[1]
+        assert np.allclose(bn_source.running_mean, bn_target.running_mean)
+
+    def test_outputs_identical_after_restore(self, tmp_path):
+        source = make_net(seed=1)
+        source.eval()
+        target = make_net(seed=2)
+        target.eval()
+        path = tmp_path / "model.npz"
+        save_model(source, path)
+        load_model(target, path)
+        x = Tensor(RNG.standard_normal((3, 2, 8)))
+        assert np.allclose(source(x).data, target(x).data)
+
+    def test_architecture_mismatch_raises(self, tmp_path):
+        path = tmp_path / "model.npz"
+        save_model(make_net(), path)
+        other = Sequential(Linear(3, 3, rng=np.random.default_rng(0)))
+        with pytest.raises(KeyError):
+            load_model(other, path)
+
+    def test_searchable_model_round_trip(self, tmp_path):
+        """γ̂ parameters checkpoint like any other parameter."""
+        source = temponet_seed(width_mult=0.125, seed=1)
+        from repro.core import pit_layers
+        pit_layers(source)[0].set_dilation(4)
+        path = tmp_path / "seed.npz"
+        save_model(source, path, metadata={"phase": "pruned"})
+        target = temponet_seed(width_mult=0.125, seed=2)
+        meta = load_model(target, path)
+        assert meta == {"phase": "pruned"}
+        assert pit_layers(target)[0].current_dilation() == 4

@@ -1,0 +1,256 @@
+"""Tests for optimizers, schedulers, clipping and early stopping."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import Parameter
+from repro.optim import (
+    Adam,
+    CosineAnnealingLR,
+    EarlyStopping,
+    ReduceLROnPlateau,
+    SGD,
+    StepLR,
+    clip_grad_norm,
+)
+
+
+def quadratic_step(param, optimizer, target=0.0):
+    """One optimization step on f(p) = 0.5 * ||p - target||^2."""
+    optimizer.zero_grad()
+    param.grad = param.data - target
+    optimizer.step()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([10.0, -10.0]))
+        opt = SGD([p], lr=0.5)
+        for _ in range(50):
+            quadratic_step(p, opt)
+        assert np.allclose(p.data, 0.0, atol=1e-6)
+
+    def test_plain_sgd_update_rule(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1)
+        p.grad = np.array([2.0])
+        opt.step()
+        assert p.data[0] == pytest.approx(0.8)
+
+    def test_momentum_accumulates(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        p.grad = np.array([1.0])
+        opt.step()   # v=1, p=0.9
+        p.grad = np.array([1.0])
+        opt.step()   # v=1.9, p=0.71
+        assert p.data[0] == pytest.approx(0.71)
+
+    def test_nesterov_differs_from_heavy_ball(self):
+        p1 = Parameter(np.array([1.0]))
+        p2 = Parameter(np.array([1.0]))
+        heavy = SGD([p1], lr=0.1, momentum=0.9)
+        nesterov = SGD([p2], lr=0.1, momentum=0.9, nesterov=True)
+        for _ in range(3):
+            quadratic_step(p1, heavy)
+            quadratic_step(p2, nesterov)
+        assert p1.data[0] != pytest.approx(p2.data[0])
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, nesterov=True)
+
+    def test_weight_decay_shrinks_params(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.array([0.0])
+        opt.step()
+        assert p.data[0] == pytest.approx(0.95)
+
+    def test_skips_params_without_grad(self):
+        p = Parameter(np.array([1.0]))
+        SGD([p], lr=0.1).step()
+        assert p.data[0] == 1.0
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0]))
+        opt = Adam([p], lr=0.2)
+        for _ in range(200):
+            quadratic_step(p, opt)
+        assert np.allclose(p.data, 0.0, atol=1e-4)
+
+    def test_first_step_size_is_lr(self):
+        # With bias correction, the first Adam step is ~lr * sign(grad).
+        p = Parameter(np.array([1.0]))
+        opt = Adam([p], lr=0.01)
+        p.grad = np.array([123.0])
+        opt.step()
+        assert p.data[0] == pytest.approx(1.0 - 0.01, rel=1e-4)
+
+    def test_decoupled_weight_decay(self):
+        p = Parameter(np.array([1.0]))
+        opt = Adam([p], lr=0.1, weight_decay=0.5, decoupled=True)
+        p.grad = np.array([0.0])
+        opt.step()
+        # Decoupled decay: p -= lr * wd * p (the Adam update itself is 0).
+        assert p.data[0] == pytest.approx(1.0 - 0.1 * 0.5)
+
+    def test_param_groups_have_own_lr(self):
+        p1 = Parameter(np.array([1.0]))
+        p2 = Parameter(np.array([1.0]))
+        opt = Adam([{"params": [p1], "lr": 0.1}, {"params": [p2], "lr": 0.0}])
+        for p in (p1, p2):
+            p.grad = np.array([1.0])
+        opt.step()
+        assert p1.data[0] < 1.0
+        assert p2.data[0] == 1.0
+
+    def test_zero_grad_clears_all(self):
+        p = Parameter(np.array([1.0]))
+        opt = Adam([p])
+        p.grad = np.array([1.0])
+        opt.zero_grad()
+        assert p.grad is None
+
+
+class TestSchedulers:
+    def test_step_lr(self):
+        p = Parameter(np.zeros(1))
+        opt = SGD([p], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        sched.step()
+        assert opt.get_lr() == pytest.approx(1.0)
+        sched.step()
+        assert opt.get_lr() == pytest.approx(0.1)
+
+    def test_step_lr_validation(self):
+        with pytest.raises(ValueError):
+            StepLR(SGD([Parameter(np.zeros(1))], lr=1.0), step_size=0)
+
+    def test_cosine_reaches_eta_min(self):
+        opt = SGD([Parameter(np.zeros(1))], lr=1.0)
+        sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.01)
+        for _ in range(10):
+            sched.step()
+        assert opt.get_lr() == pytest.approx(0.01)
+
+    def test_cosine_monotone_decrease(self):
+        opt = SGD([Parameter(np.zeros(1))], lr=1.0)
+        sched = CosineAnnealingLR(opt, t_max=5)
+        lrs = []
+        for _ in range(5):
+            sched.step()
+            lrs.append(opt.get_lr())
+        assert all(a > b for a, b in zip(lrs, lrs[1:]))
+
+    def test_plateau_reduces_after_patience(self):
+        opt = SGD([Parameter(np.zeros(1))], lr=1.0)
+        sched = ReduceLROnPlateau(opt, factor=0.5, patience=2)
+        sched.step(1.0)
+        for _ in range(3):
+            sched.step(1.0)  # no improvement
+        assert opt.get_lr() == pytest.approx(0.5)
+
+    def test_plateau_improvement_resets(self):
+        opt = SGD([Parameter(np.zeros(1))], lr=1.0)
+        sched = ReduceLROnPlateau(opt, factor=0.5, patience=2)
+        sched.step(1.0)
+        sched.step(1.1)
+        sched.step(0.9)  # improvement
+        sched.step(1.0)
+        sched.step(1.0)
+        assert opt.get_lr() == pytest.approx(1.0)
+
+    def test_plateau_mode_validation(self):
+        with pytest.raises(ValueError):
+            ReduceLROnPlateau(SGD([Parameter(np.zeros(1))], lr=1.0), mode="bad")
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        p = Parameter(np.zeros(3))
+        p.grad = np.array([1.0, 0.0, 0.0])
+        norm = clip_grad_norm([p], max_norm=2.0)
+        assert norm == pytest.approx(1.0)
+        assert np.allclose(p.grad, [1.0, 0.0, 0.0])
+
+    def test_clips_above_threshold(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([3.0, 4.0])  # norm 5
+        clip_grad_norm([p], max_norm=1.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_global_norm_across_params(self):
+        p1, p2 = Parameter(np.zeros(1)), Parameter(np.zeros(1))
+        p1.grad = np.array([3.0])
+        p2.grad = np.array([4.0])
+        norm = clip_grad_norm([p1, p2], max_norm=5.0)
+        assert norm == pytest.approx(5.0)
+
+    def test_ignores_none_grads(self):
+        p = Parameter(np.zeros(1))
+        assert clip_grad_norm([p], 1.0) == 0.0
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience(self):
+        stopper = EarlyStopping(patience=2)
+        stopper.update(1.0)
+        stopper.update(1.1)
+        assert not stopper.should_stop
+        stopper.update(1.2)
+        assert stopper.should_stop
+
+    def test_improvement_resets_counter(self):
+        stopper = EarlyStopping(patience=2)
+        stopper.update(1.0)
+        stopper.update(1.5)
+        stopper.update(0.5)
+        stopper.update(0.9)
+        assert not stopper.should_stop
+
+    def test_min_delta(self):
+        stopper = EarlyStopping(patience=1, min_delta=0.1)
+        stopper.update(1.0)
+        assert not stopper.update(0.95)  # within min_delta: not an improvement
+        assert stopper.should_stop
+
+    def test_max_mode(self):
+        stopper = EarlyStopping(patience=1, mode="max")
+        stopper.update(0.5)
+        assert stopper.update(0.9)
+        assert not stopper.should_stop
+
+    def test_best_state_checkpoint(self):
+        stopper = EarlyStopping(patience=5)
+        stopper.update(1.0, state={"w": np.array([1.0])})
+        stopper.update(2.0, state={"w": np.array([2.0])})
+        assert stopper.best_state["w"][0] == 1.0
+
+    def test_state_is_deep_copied(self):
+        stopper = EarlyStopping(patience=5)
+        state = {"w": np.array([1.0])}
+        stopper.update(1.0, state=state)
+        state["w"][0] = 99.0
+        assert stopper.best_state["w"][0] == 1.0
+
+    def test_reset(self):
+        stopper = EarlyStopping(patience=1)
+        stopper.update(1.0)
+        stopper.update(2.0)
+        stopper.reset()
+        assert not stopper.should_stop
+        assert stopper.best is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(mode="bad")
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=0)

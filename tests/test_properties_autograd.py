@@ -1,0 +1,135 @@
+"""Property-based tests (hypothesis) for the autograd engine."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.autograd import Tensor, check_gradients, conv1d_causal
+
+settings.register_profile("repro", max_examples=25, deadline=None)
+settings.load_profile("repro")
+
+
+def arrays(draw, shape, lo=-3.0, hi=3.0):
+    n = int(np.prod(shape))
+    values = draw(st.lists(
+        st.floats(lo, hi, allow_nan=False, allow_infinity=False),
+        min_size=n, max_size=n))
+    return np.array(values).reshape(shape)
+
+
+shapes_2d = st.tuples(st.integers(1, 4), st.integers(1, 4))
+
+
+@st.composite
+def tensor_pairs_broadcastable(draw):
+    """Two shapes that numpy can broadcast together."""
+    base = draw(shapes_2d)
+    variant = draw(st.sampled_from(["same", "row", "col", "scalar"]))
+    if variant == "same":
+        other = base
+    elif variant == "row":
+        other = (1, base[1])
+    elif variant == "col":
+        other = (base[0], 1)
+    else:
+        other = ()
+    a = arrays(draw, base)
+    b = arrays(draw, other)
+    return a, b
+
+
+class TestAlgebraicIdentities:
+    @given(tensor_pairs_broadcastable())
+    def test_addition_commutes(self, pair):
+        a, b = pair
+        left = (Tensor(a) + Tensor(b)).data
+        right = (Tensor(b) + Tensor(a)).data
+        assert np.allclose(left, right)
+
+    @given(tensor_pairs_broadcastable())
+    def test_distributivity(self, pair):
+        a, b = pair
+        c = 1.7
+        left = ((Tensor(a) + Tensor(b)) * c).data
+        right = (Tensor(a) * c + Tensor(b) * c).data
+        assert np.allclose(left, right)
+
+    @given(tensor_pairs_broadcastable())
+    def test_sum_of_parts_equals_sum_of_concat(self, pair):
+        a, b = pair
+        total = Tensor(a).sum().item() + Tensor(b).sum().item()
+        assert np.isclose((Tensor(a).sum() + Tensor(b).sum()).item(), total)
+
+
+class TestGradientProperties:
+    @given(tensor_pairs_broadcastable())
+    def test_broadcast_mul_gradients(self, pair):
+        a_data, b_data = pair
+        a = Tensor(a_data + 0.1, requires_grad=True)
+        b = Tensor(b_data + 0.1, requires_grad=True)
+        check_gradients(lambda x, y: x * y, [a, b], atol=1e-4)
+
+    @given(shapes_2d)
+    def test_grad_of_sum_is_ones(self, shape):
+        a = Tensor(np.random.default_rng(0).standard_normal(shape),
+                   requires_grad=True)
+        a.sum().backward()
+        assert np.allclose(a.grad, 1.0)
+
+    @given(shapes_2d)
+    def test_grad_of_mean_is_inverse_count(self, shape):
+        a = Tensor(np.random.default_rng(0).standard_normal(shape),
+                   requires_grad=True)
+        a.mean().backward()
+        assert np.allclose(a.grad, 1.0 / a.size)
+
+    @given(st.integers(1, 4), st.integers(1, 8))
+    def test_relu_grad_is_indicator(self, rows, cols):
+        data = np.random.default_rng(rows * 13 + cols).standard_normal((rows, cols))
+        a = Tensor(data, requires_grad=True)
+        a.relu().sum().backward()
+        assert np.allclose(a.grad, (data > 0).astype(float))
+
+    @given(st.lists(st.floats(-2, 2, allow_nan=False), min_size=2, max_size=6))
+    def test_linearity_of_backward(self, values):
+        """grad(2*f) == 2*grad(f)."""
+        x1 = Tensor(np.array(values), requires_grad=True)
+        (x1 * x1).sum().backward()
+        g1 = x1.grad.copy()
+        x2 = Tensor(np.array(values), requires_grad=True)
+        ((x2 * x2) * 2.0).sum().backward()
+        assert np.allclose(x2.grad, 2 * g1)
+
+
+class TestConvProperties:
+    @given(st.integers(1, 3), st.integers(1, 3), st.integers(1, 4),
+           st.integers(1, 3), st.integers(5, 12))
+    def test_conv_linearity_in_input(self, n, c_in, c_out, k, t):
+        rng = np.random.default_rng(n * 100 + c_in * 10 + k)
+        x = rng.standard_normal((n, c_in, t))
+        w = Tensor(rng.standard_normal((c_out, c_in, k)))
+        y1 = conv1d_causal(Tensor(x), w).data
+        y2 = conv1d_causal(Tensor(2 * x), w).data
+        assert np.allclose(y2, 2 * y1)
+
+    @given(st.integers(1, 3), st.integers(2, 4), st.integers(6, 14))
+    def test_conv_additivity_in_weights(self, c, k, t):
+        rng = np.random.default_rng(c * 31 + k * 7 + t)
+        x = Tensor(rng.standard_normal((1, c, t)))
+        w1 = rng.standard_normal((2, c, k))
+        w2 = rng.standard_normal((2, c, k))
+        lhs = conv1d_causal(x, Tensor(w1 + w2)).data
+        rhs = conv1d_causal(x, Tensor(w1)).data + conv1d_causal(x, Tensor(w2)).data
+        assert np.allclose(lhs, rhs)
+
+    @given(st.integers(1, 4), st.integers(1, 3), st.integers(6, 12))
+    def test_conv_time_shift_equivariance(self, d, c, t):
+        """Causal conv commutes with right-shift (zero boundary effects aside)."""
+        rng = np.random.default_rng(d * 17 + c + t)
+        x = np.zeros((1, c, t))
+        x[:, :, : t - 1] = rng.standard_normal((1, c, t - 1))
+        w = Tensor(rng.standard_normal((2, c, 2)))
+        y = conv1d_causal(Tensor(x), w, dilation=d).data
+        shifted = np.concatenate([np.zeros((1, c, 1)), x[:, :, :-1]], axis=2)
+        y_shifted = conv1d_causal(Tensor(shifted), w, dilation=d).data
+        assert np.allclose(y_shifted[:, :, 1:], y[:, :, :-1], atol=1e-10)
