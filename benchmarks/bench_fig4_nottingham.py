@@ -8,6 +8,11 @@ extracts the Pareto front.
 Paper shape to reproduce: PIT points populate a front that reaches both
 smaller-and-similar-accuracy and similar-size-and-better-accuracy regions
 than the seed, and PIT dominates (or matches) the hand-tuned network.
+
+The λ sweep behind ``restcn_sweep`` runs through the parallel DSE engine;
+set ``REPRO_DSE_WORKERS`` to fan the grid points out over a worker pool
+and ``REPRO_DSE_CACHE_DIR`` to resume interrupted sessions (see
+``conftest.py``) — the resulting points are identical either way.
 """
 
 import numpy as np

@@ -8,6 +8,11 @@ Paper shape to reproduce: PIT traces a front from ~seed-size down to the
 max-dilation corner; the hand-engineered TEMPONet sits on (not beyond) the
 PIT front ("the hand-engineered network sits on the Pareto frontier in
 this case").
+
+The λ sweep behind ``temponet_sweep`` runs through the parallel DSE
+engine; set ``REPRO_DSE_WORKERS`` to fan the grid points out over a
+worker pool and ``REPRO_DSE_CACHE_DIR`` to resume interrupted sessions
+(see ``conftest.py``) — the resulting points are identical either way.
 """
 
 import numpy as np

@@ -8,10 +8,26 @@ numbers therefore differ from the paper; the benches assert and print the
 EXPERIMENTS.md for the side-by-side record.
 
 Expensive artifacts (the λ sweeps) are computed once per session and shared
-across bench files through session-scoped fixtures.
+across bench files through session-scoped fixtures.  Each grid point of a
+sweep now trains on a private copy of the loaders' shuffle RNG, so the
+points are independent of execution order (parallel == serial,
+bit-identical); absolute sweep numbers therefore differ slightly from the
+pre-engine serial driver, which threaded one RNG stream through the grid.
+Two environment knobs speed up / resume the sweeps without affecting the
+numbers further:
+
+* ``REPRO_DSE_WORKERS``  — worker-pool size for the λ sweeps (default 0 =
+  serial);
+* ``REPRO_DSE_CACHE_DIR`` — directory for JSON sweep caches; completed
+  (λ, warmup) points are skipped when a bench session is re-run.
+
+The conv kernels honour ``REPRO_CONV_BACKEND`` (``einsum`` / ``im2col``)
+process-wide — see ``repro.autograd.backends``.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
@@ -40,6 +56,15 @@ PIT_SCHEDULE = dict(gamma_lr=0.03, max_prune_epochs=6, prune_patience=6,
 MUSIC_LAMBDAS = (0.0, 3e-4, 3e-3, 3e-2)
 PPG_LAMBDAS = (0.0, 0.05, 0.5, 5.0)
 SEQ_LEN_MUSIC = MUSIC_CONFIG.seq_len - 1
+
+DSE_WORKERS = int(os.environ.get("REPRO_DSE_WORKERS", "0"))
+DSE_CACHE_DIR = os.environ.get("REPRO_DSE_CACHE_DIR")
+
+
+def _sweep_cache(name: str):
+    if not DSE_CACHE_DIR:
+        return None
+    return os.path.join(DSE_CACHE_DIR, f"dse_{name}.json")
 
 
 def _loaders(dataset, batch, seed=0):
@@ -73,7 +98,9 @@ def restcn_sweep(music_loaders):
     train, val, _ = music_loaders
     return run_dse(restcn_factory, polyphonic_nll, train, val,
                    lambdas=MUSIC_LAMBDAS, warmups=(1,),
-                   trainer_kwargs=dict(PIT_SCHEDULE))
+                   trainer_kwargs=dict(PIT_SCHEDULE),
+                   workers=DSE_WORKERS, cache_path=_sweep_cache("restcn"),
+                   cache_tag=f"restcn|width={RESTCN_WIDTH}")
 
 
 @pytest.fixture(scope="session")
@@ -82,7 +109,9 @@ def temponet_sweep(ppg_loaders):
     train, val, _ = ppg_loaders
     return run_dse(temponet_factory, mae_loss, train, val,
                    lambdas=PPG_LAMBDAS, warmups=(1,),
-                   trainer_kwargs=dict(PIT_SCHEDULE))
+                   trainer_kwargs=dict(PIT_SCHEDULE),
+                   workers=DSE_WORKERS, cache_path=_sweep_cache("temponet"),
+                   cache_tag=f"temponet|width={TEMPONET_WIDTH}")
 
 
 def print_header(title: str) -> None:

@@ -31,6 +31,12 @@ Quickstart::
     deployable = export_network(seed)
 """
 
+from .autograd import (
+    available_backends,
+    current_backend,
+    set_backend,
+    use_backend,
+)
 from .core import (
     PITConv1d,
     PITTrainer,
@@ -49,6 +55,10 @@ from .core import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "available_backends",
+    "current_backend",
+    "set_backend",
+    "use_backend",
     "PITConv1d",
     "PITTrainer",
     "PITResult",

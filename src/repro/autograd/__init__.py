@@ -22,11 +22,27 @@ from .tensor import (
     maximum,
     minimum,
 )
+from .backends import (
+    ConvBackend,
+    available_backends,
+    register_backend,
+    get_backend,
+    set_backend,
+    current_backend,
+    use_backend,
+)
 from .ops_conv import conv1d_causal, avg_pool1d, max_pool1d, global_avg_pool1d
 from .ops_nn import softmax, log_softmax, logsumexp, binarize_ste, dropout
 from .gradcheck import numerical_gradient, check_gradients, GradCheckError
 
 __all__ = [
+    "ConvBackend",
+    "available_backends",
+    "register_backend",
+    "get_backend",
+    "set_backend",
+    "current_backend",
+    "use_backend",
     "Tensor",
     "no_grad",
     "is_grad_enabled",

@@ -1,0 +1,77 @@
+"""Backend interface for the causal dilated 1-D convolution kernels.
+
+A :class:`ConvBackend` implements the three numerical kernels behind
+:func:`repro.autograd.conv1d_causal` — forward, input-gradient and
+weight-gradient — on plain numpy arrays.  The autograd op in
+``ops_conv.py`` owns everything else (validation, causal padding, bias,
+tape wiring), so a backend only has to answer "given the padded input,
+what are the outputs / adjoints?".
+
+All kernels receive the *left-padded* input ``xp`` of shape
+``(N, C_in, T + (K-1)*dilation)`` together with the original temporal
+length ``t``; the output length is ``ceil(t / stride)``.  Tap ``i`` of the
+kernel reads ``xp[..., i*dilation + j*stride]`` for output position ``j``
+(paper Eq. 1 in kernel order).
+
+Backends must be numerically interchangeable: the differential harness in
+``tests/test_backends_parity.py`` asserts every registered backend matches
+the einsum reference on forward values and all gradients.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["ConvBackend", "conv_out_length"]
+
+
+def conv_out_length(t: int, stride: int) -> int:
+    """Output length of the causal conv: ``ceil(t / stride)``."""
+    return (t + stride - 1) // stride
+
+
+class ConvBackend:
+    """Abstract numerical kernel set for ``conv1d_causal``."""
+
+    #: Registry name; subclasses must override.
+    name: str = "abstract"
+
+    def forward(self, xp: np.ndarray, w: np.ndarray,
+                dilation: int, stride: int, t: int) -> np.ndarray:
+        """Convolve the padded input with the kernel.
+
+        Parameters
+        ----------
+        xp:
+            Left-padded input ``(N, C_in, T + (K-1)*dilation)``.
+        w:
+            Kernel ``(C_out, C_in, K)``.
+        dilation, stride:
+            Temporal dilation / output stride.
+        t:
+            Unpadded temporal length ``T``.
+
+        Returns
+        -------
+        ``(N, C_out, ceil(T / stride))`` output (no bias).  Must be a
+        freshly allocated array the caller owns — the op adds the bias
+        into it in place.
+        """
+        raise NotImplementedError
+
+    def grad_input(self, grad: np.ndarray, w: np.ndarray,
+                   xp_shape: Tuple[int, int, int],
+                   dilation: int, stride: int, t: int) -> np.ndarray:
+        """Adjoint w.r.t. the *padded* input; shape ``xp_shape``."""
+        raise NotImplementedError
+
+    def grad_weight(self, grad: np.ndarray, xp: np.ndarray,
+                    w_shape: Tuple[int, int, int],
+                    dilation: int, stride: int, t: int) -> np.ndarray:
+        """Adjoint w.r.t. the kernel; shape ``w_shape``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,55 @@
+"""Reference conv backend: one ``einsum`` per kernel tap.
+
+This is the original implementation of :func:`repro.autograd.conv1d_causal`,
+kept verbatim as the numerical reference all other backends are checked
+against.  It is simple, allocation-light and fast for the small tap counts
+TCNs use, but issues ``K`` separate GEMM-shaped contractions per call.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .base import ConvBackend, conv_out_length
+
+__all__ = ["EinsumBackend"]
+
+
+class EinsumBackend(ConvBackend):
+    """Per-tap einsum kernels (the reference implementation)."""
+
+    name = "einsum"
+
+    def forward(self, xp: np.ndarray, w: np.ndarray,
+                dilation: int, stride: int, t: int) -> np.ndarray:
+        n = xp.shape[0]
+        c_out, _, k = w.shape
+        out = np.zeros((n, c_out, conv_out_length(t, stride)))
+        for tap in range(k):
+            # Tap `tap` reads xp at offsets tap*dilation .. tap*dilation + t - 1,
+            # subsampled by the stride.
+            segment = xp[:, :, tap * dilation: tap * dilation + t: stride]
+            out += np.einsum("oc,nct->not", w[:, :, tap], segment, optimize=True)
+        return out
+
+    def grad_input(self, grad: np.ndarray, w: np.ndarray,
+                   xp_shape: Tuple[int, int, int],
+                   dilation: int, stride: int, t: int) -> np.ndarray:
+        k = w.shape[2]
+        gxp = np.zeros(xp_shape)
+        for tap in range(k):
+            gxp[:, :, tap * dilation: tap * dilation + t: stride] += np.einsum(
+                "oc,not->nct", w[:, :, tap], grad, optimize=True)
+        return gxp
+
+    def grad_weight(self, grad: np.ndarray, xp: np.ndarray,
+                    w_shape: Tuple[int, int, int],
+                    dilation: int, stride: int, t: int) -> np.ndarray:
+        k = w_shape[2]
+        gw = np.zeros(w_shape)
+        for tap in range(k):
+            segment = xp[:, :, tap * dilation: tap * dilation + t: stride]
+            gw[:, :, tap] = np.einsum("not,nct->oc", grad, segment, optimize=True)
+        return gw

@@ -1,0 +1,88 @@
+"""im2col / ``as_strided`` GEMM conv backend.
+
+Instead of one contraction per kernel tap, this backend lowers the causal
+dilated convolution to a *single* batched GEMM:
+
+1. ``as_strided`` builds a zero-copy patch view of the padded input with
+   shape ``(N, C_in, K, T_out)`` where
+   ``patches[n, c, i, j] = xp[n, c, i*dilation + j*stride]``;
+2. the kernel is flattened to ``(C_out, C_in*K)`` and multiplied against
+   the ``(N, C_in*K, T_out)`` patch matrix in one ``matmul``.
+
+The backward passes are the transposed GEMMs of the same lowering: the
+weight gradient contracts the output gradient with the patch matrix, and
+the input gradient computes ``W^T @ grad`` into "column" space, then
+scatter-adds each tap's column back into the padded input (columns overlap
+whenever ``stride < K*dilation``, so the fold is a K-step vectorized loop
+rather than a pure view write).
+
+The patch view never materializes until a GEMM consumes it, so peak extra
+memory is the ``(N, C_in*K, T_out)`` im2col buffer — the classic
+space-for-speed trade of im2col convolutions.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+from .base import ConvBackend, conv_out_length
+
+__all__ = ["Im2colBackend"]
+
+
+def _patch_view(xp: np.ndarray, k: int, dilation: int, stride: int,
+                t: int) -> np.ndarray:
+    """Zero-copy ``(N, C_in, K, T_out)`` sliding-window view of ``xp``."""
+    n, c_in, _ = xp.shape
+    t_out = conv_out_length(t, stride)
+    s_n, s_c, s_t = xp.strides
+    return as_strided(
+        xp,
+        shape=(n, c_in, k, t_out),
+        strides=(s_n, s_c, s_t * dilation, s_t * stride),
+        writeable=False,
+    )
+
+
+class Im2colBackend(ConvBackend):
+    """Single-GEMM kernels via an ``as_strided`` im2col lowering."""
+
+    name = "im2col"
+
+    def forward(self, xp: np.ndarray, w: np.ndarray,
+                dilation: int, stride: int, t: int) -> np.ndarray:
+        n, c_in, _ = xp.shape
+        c_out, _, k = w.shape
+        patches = _patch_view(xp, k, dilation, stride, t)
+        t_out = patches.shape[-1]
+        # (C_out, C_in*K) @ (N, C_in*K, T_out) -> (N, C_out, T_out)
+        return np.matmul(w.reshape(c_out, c_in * k),
+                         patches.reshape(n, c_in * k, t_out))
+
+    def grad_input(self, grad: np.ndarray, w: np.ndarray,
+                   xp_shape: Tuple[int, int, int],
+                   dilation: int, stride: int, t: int) -> np.ndarray:
+        n, c_in, _ = xp_shape
+        c_out, _, k = w.shape
+        t_out = grad.shape[-1]
+        # (C_in*K, C_out) @ (N, C_out, T_out) -> columns (N, C_in, K, T_out)
+        gcol = np.matmul(w.reshape(c_out, c_in * k).T, grad)
+        gcol = gcol.reshape(n, c_in, k, t_out)
+        gxp = np.zeros(xp_shape)
+        for tap in range(k):  # col2im fold: columns overlap across taps
+            gxp[:, :, tap * dilation: tap * dilation + t: stride] += gcol[:, :, tap, :]
+        return gxp
+
+    def grad_weight(self, grad: np.ndarray, xp: np.ndarray,
+                    w_shape: Tuple[int, int, int],
+                    dilation: int, stride: int, t: int) -> np.ndarray:
+        k = w_shape[2]
+        patches = _patch_view(xp, k, dilation, stride, t)
+        # One contraction over the strided view (gw[o,c,i] = Σ_{n,t}
+        # grad[n,o,t] * patches[n,c,i,t]); einsum materializes at most one
+        # im2col buffer internally, where an explicit reshape+transpose
+        # GEMM would copy it twice.
+        return np.einsum("not,ncit->oci", grad, patches, optimize=True)

@@ -6,9 +6,13 @@ is the *causal dilated 1-D convolution* (paper Eq. 1):
     y[m, t] = sum_i sum_l x[l, t - d*i] * W[l, m, i]
 
 Causality is obtained by padding only the left side of the time axis so that
-an output sample never reads inputs from the future.  The implementation
-loops over the (small) kernel taps and uses one ``einsum`` per tap, which is
-both simple and fast for the kernel sizes TCNs use (< 100 taps).
+an output sample never reads inputs from the future.  The numerical kernels
+(forward and both adjoints) are pluggable — see
+:mod:`repro.autograd.backends` — with a per-tap einsum reference backend and
+an im2col/``as_strided`` single-GEMM fast path, selectable per call, via
+``repro.set_backend()``, or through the ``REPRO_CONV_BACKEND`` environment
+variable.  This module owns everything backend-independent: validation,
+causal padding, bias, and the autograd tape.
 
 Shapes follow the PyTorch convention:
 
@@ -24,13 +28,15 @@ from typing import Optional
 
 import numpy as np
 
+from .backends import get_backend
 from .tensor import Tensor
 
 __all__ = ["conv1d_causal", "avg_pool1d", "max_pool1d", "global_avg_pool1d"]
 
 
 def conv1d_causal(x: Tensor, w: Tensor, b: Optional[Tensor] = None,
-                  dilation: int = 1, stride: int = 1) -> Tensor:
+                  dilation: int = 1, stride: int = 1,
+                  backend: Optional[str] = None) -> Tensor:
     """Causal dilated 1-D convolution.
 
     The input is left-padded with ``(K - 1) * dilation`` zeros, so the output
@@ -53,6 +59,11 @@ def conv1d_causal(x: Tensor, w: Tensor, b: Optional[Tensor] = None,
         paper Eq. 1).
     stride:
         Temporal output stride.
+    backend:
+        Conv-backend name (see :mod:`repro.autograd.backends`); None uses
+        the process-wide default.  The backend resolved here is captured by
+        the tape, so forward and backward always run the same kernels even
+        if the default is switched mid-graph.
     """
     if x.ndim != 3:
         raise ValueError(f"expected input (N, C_in, T), got shape {x.shape}")
@@ -64,36 +75,25 @@ def conv1d_causal(x: Tensor, w: Tensor, b: Optional[Tensor] = None,
     if dilation < 1 or stride < 1:
         raise ValueError("dilation and stride must be >= 1")
 
-    n, c_in, t = x.shape
-    c_out, _, k = w.shape
+    kernels = get_backend(backend)
+    _, _, t = x.shape
+    k = w.shape[2]
     pad = (k - 1) * dilation
     xp = np.pad(x.data, ((0, 0), (0, 0), (pad, 0)))
-    t_out = (t + stride - 1) // stride
 
-    out_data = np.zeros((n, c_out, t_out))
-    for tap in range(k):
-        # Tap `tap` reads xp at offsets tap*dilation .. tap*dilation + t - 1,
-        # subsampled by the stride.
-        segment = xp[:, :, tap * dilation: tap * dilation + t: stride]
-        out_data += np.einsum("oc,nct->not", w.data[:, :, tap], segment, optimize=True)
+    out_data = kernels.forward(xp, w.data, dilation, stride, t)
     if b is not None:
-        out_data += b.data[None, :, None]
+        out_data += b.data[None, :, None]  # backends return owned buffers
 
     parents = (x, w) if b is None else (x, w, b)
 
     def backward(grad: np.ndarray) -> None:
         if x.requires_grad:
-            gxp = np.zeros_like(xp)
-            for tap in range(k):
-                gxp[:, :, tap * dilation: tap * dilation + t: stride] += np.einsum(
-                    "oc,not->nct", w.data[:, :, tap], grad, optimize=True)
+            gxp = kernels.grad_input(grad, w.data, xp.shape, dilation, stride, t)
             x._accumulate(gxp[:, :, pad:])
         if w.requires_grad:
-            gw = np.zeros_like(w.data)
-            for tap in range(k):
-                segment = xp[:, :, tap * dilation: tap * dilation + t: stride]
-                gw[:, :, tap] = np.einsum("not,nct->oc", grad, segment, optimize=True)
-            w._accumulate(gw)
+            w._accumulate(
+                kernels.grad_weight(grad, xp, w.shape, dilation, stride, t))
         if b is not None and b.requires_grad:
             b._accumulate(grad.sum(axis=(0, 2)))
 

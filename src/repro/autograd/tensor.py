@@ -24,6 +24,7 @@ tests) far easier to reason about.
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -46,26 +47,32 @@ __all__ = [
     "minimum",
 ]
 
-_GRAD_ENABLED = True
+# Per-thread tape switch: concurrent trainings (e.g. the parallel DSE
+# engine) must not see another worker's no_grad() evaluation window.
+_GRAD_STATE = threading.local()
 
 DEFAULT_DTYPE = np.float64
 
 
 @contextlib.contextmanager
 def no_grad():
-    """Context manager disabling graph recording (like ``torch.no_grad``)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    """Context manager disabling graph recording (like ``torch.no_grad``).
+
+    The switch is thread-local, so disabling the tape in one thread never
+    affects graphs being built concurrently in others.
+    """
+    previous = is_grad_enabled()
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_STATE.enabled = previous
 
 
 def is_grad_enabled() -> bool:
-    """Return whether operations are currently recorded on the tape."""
-    return _GRAD_ENABLED
+    """Return whether operations are currently recorded on the tape
+    (in the calling thread)."""
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def _as_array(value) -> np.ndarray:
@@ -115,7 +122,7 @@ class Tensor:
     def __init__(self, data, requires_grad: bool = False, name: Optional[str] = None):
         self.data = _as_array(data)
         self.grad: Optional[np.ndarray] = None
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._parents: Tuple["Tensor", ...] = ()
         self.name = name
@@ -183,7 +190,7 @@ class Tensor:
               backward: Callable[[np.ndarray], None]) -> "Tensor":
         """Create the result tensor of an op, wiring the tape if needed."""
         out = Tensor(data)
-        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+        if is_grad_enabled() and any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._parents = tuple(parents)
             out._backward = backward

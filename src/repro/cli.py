@@ -13,13 +13,22 @@ Subcommands::
 * ``deploy`` — build a fixed-dilation network and price it on the GAP8 model.
 
 Every command accepts ``--benchmark {music, ppg}`` selecting the
-ResTCN/Nottingham or TEMPONet/PPG-Dalia pairing, and ``--width`` to scale
-the experiment (1.0 = paper width).
+ResTCN/Nottingham or TEMPONet/PPG-Dalia pairing, ``--width`` to scale the
+experiment (1.0 = paper width), and ``--conv-backend`` to pick the
+convolution kernels (``einsum`` reference or ``im2col`` GEMM fast path;
+also settable via the ``REPRO_CONV_BACKEND`` environment variable).
+
+``sweep`` additionally exposes the DSE engine knobs: ``--workers`` /
+``--executor`` parallelize the grid, ``--cache`` memoizes completed
+(λ, warmup) points to a JSON file so interrupted sweeps resume where they
+left off.
 """
 
 from __future__ import annotations
 
 import argparse
+import functools
+import os
 import sys
 from typing import List, Optional
 
@@ -117,8 +126,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     from .evaluation import run_dse
     train_loader, val_loader, _ = _loaders(args.benchmark, args.seed)
 
-    def factory():
-        return _seed_model(args.benchmark, args.width, args.seed)
+    # functools.partial of a module-level function (not a closure) so the
+    # factory survives pickling under --executor process.
+    factory = functools.partial(_seed_model, args.benchmark, args.width,
+                                args.seed)
 
     result = run_dse(factory, _loss(args.benchmark), train_loader, val_loader,
                      lambdas=args.lambdas, warmups=tuple(args.warmups),
@@ -127,7 +138,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                                          prune_patience=args.patience,
                                          finetune_epochs=args.finetune,
                                          finetune_patience=args.patience),
-                     verbose=not args.quiet)
+                     verbose=not args.quiet, workers=args.workers,
+                     executor=args.executor, cache_path=args.cache,
+                     cache_tag=f"{args.benchmark}|width={args.width}"
+                               f"|seed={args.seed}")
     print(f"{'lambda':>10s} {'warmup':>6s} {'params':>8s} {'loss':>9s}  dilations")
     for p in sorted(result.points, key=lambda q: q.params):
         print(f"{p.lam:>10g} {p.warmup_epochs:>6d} {p.params:>8d} "
@@ -166,12 +180,18 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro", description="PIT (DAC 2021) reproduction CLI")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    from .autograd import available_backends
+
     def common(p):
         p.add_argument("--benchmark", choices=("music", "ppg"), default="ppg")
         p.add_argument("--width", type=float, default=0.25,
                        help="width multiplier (1.0 = paper scale)")
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--quiet", action="store_true")
+        p.add_argument("--conv-backend", choices=available_backends(),
+                       default=None,
+                       help="convolution kernel backend (default: "
+                            "REPRO_CONV_BACKEND or 'einsum')")
 
     p_info = sub.add_parser("info", help="seed and search-space statistics")
     common(p_info)
@@ -199,6 +219,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--lambdas", type=float, nargs="+",
                          default=[0.0, 0.02, 0.2])
     p_sweep.add_argument("--warmups", type=int, nargs="+", default=[2])
+    p_sweep.add_argument("--workers", type=int, default=0,
+                         help="DSE worker pool size (0/1 = serial)")
+    p_sweep.add_argument("--executor", choices=("thread", "process"),
+                         default="thread",
+                         help="worker pool flavour for parallel sweeps")
+    p_sweep.add_argument("--cache", type=str, default=None,
+                         help="JSON results cache; completed (lambda, warmup) "
+                              "points are skipped on re-runs")
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_deploy = sub.add_parser("deploy", help="GAP8 cost of a fixed network")
@@ -212,6 +240,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "conv_backend", None):
+        from .autograd import set_backend
+        from .autograd.backends import ENV_VAR
+        set_backend(args.conv_backend)
+        # Also export the choice so worker *processes* (spawn start method
+        # re-imports the backends module) inherit it, not just this process.
+        os.environ[ENV_VAR] = args.conv_backend
     return args.func(args)
 
 

@@ -124,7 +124,8 @@ class PITChannelConv1d(Module):
     def __init__(self, in_channels: int, out_channels: int, rf_max: int,
                  stride: int = 1, bias: bool = True, threshold: float = 0.5,
                  min_channels: int = 1,
-                 rng: Optional[np.random.Generator] = None):
+                 rng: Optional[np.random.Generator] = None,
+                 backend: Optional[str] = None):
         super().__init__()
         if rf_max < 2:
             raise ValueError("rf_max must be >= 2")
@@ -133,6 +134,7 @@ class PITChannelConv1d(Module):
         self.out_channels = out_channels
         self.rf_max = rf_max
         self.stride = stride
+        self.backend = backend
         self.weight = Parameter(
             init.kaiming_uniform((out_channels, in_channels, rf_max), rng),
             name="pitchconv.weight")
@@ -147,7 +149,8 @@ class PITChannelConv1d(Module):
         time = self.time_mask()[self._flip_index]
         masked_weight = self.weight * time
         out = conv1d_causal(x, masked_weight, self.bias,
-                            dilation=1, stride=self.stride)
+                            dilation=1, stride=self.stride,
+                            backend=self.backend)
         channels = self.channel_mask()
         return out * channels.reshape(1, self.out_channels, 1)
 

@@ -2,7 +2,14 @@
 
 from .metrics import nll_metric, mae_metric, evaluate_metric, count_macs
 from .pareto import dominates, pareto_front, pareto_points, hypervolume_2d
-from .dse import DSEPoint, DSEResult, run_dse, select_small_medium_large
+from .dse import (
+    DSECache,
+    DSEEngine,
+    DSEPoint,
+    DSEResult,
+    run_dse,
+    select_small_medium_large,
+)
 from .reporting import (
     format_table,
     format_markdown_table,
@@ -19,6 +26,8 @@ __all__ = [
     "pareto_front",
     "pareto_points",
     "hypervolume_2d",
+    "DSECache",
+    "DSEEngine",
     "DSEPoint",
     "DSEResult",
     "run_dse",

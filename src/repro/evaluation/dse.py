@@ -1,10 +1,22 @@
-"""Design-space-exploration driver (paper Sec. IV-B).
+"""Design-space-exploration engine (paper Sec. IV-B).
 
 The paper obtains the Pareto fronts of Fig. 4 "by tweaking the λ
 regularization-strength of PIT and the warmup duration".  This module
 drives that sweep: one :class:`repro.core.PITTrainer` run per (λ, warmup)
 pair, each from a fresh copy of the seed, collecting ``(params, loss)``
 points plus the discovered dilations.
+
+Grid points are independent, so :class:`DSEEngine` dispatches them to a
+``concurrent.futures`` worker pool (threads by default, processes on
+request) and reassembles the results in deterministic grid order — a
+parallel sweep returns exactly the same :class:`DSEResult` as a serial
+one.  To make that hold, every grid point trains against *private deep
+copies* of the data loaders: a shared shuffling loader would otherwise
+thread its RNG state through the points in submission order.
+
+Completed points can be memoized to a JSON cache file (see
+:class:`DSECache`), making long sweeps resumable: a re-run with the same
+grid and trainer settings skips finished points and only trains the rest.
 
 It also implements the small/medium/large selection rule of Tables I-III:
 *small* = fewest parameters, *large* = most parameters, *medium* = closest
@@ -14,14 +26,27 @@ in size to the hand-engineered reference network.
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass, field
+import json
+import os
+import tempfile
+import threading
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
+from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from ..autograd import current_backend, use_backend
 from ..core.trainer import PITResult, PITTrainer
 from ..nn import Module
 from .pareto import pareto_front
 
-__all__ = ["DSEPoint", "DSEResult", "run_dse", "select_small_medium_large"]
+__all__ = ["DSEPoint", "DSEResult", "DSECache", "DSEEngine", "run_dse",
+           "select_small_medium_large"]
 
 
 @dataclass
@@ -32,7 +57,7 @@ class DSEPoint:
     dilations: Tuple[int, ...]
     params: int
     loss: float
-    result: PITResult = field(repr=False, default=None)
+    result: Optional[PITResult] = field(repr=False, default=None)
 
 
 @dataclass
@@ -51,36 +76,353 @@ class DSEResult:
         return min(self.points, key=lambda p: p.params)
 
 
+# ----------------------------------------------------------------------
+# Results cache
+# ----------------------------------------------------------------------
+
+class DSECache:
+    """JSON memo of completed DSE points, for resumable sweeps.
+
+    File format (version 1)::
+
+        {
+          "version": 1,
+          "points": {
+            "<key>": {
+              "lam": 0.02, "warmup_epochs": 5,
+              "dilations": [1, 2, 4], "params": 1234, "loss": 0.567,
+              "result": { ... PITResult fields ... }
+            }, ...
+          }
+        }
+
+    Keys encode (tag, conv backend, λ, warmup, trainer settings), so a
+    cache file is never allowed to return a point trained under different
+    hyper-parameters — or under a different conv backend, whose ~1e-12
+    per-call differences training can amplify into different dilations.
+    The *tag* is the caller's name for the model/data
+    identity (seed factory, dataset, width, …), which the engine cannot
+    see into — callers sharing one cache file across different seeds or
+    benchmarks must pass distinct ``cache_tag`` values (the CLI and the
+    benchmark conftest do).  Writes are atomic (tempfile + rename) and
+    guarded by a lock, so a thread-pooled engine can record completions
+    concurrently.
+    """
+
+    VERSION = 1
+
+    def __init__(self, path: str):
+        self.path = path
+        self._lock = threading.Lock()
+        self._points: Dict[str, dict] = {}
+        if os.path.exists(path):
+            with open(path) as handle:
+                payload = json.load(handle)
+            if payload.get("version") != self.VERSION:
+                raise ValueError(
+                    f"unsupported DSE cache version in {path!r}: "
+                    f"{payload.get('version')!r}")
+            self._points = dict(payload.get("points", {}))
+
+    @staticmethod
+    def key(lam: float, warmup: int, trainer_kwargs: Dict,
+            tag: str = "", backend: Optional[str] = None) -> str:
+        try:
+            settings = json.dumps(trainer_kwargs, sort_keys=True)
+        except TypeError as exc:
+            # Objects would have to be keyed by repr, which either embeds a
+            # per-process memory address (cache never hits) or, stripped,
+            # collapses differently-configured instances (cache hits
+            # falsely).  Refuse loudly instead of being silently wrong.
+            raise ValueError(
+                "DSE caching requires JSON-serializable trainer settings; "
+                f"got {trainer_kwargs!r}") from exc
+        backend = backend if backend is not None else current_backend()
+        return (f"tag={tag}|backend={backend}|lam={lam!r}|warmup={warmup}"
+                f"|trainer={settings}")
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def get(self, key: str) -> Optional[DSEPoint]:
+        entry = self._points.get(key)
+        return None if entry is None else _point_from_dict(entry)
+
+    def put(self, key: str, point: DSEPoint) -> None:
+        with self._lock:
+            self._points[key] = _point_to_dict(point)
+            self._flush()
+
+    def _flush(self) -> None:
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        # Merge points other *processes* recorded since our load — a
+        # whole-file rewrite from just this process's map would erase them.
+        # (The remaining read-merge-write race window is microseconds;
+        # within one process the lock serializes flushes entirely.)
+        if os.path.exists(self.path):
+            try:
+                with open(self.path) as handle:
+                    payload = json.load(handle)
+                if payload.get("version") == self.VERSION:
+                    merged = dict(payload.get("points", {}))
+                    merged.update(self._points)
+                    self._points = merged
+            except (OSError, json.JSONDecodeError):
+                pass  # unreadable/partial file: our own map still flushes
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump({"version": self.VERSION, "points": self._points},
+                          handle, indent=1, sort_keys=True)
+            os.replace(tmp, self.path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+
+def _point_to_dict(point: DSEPoint) -> dict:
+    entry = {
+        "lam": point.lam,
+        "warmup_epochs": point.warmup_epochs,
+        "dilations": list(point.dilations),
+        "params": point.params,
+        "loss": point.loss,
+    }
+    if point.result is not None:
+        entry["result"] = asdict(point.result)
+    return entry
+
+
+def _point_from_dict(entry: dict) -> DSEPoint:
+    result = None
+    if entry.get("result") is not None:
+        fields = dict(entry["result"])
+        fields["dilations"] = tuple(fields["dilations"])
+        result = PITResult(**fields)
+    return DSEPoint(
+        lam=entry["lam"], warmup_epochs=entry["warmup_epochs"],
+        dilations=tuple(entry["dilations"]), params=entry["params"],
+        loss=entry["loss"], result=result)
+
+
+# ----------------------------------------------------------------------
+# Execution engine
+# ----------------------------------------------------------------------
+
+def _private_loader(loader):
+    """Deep-copy a loader while sharing its (read-only) sample arrays.
+
+    Every piece of mutable iteration state — the shuffle RNG, augmentation
+    RNGs, cursors in loader subclasses — must be private per grid point for
+    parallel sweeps to be bit-identical to serial ones.  The materialized
+    sample arrays, however, are never mutated by training, so they are
+    seeded into the deepcopy memo and stay shared: a pool of N in-flight
+    points costs O(N) loader state, not N copies of the dataset.
+    """
+    memo = {}
+    dataset = getattr(loader, "dataset", None)
+    for name in ("inputs", "targets"):
+        array = getattr(dataset, name, None)
+        if isinstance(array, np.ndarray):
+            memo[id(array)] = array
+    return copy.deepcopy(loader, memo)
+
+
+def _train_grid_point(seed_factory: Callable[[], Module], loss_fn: Callable,
+                      train_loader, val_loader, lam: float, warmup: int,
+                      trainer_kwargs: Dict, backend: str) -> DSEPoint:
+    """Train one (λ, warmup) grid point from a fresh seed.
+
+    Module-level (not a closure) so a ``ProcessPoolExecutor`` can pickle it.
+    Each point gets private loader copies so it consumes its own shuffle
+    RNG stream — this is what makes parallel sweeps bit-identical to
+    serial ones regardless of completion order.  ``backend`` is the conv
+    backend captured by the engine at sweep start; it is applied as a
+    thread-local :func:`use_backend` scope so the whole grid point trains
+    under exactly the backend its cache key records, even if a spawned
+    worker's import-time default differs or another thread switches
+    backends mid-sweep.
+    """
+    train_loader = _private_loader(train_loader)
+    val_loader = _private_loader(val_loader)
+    model = seed_factory()
+    trainer = PITTrainer(model, loss_fn, lam=lam, warmup_epochs=warmup,
+                         **trainer_kwargs)
+    with use_backend(backend):
+        result = trainer.fit(train_loader, val_loader)
+    return DSEPoint(
+        lam=lam, warmup_epochs=warmup, dilations=result.dilations,
+        params=result.effective_params, loss=result.best_val, result=result)
+
+
+class DSEEngine:
+    """Dispatches a (λ × warmup) sweep across a worker pool.
+
+    Parameters
+    ----------
+    seed_factory:
+        Zero-argument callable returning a *fresh* searchable seed; runs
+        are independent (identical init per the factory's internal seed).
+        Must be picklable when ``executor="process"``.
+    loss_fn:
+        Task loss passed to :class:`repro.core.PITTrainer`.
+    train_loader, val_loader:
+        Data loaders; each grid point trains on private deep copies.
+    workers:
+        Pool size.  ``0`` or ``1`` trains the grid serially in-process.
+    executor:
+        ``"thread"`` (default; numpy releases the GIL inside the GEMM-heavy
+        hot path, so threads scale) or ``"process"`` (full isolation, but
+        the factory / loss / loaders must pickle — no lambdas or closures).
+    cache_path:
+        Optional JSON results cache (see :class:`DSECache`); completed
+        points found there are returned without retraining.
+    cache_tag:
+        Identity string mixed into every cache key, naming what the engine
+        cannot introspect: the seed factory and data (benchmark, width,
+        seed, …).  Required discipline whenever one cache file serves
+        sweeps over different models or datasets.
+    trainer_kwargs:
+        Extra :class:`PITTrainer` arguments shared by every grid point
+        (``lam`` / ``warmup_epochs`` are stripped: the grid owns them).
+    """
+
+    def __init__(self, seed_factory: Callable[[], Module], loss_fn: Callable,
+                 train_loader, val_loader, *, workers: int = 0,
+                 executor: str = "thread", cache_path: Optional[str] = None,
+                 cache_tag: str = "",
+                 trainer_kwargs: Optional[Dict] = None,
+                 verbose: bool = False):
+        if executor not in ("thread", "process"):
+            raise ValueError("executor must be 'thread' or 'process'")
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.seed_factory = seed_factory
+        self.loss_fn = loss_fn
+        self.train_loader = train_loader
+        self.val_loader = val_loader
+        self.workers = workers
+        self.executor = executor
+        self.cache = DSECache(cache_path) if cache_path else None
+        self.cache_tag = cache_tag
+        self._run_backend = current_backend()  # re-pinned at each run()
+        self.trainer_kwargs = dict(trainer_kwargs or {})
+        self.trainer_kwargs.pop("lam", None)
+        self.trainer_kwargs.pop("warmup_epochs", None)
+        self.verbose = verbose
+
+    # ------------------------------------------------------------------
+    def _log(self, message: str) -> None:
+        if self.verbose:
+            print(f"[DSE] {message}")
+
+    def _grid(self, lambdas: Sequence[float],
+              warmups: Sequence[int]) -> List[Tuple[int, float]]:
+        return [(warmup, lam) for warmup in warmups for lam in lambdas]
+
+    def _train_one(self, lam: float, warmup: int) -> DSEPoint:
+        return _train_grid_point(self.seed_factory, self.loss_fn,
+                                 self.train_loader, self.val_loader,
+                                 lam, warmup, self.trainer_kwargs,
+                                 self._run_backend)
+
+    def run(self, lambdas: Sequence[float],
+            warmups: Sequence[int] = (5,)) -> DSEResult:
+        """Sweep the grid; points come back in grid order regardless of
+        worker count or completion order."""
+        # Pin the conv backend for the whole sweep: workers (which may be
+        # spawned processes with their own import-time default) train under
+        # it, and cache keys record it — values and keys cannot diverge.
+        self._run_backend = current_backend()
+        grid = self._grid(lambdas, warmups)
+        points: List[Optional[DSEPoint]] = [None] * len(grid)
+        pending: List[Tuple[int, int, float]] = []
+
+        for index, (warmup, lam) in enumerate(grid):
+            cached = None
+            if self.cache is not None:
+                cached = self.cache.get(self._key(lam, warmup))
+            if cached is not None:
+                points[index] = cached
+                self._log(f"lam={lam:g} warmup={warmup}: cached "
+                          f"({cached.params} params, loss={cached.loss:.4f})")
+            else:
+                pending.append((index, warmup, lam))
+
+        if pending:
+            if self.workers > 1:
+                pool_cls = (ThreadPoolExecutor if self.executor == "thread"
+                            else ProcessPoolExecutor)
+                with pool_cls(max_workers=self.workers) as pool:
+                    futures = {
+                        pool.submit(_train_grid_point,
+                                    self.seed_factory, self.loss_fn,
+                                    self.train_loader, self.val_loader,
+                                    lam, warmup, self.trainer_kwargs,
+                                    self._run_backend): index
+                        for index, warmup, lam in pending}
+                    # Consume in completion order; grid order is restored
+                    # by index when assembling the result.  When a cache is
+                    # configured, a failing point must not discard the
+                    # others, so keep draining and record them before
+                    # re-raising.  Without a cache the finished results
+                    # have nowhere to go — cancel whatever has not started
+                    # and fail fast instead of training for nothing.
+                    error: Optional[Exception] = None
+                    for future in as_completed(futures):
+                        try:
+                            points[futures[future]] = self._record(
+                                future.result())
+                        except Exception as exc:
+                            if self.cache is None:
+                                for other in futures:
+                                    other.cancel()
+                                raise
+                            if error is None:
+                                error = exc
+                    if error is not None:
+                        raise error
+            else:
+                for index, warmup, lam in pending:
+                    points[index] = self._record(self._train_one(lam, warmup))
+
+        return DSEResult(points=list(points))
+
+    def _key(self, lam: float, warmup: int) -> str:
+        return DSECache.key(lam, warmup, self.trainer_kwargs,
+                            tag=self.cache_tag, backend=self._run_backend)
+
+    def _record(self, point: DSEPoint) -> DSEPoint:
+        if self.cache is not None:
+            self.cache.put(self._key(point.lam, point.warmup_epochs), point)
+        self._log(f"lam={point.lam:g} warmup={point.warmup_epochs}: "
+                  f"{point.params} params, loss={point.loss:.4f}, "
+                  f"d={point.dilations}")
+        return point
+
+
 def run_dse(seed_factory: Callable[[], Module], loss_fn: Callable,
             train_loader, val_loader,
             lambdas: Sequence[float], warmups: Sequence[int] = (5,),
             trainer_kwargs: Optional[Dict] = None,
-            verbose: bool = False) -> DSEResult:
+            verbose: bool = False, workers: int = 0,
+            executor: str = "thread",
+            cache_path: Optional[str] = None,
+            cache_tag: str = "") -> DSEResult:
     """Sweep (λ, warmup); one full PIT search per grid point.
 
-    ``seed_factory`` must return a *fresh* searchable seed each call so the
-    runs are independent (identical init per the factory's internal seed).
+    Thin wrapper over :class:`DSEEngine` kept for API compatibility;
+    ``workers`` / ``executor`` / ``cache_path`` / ``cache_tag`` expose the
+    engine's parallelism and memoization knobs.
     """
-    trainer_kwargs = dict(trainer_kwargs or {})
-    trainer_kwargs.pop("lam", None)
-    trainer_kwargs.pop("warmup_epochs", None)
-    points: List[DSEPoint] = []
-    for warmup in warmups:
-        for lam in lambdas:
-            model = seed_factory()
-            trainer = PITTrainer(model, loss_fn, lam=lam,
-                                 warmup_epochs=warmup, **trainer_kwargs)
-            result = trainer.fit(train_loader, val_loader)
-            point = DSEPoint(
-                lam=lam, warmup_epochs=warmup, dilations=result.dilations,
-                params=result.effective_params, loss=result.best_val,
-                result=result)
-            points.append(point)
-            if verbose:
-                print(f"[DSE] lam={lam:g} warmup={warmup}: "
-                      f"{point.params} params, loss={point.loss:.4f}, "
-                      f"d={point.dilations}")
-    return DSEResult(points=points)
+    engine = DSEEngine(seed_factory, loss_fn, train_loader, val_loader,
+                       workers=workers, executor=executor,
+                       cache_path=cache_path, cache_tag=cache_tag,
+                       trainer_kwargs=trainer_kwargs,
+                       verbose=verbose)
+    return engine.run(lambdas, warmups=warmups)
 
 
 def select_small_medium_large(points: Sequence[DSEPoint],

@@ -1,0 +1,215 @@
+"""Differential test harness locking the conv backends together.
+
+Every registered backend of :mod:`repro.autograd.backends` must agree with
+the einsum reference on forward values *and* all gradients, over a grid of
+dilations, strides and kernel sizes that includes ``C_in != C_out`` and a
+temporal length not divisible by the stride.  The im2col fast path is also
+validated independently against central finite differences via
+:mod:`repro.autograd.gradcheck`, so the two backends can never be
+"consistently wrong" together.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    Tensor,
+    available_backends,
+    check_gradients,
+    conv1d_causal,
+    current_backend,
+    get_backend,
+    set_backend,
+    use_backend,
+)
+
+DILATIONS = (1, 2, 4, 8)
+STRIDES = (1, 2, 3)
+KERNELS = (1, 3, 9)
+
+# C_in != C_out, and T=13 is not divisible by strides 2 or 3.
+N, C_IN, C_OUT, T = 2, 3, 4, 13
+
+GRID = [(d, s, k) for d in DILATIONS for s in STRIDES for k in KERNELS]
+
+
+def _inputs(kernel, requires_grad=False, seed=0):
+    rng = np.random.default_rng(seed + 100 * kernel)
+    x = Tensor(rng.standard_normal((N, C_IN, T)), requires_grad=requires_grad)
+    w = Tensor(rng.standard_normal((C_OUT, C_IN, kernel)),
+               requires_grad=requires_grad)
+    b = Tensor(rng.standard_normal(C_OUT), requires_grad=requires_grad)
+    return x, w, b
+
+
+def _run(backend, dilation, stride, kernel):
+    """Forward + backward under one backend; returns output and gradients."""
+    x, w, b = _inputs(kernel, requires_grad=True)
+    out = conv1d_causal(x, w, b, dilation=dilation, stride=stride,
+                        backend=backend)
+    out.sum().backward()
+    return out.data, x.grad, w.grad, b.grad
+
+
+class TestForwardParity:
+    @pytest.mark.parametrize("dilation,stride,kernel", GRID)
+    def test_im2col_matches_einsum(self, dilation, stride, kernel):
+        x, w, b = _inputs(kernel)
+        ref = conv1d_causal(x, w, b, dilation=dilation, stride=stride,
+                            backend="einsum")
+        fast = conv1d_causal(x, w, b, dilation=dilation, stride=stride,
+                             backend="im2col")
+        assert ref.shape == fast.shape
+        assert np.allclose(ref.data, fast.data, atol=1e-12)
+
+    def test_no_bias(self):
+        x, w, _ = _inputs(3)
+        ref = conv1d_causal(x, w, dilation=2, backend="einsum")
+        fast = conv1d_causal(x, w, dilation=2, backend="im2col")
+        assert np.allclose(ref.data, fast.data, atol=1e-12)
+
+    def test_all_registered_backends_agree(self):
+        """Future backends are automatically held to the same contract."""
+        x, w, b = _inputs(9)
+        reference = conv1d_causal(x, w, b, dilation=4, stride=2,
+                                  backend="einsum").data
+        for name in available_backends():
+            out = conv1d_causal(x, w, b, dilation=4, stride=2, backend=name)
+            assert np.allclose(out.data, reference, atol=1e-12), name
+
+
+class TestGradientParity:
+    @pytest.mark.parametrize("dilation,stride,kernel", GRID)
+    def test_all_gradients_match(self, dilation, stride, kernel):
+        _, gx_ref, gw_ref, gb_ref = _run("einsum", dilation, stride, kernel)
+        _, gx, gw, gb = _run("im2col", dilation, stride, kernel)
+        assert np.allclose(gx, gx_ref, atol=1e-12)
+        assert np.allclose(gw, gw_ref, atol=1e-12)
+        assert np.allclose(gb, gb_ref, atol=1e-12)
+
+    @pytest.mark.parametrize("dilation,stride,kernel",
+                             [(1, 1, 1), (2, 1, 3), (4, 2, 3), (8, 3, 9),
+                              (1, 3, 9), (2, 2, 9)])
+    def test_im2col_gradcheck(self, dilation, stride, kernel):
+        """The fast path against finite differences, not just the reference."""
+        x, w, b = _inputs(kernel, requires_grad=True, seed=7)
+        check_gradients(
+            lambda x, w, b: conv1d_causal(x, w, b, dilation=dilation,
+                                          stride=stride, backend="im2col"),
+            [x, w, b])
+
+
+class TestBackendSelection:
+    def test_default_honours_environment(self):
+        # CI runs the suite twice: bare (einsum default) and with
+        # REPRO_CONV_BACKEND=im2col steering every untagged conv call.
+        expected = os.environ.get("REPRO_CONV_BACKEND") or "einsum"
+        assert current_backend() == expected
+        assert get_backend().name == expected
+
+    def test_set_backend_round_trip(self):
+        previous = current_backend()
+        set_backend("im2col")
+        try:
+            assert current_backend() == "im2col"
+            assert get_backend().name == "im2col"
+        finally:
+            set_backend(previous)
+
+    def test_use_backend_restores_on_exit(self):
+        previous = current_backend()
+        with use_backend("im2col") as backend:
+            assert backend.name == "im2col"
+            assert current_backend() == "im2col"
+        assert current_backend() == previous
+
+    def test_use_backend_restores_on_error(self):
+        previous = current_backend()
+        with pytest.raises(RuntimeError):
+            with use_backend("im2col"):
+                raise RuntimeError("boom")
+        assert current_backend() == previous
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown conv backend"):
+            conv1d_causal(Tensor(np.zeros((1, 1, 4))),
+                          Tensor(np.zeros((1, 1, 2))), backend="cudnn")
+        with pytest.raises(ValueError):
+            set_backend("not-a-backend")
+
+    def test_bogus_env_var_does_not_crash_import(self):
+        """A typo'd REPRO_CONV_BACKEND must fail at first use with a clear
+        error, not at `import repro` (which would break even --help)."""
+        import subprocess
+        import sys
+        script = (
+            "import repro\n"
+            "from repro.autograd import conv1d_causal, Tensor\n"
+            "import numpy as np\n"
+            "try:\n"
+            "    conv1d_causal(Tensor(np.zeros((1, 1, 4))),\n"
+            "                  Tensor(np.zeros((1, 1, 2))))\n"
+            "except ValueError as exc:\n"
+            "    assert 'im2coll' in str(exc), exc\n"
+            "    print('LAZY-OK')\n")
+        proc = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True, text=True,
+            env={**os.environ, "REPRO_CONV_BACKEND": "im2coll",
+                 "PYTHONPATH": os.path.join(os.path.dirname(__file__),
+                                            "..", "src")})
+        assert proc.returncode == 0, proc.stderr
+        assert "LAZY-OK" in proc.stdout
+
+    def test_global_default_steers_untagged_calls(self):
+        x, w, b = _inputs(3)
+        ref = conv1d_causal(x, w, b, dilation=2).data
+        with use_backend("im2col"):
+            fast = conv1d_causal(x, w, b, dilation=2).data
+        assert np.allclose(ref, fast, atol=1e-12)
+
+    def test_backward_uses_forward_backend(self):
+        """The tape captures the backend resolved at forward time."""
+        x, w, b = _inputs(3, requires_grad=True)
+        with use_backend("im2col"):
+            out = conv1d_causal(x, w, b, dilation=2)
+        # Default has switched back to einsum; backward must still succeed
+        # and match the einsum-end-to-end gradients.
+        out.sum().backward()
+        _, gx_ref, gw_ref, gb_ref = _run("einsum", 2, 1, 3)
+        assert np.allclose(x.grad, gx_ref, atol=1e-12)
+        assert np.allclose(w.grad, gw_ref, atol=1e-12)
+        assert np.allclose(b.grad, gb_ref, atol=1e-12)
+
+
+class TestLayerIntegration:
+    def test_causal_conv_layer_backend_parity(self):
+        from repro.nn import CausalConv1d
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((2, C_IN, T))
+        outs = {}
+        for name in ("einsum", "im2col"):
+            layer = CausalConv1d(C_IN, C_OUT, 5, dilation=2, stride=2,
+                                 rng=np.random.default_rng(11), backend=name)
+            assert layer.backend == name
+            outs[name] = layer(Tensor(x)).data
+        assert np.allclose(outs["einsum"], outs["im2col"], atol=1e-12)
+
+    def test_pit_conv_layer_backend_parity(self):
+        from repro.core import PITConv1d
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal((2, C_IN, T))
+        outs = {}
+        for name in ("einsum", "im2col"):
+            layer = PITConv1d(C_IN, C_OUT, rf_max=9,
+                              rng=np.random.default_rng(13), backend=name)
+            outs[name] = layer(Tensor(x)).data
+        assert np.allclose(outs["einsum"], outs["im2col"], atol=1e-12)
+
+    def test_export_propagates_backend(self):
+        from repro.core import PITConv1d
+        from repro.core.export import export_conv
+        layer = PITConv1d(2, 2, rf_max=5, rng=np.random.default_rng(0),
+                          backend="im2col")
+        assert export_conv(layer).backend == "im2col"

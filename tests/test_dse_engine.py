@@ -1,0 +1,354 @@
+"""Tests for the parallel DSE execution engine and its results cache.
+
+The engine's contract: a sweep dispatched to a worker pool returns
+*bit-identical* points, in the same grid order, as the serial path — and a
+sweep resumed from a cache file skips the completed (λ, warmup) points
+entirely while reproducing the same :class:`DSEResult`.
+"""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import PITConv1d
+from repro.data import ArrayDataset, DataLoader
+from repro.evaluation import DSECache, DSEEngine, DSEPoint, run_dse
+from repro.evaluation.dse import DSEResult
+from repro.nn import CausalConv1d, Module, ReLU, mse_loss
+
+LAMBDAS = [0.0, 2.0]
+WARMUPS = [0, 1]
+SCHEDULE = dict(gamma_lr=0.2, max_prune_epochs=2, finetune_epochs=1)
+
+
+class Tiny(Module):
+    def __init__(self):
+        super().__init__()
+        rng = np.random.default_rng(0)
+        self.c = PITConv1d(1, 2, rf_max=9, rng=rng)
+        self.r = ReLU()
+        self.h = CausalConv1d(2, 1, 1, rng=rng)
+
+    def forward(self, x):
+        return self.h(self.r(self.c(x)))
+
+
+class CountingFactory:
+    """Picklable factory that counts how many seeds it builds."""
+
+    def __init__(self):
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def __call__(self):
+        with self._lock:
+            self.calls += 1
+        return Tiny()
+
+
+def _loaders(shuffle=False, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((12, 1, 10))
+    y = np.concatenate([np.zeros((12, 1, 1)), x[:, :, :-1]], axis=2)
+    train = DataLoader(ArrayDataset(x[:8], y[:8]), 4, shuffle=shuffle,
+                       rng=np.random.default_rng(seed + 1))
+    val = DataLoader(ArrayDataset(x[8:], y[8:]), 4)
+    return train, val
+
+
+def _sweep(workers, cache_path=None, shuffle=False, factory=Tiny):
+    train, val = _loaders(shuffle=shuffle)
+    engine = DSEEngine(factory, mse_loss, train, val, workers=workers,
+                       cache_path=cache_path, trainer_kwargs=dict(SCHEDULE))
+    return engine.run(LAMBDAS, warmups=WARMUPS)
+
+
+def _assert_identical(a: DSEResult, b: DSEResult) -> None:
+    assert len(a.points) == len(b.points)
+    for pa, pb in zip(a.points, b.points):
+        assert (pa.lam, pa.warmup_epochs) == (pb.lam, pb.warmup_epochs)
+        assert pa.dilations == pb.dilations
+        assert pa.params == pb.params
+        assert pa.loss == pb.loss  # bit-identical, not allclose
+        assert pa.result is not None and pb.result is not None
+        assert pa.result.best_val == pb.result.best_val
+        assert pa.result.prune_epochs == pb.result.prune_epochs
+
+
+class TestParallelDeterminism:
+    def test_two_workers_bit_identical_to_serial(self):
+        serial = _sweep(workers=0)
+        parallel = _sweep(workers=2)
+        _assert_identical(serial, parallel)
+
+    def test_grid_ordering_is_warmup_major(self):
+        result = _sweep(workers=2)
+        combos = [(p.warmup_epochs, p.lam) for p in result.points]
+        assert combos == [(w, l) for w in WARMUPS for l in LAMBDAS]
+
+    def test_shuffling_loaders_do_not_break_determinism(self):
+        """Each point deep-copies the loaders, so a shared shuffle RNG
+        cannot thread state between grid points in completion order."""
+        serial = _sweep(workers=0, shuffle=True)
+        parallel = _sweep(workers=2, shuffle=True)
+        _assert_identical(serial, parallel)
+
+    def test_process_executor_matches_serial(self):
+        train, val = _loaders()
+        engine = DSEEngine(Tiny, mse_loss, train, val, workers=2,
+                           executor="process",
+                           trainer_kwargs=dict(SCHEDULE))
+        parallel = engine.run(LAMBDAS, warmups=[0])
+        serial = DSEEngine(Tiny, mse_loss, train, val,
+                           trainer_kwargs=dict(SCHEDULE)).run(LAMBDAS,
+                                                              warmups=[0])
+        _assert_identical(serial, parallel)
+
+    def test_private_loaders_share_dataset_storage(self):
+        """Grid points deep-copy all mutable loader state but share the
+        (read-only) sample arrays."""
+        from repro.evaluation.dse import _private_loader
+        train, _ = _loaders(shuffle=True)
+        clone = _private_loader(train)
+        assert clone.dataset.inputs is train.dataset.inputs
+        assert clone.dataset.targets is train.dataset.targets
+        assert clone.rng is not train.rng
+        # The private RNG starts from the original's current state...
+        assert (clone.rng.bit_generator.state
+                == train.rng.bit_generator.state)
+        # ...and consuming it leaves the original untouched.
+        clone.rng.random()
+        assert (clone.rng.bit_generator.state
+                != train.rng.bit_generator.state)
+
+    def test_grid_point_applies_pinned_backend(self):
+        """A worker (think: spawned process with its own import-time
+        default) trains under the backend the engine pinned at run(),
+        scoped thread-locally so the caller's default is untouched."""
+        from repro.autograd import current_backend
+        from repro.evaluation.dse import _train_grid_point
+        train, val = _loaders()
+        previous = current_backend()
+        point = _train_grid_point(Tiny, mse_loss, train, val, 0.0, 0,
+                                  dict(SCHEDULE), "im2col")
+        assert point.params > 0
+        assert current_backend() == previous  # scope restored
+        # The pin is actually consumed: an unknown name is rejected.
+        with pytest.raises(ValueError, match="unknown conv backend"):
+            _train_grid_point(Tiny, mse_loss, train, val, 0.0, 0,
+                              dict(SCHEDULE), "bogus")
+
+    def test_engine_validates_arguments(self):
+        train, val = _loaders()
+        with pytest.raises(ValueError, match="executor"):
+            DSEEngine(Tiny, mse_loss, train, val, executor="mpi")
+        with pytest.raises(ValueError, match="workers"):
+            DSEEngine(Tiny, mse_loss, train, val, workers=-1)
+
+
+class TestCache:
+    def test_resume_skips_completed_points(self, tmp_path):
+        cache = str(tmp_path / "dse.json")
+        factory = CountingFactory()
+        first = _sweep(workers=0, cache_path=cache, factory=factory)
+        assert factory.calls == len(LAMBDAS) * len(WARMUPS)
+
+        resumed = _sweep(workers=0, cache_path=cache, factory=factory)
+        assert factory.calls == len(LAMBDAS) * len(WARMUPS)  # no retraining
+        _assert_identical(first, resumed)
+
+    def test_parallel_resume_from_serial_cache(self, tmp_path):
+        cache = str(tmp_path / "dse.json")
+        serial = _sweep(workers=0, cache_path=cache)
+        factory = CountingFactory()
+        parallel = _sweep(workers=2, cache_path=cache, factory=factory)
+        assert factory.calls == 0
+        _assert_identical(serial, parallel)
+
+    def test_partial_cache_trains_only_missing_points(self, tmp_path):
+        cache = str(tmp_path / "dse.json")
+        train, val = _loaders()
+        engine = DSEEngine(Tiny, mse_loss, train, val, cache_path=cache,
+                           trainer_kwargs=dict(SCHEDULE))
+        engine.run([LAMBDAS[0]], warmups=[0])
+
+        factory = CountingFactory()
+        engine = DSEEngine(factory, mse_loss, train, val, cache_path=cache,
+                           trainer_kwargs=dict(SCHEDULE))
+        result = engine.run(LAMBDAS, warmups=[0])
+        assert factory.calls == 1  # only the uncached λ trains
+        assert [p.lam for p in result.points] == LAMBDAS
+
+    def test_cache_keyed_by_tag(self, tmp_path):
+        """Different model/data identities never share cache entries."""
+        cache = str(tmp_path / "dse.json")
+        train, val = _loaders()
+        DSEEngine(Tiny, mse_loss, train, val, cache_path=cache,
+                  cache_tag="width=0.25",
+                  trainer_kwargs=dict(SCHEDULE)).run([0.0], warmups=[0])
+
+        factory = CountingFactory()
+        DSEEngine(factory, mse_loss, train, val, cache_path=cache,
+                  cache_tag="width=1.0",
+                  trainer_kwargs=dict(SCHEDULE)).run([0.0], warmups=[0])
+        assert factory.calls == 1  # different tag -> cache miss
+
+    def test_cache_keyed_by_conv_backend(self, tmp_path):
+        """Points trained under one backend are not returned under another."""
+        from repro.autograd import use_backend
+        cache = str(tmp_path / "dse.json")
+        train, val = _loaders()
+        with use_backend("einsum"):
+            DSEEngine(Tiny, mse_loss, train, val, cache_path=cache,
+                      trainer_kwargs=dict(SCHEDULE)).run([0.0], warmups=[0])
+        factory = CountingFactory()
+        with use_backend("im2col"):
+            DSEEngine(factory, mse_loss, train, val, cache_path=cache,
+                      trainer_kwargs=dict(SCHEDULE)).run([0.0], warmups=[0])
+        assert factory.calls == 1  # different backend -> cache miss
+
+    def test_cache_rejects_non_json_trainer_settings(self):
+        """Object-valued kwargs can't be keyed stably (reprs embed
+        per-process addresses); refuse loudly rather than mis-cache."""
+        with pytest.raises(ValueError, match="JSON-serializable"):
+            DSECache.key(0.0, 0, {"callback": object()}, backend="einsum")
+        # Scalar settings (everything PITTrainer accepts) key fine.
+        key = DSECache.key(0.0, 0, dict(SCHEDULE), backend="einsum")
+        assert "backend=einsum" in key
+
+    def test_cache_keyed_by_trainer_settings(self, tmp_path):
+        cache = str(tmp_path / "dse.json")
+        train, val = _loaders()
+        DSEEngine(Tiny, mse_loss, train, val, cache_path=cache,
+                  trainer_kwargs=dict(SCHEDULE)).run([0.0], warmups=[0])
+
+        factory = CountingFactory()
+        other = dict(SCHEDULE, max_prune_epochs=1)
+        DSEEngine(factory, mse_loss, train, val, cache_path=cache,
+                  trainer_kwargs=other).run([0.0], warmups=[0])
+        assert factory.calls == 1  # different settings -> cache miss
+
+    def test_completed_points_survive_a_failing_grid_point(self, tmp_path):
+        """A crashing point must not discard concurrently finished ones."""
+        cache = str(tmp_path / "dse.json")
+        train, val = _loaders()
+
+        class ExplodingFactory:
+            """Fails fast for λ=0 (detected via a marker on the first call
+            of each pair); healthy for the other grid points."""
+            def __init__(self):
+                self.calls = 0
+                self._lock = threading.Lock()
+
+            def __call__(self):
+                with self._lock:
+                    self.calls += 1
+                    if self.calls == 1:
+                        raise RuntimeError("diverged")
+                return Tiny()
+
+        engine = DSEEngine(ExplodingFactory(), mse_loss, train, val,
+                           workers=2, cache_path=cache,
+                           trainer_kwargs=dict(SCHEDULE))
+        with pytest.raises(RuntimeError, match="diverged"):
+            engine.run(LAMBDAS, warmups=[0])
+
+        with open(cache) as handle:
+            recorded = json.load(handle)["points"]
+        assert len(recorded) == 1  # the healthy point was cached
+
+        # Resuming retrains only the failed point.
+        factory = CountingFactory()
+        resumed = DSEEngine(factory, mse_loss, train, val, workers=2,
+                            cache_path=cache,
+                            trainer_kwargs=dict(SCHEDULE)).run(LAMBDAS,
+                                                               warmups=[0])
+        assert factory.calls == 1
+        assert [p.lam for p in resumed.points] == LAMBDAS
+
+    def test_failure_without_cache_fails_fast(self):
+        """With no cache to persist results, a failing point must abort the
+        sweep instead of training the rest of the grid for nothing."""
+        train, val = _loaders()
+
+        class FailFirst:
+            def __init__(self):
+                self.calls = 0
+                self._lock = threading.Lock()
+
+            def __call__(self):
+                with self._lock:
+                    self.calls += 1
+                    if self.calls == 1:
+                        raise RuntimeError("diverged")
+                return Tiny()
+
+        factory = FailFirst()
+        engine = DSEEngine(factory, mse_loss, train, val, workers=2,
+                           trainer_kwargs=dict(SCHEDULE))
+        with pytest.raises(RuntimeError, match="diverged"):
+            engine.run([0.0, 1.0, 2.0, 3.0, 4.0, 5.0], warmups=[0])
+        # The queued grid points were cancelled, not trained-and-discarded.
+        assert factory.calls < 6
+
+    def test_cache_file_format(self, tmp_path):
+        cache = str(tmp_path / "dse.json")
+        result = _sweep(workers=0, cache_path=cache)
+        with open(cache) as handle:
+            payload = json.load(handle)
+        assert payload["version"] == DSECache.VERSION
+        assert len(payload["points"]) == len(result.points)
+        entry = next(iter(payload["points"].values()))
+        assert {"lam", "warmup_epochs", "dilations", "params",
+                "loss", "result"} <= set(entry)
+
+    def test_round_trip_restores_full_result(self, tmp_path):
+        cache = str(tmp_path / "dse.json")
+        original = _sweep(workers=0, cache_path=cache)
+        restored = _sweep(workers=0, cache_path=cache)
+        for pa, pb in zip(original.points, restored.points):
+            assert isinstance(pb, DSEPoint)
+            assert pb.result.history == pa.result.history
+            assert pb.result.total_seconds == pa.result.total_seconds
+            assert pb.dilations == pa.dilations
+
+    def test_concurrent_cache_instances_merge_on_flush(self, tmp_path):
+        """Two processes sharing one cache file must not erase each
+        other's completed points on flush (simulated with two instances)."""
+        path = str(tmp_path / "shared.json")
+        point = DSEPoint(lam=0.0, warmup_epochs=0, dilations=(1,),
+                         params=1, loss=0.5)
+        a = DSECache(path)
+        b = DSECache(path)  # loaded before `a` records anything
+        a.put("ka", point)
+        b.put("kb", point)  # must merge ka from disk, not overwrite it
+        with open(path) as handle:
+            recorded = json.load(handle)["points"]
+        assert set(recorded) == {"ka", "kb"}
+
+    def test_rejects_unknown_cache_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 99, "points": {}}))
+        with pytest.raises(ValueError, match="cache version"):
+            DSECache(str(path))
+
+
+class TestRunDseWrapper:
+    def test_run_dse_accepts_engine_knobs(self, tmp_path):
+        train, val = _loaders()
+        result = run_dse(Tiny, mse_loss, train, val, lambdas=LAMBDAS,
+                         warmups=[0], trainer_kwargs=dict(SCHEDULE),
+                         workers=2, cache_path=str(tmp_path / "c.json"))
+        assert len(result.points) == len(LAMBDAS)
+
+    def test_optional_result_annotation(self):
+        """Satellite fix: DSEPoint.result is Optional and defaults to None."""
+        from typing import get_args, get_origin, get_type_hints, Union
+        hints = get_type_hints(DSEPoint)
+        assert get_origin(hints["result"]) is Union
+        assert type(None) in get_args(hints["result"])
+        point = DSEPoint(lam=0.0, warmup_epochs=0, dilations=(1,),
+                         params=1, loss=0.0)
+        assert point.result is None

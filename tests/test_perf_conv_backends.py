@@ -1,0 +1,78 @@
+"""Perf smoke test: the im2col GEMM backend must not lose to einsum.
+
+Marked ``perf`` and skipped in the tier-1 run; enable with::
+
+    REPRO_RUN_PERF=1 PYTHONPATH=src python -m pytest tests/test_perf_conv_backends.py -q -s
+
+Times a TEMPONet-sized causal conv layer (forward + full backward) under
+both backends, asserts the im2col fast path is at least on par with the
+einsum reference (with a small noise allowance), and records the raw
+timings to ``BENCH_conv_backends.json`` in the repository root.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, conv1d_causal
+
+pytestmark = [
+    pytest.mark.perf,
+    pytest.mark.skipif(not os.environ.get("REPRO_RUN_PERF"),
+                       reason="perf smoke test; set REPRO_RUN_PERF=1 to run"),
+]
+
+# TEMPONet middle-block scale: 32->64 channels, 9 taps, 256 samples.
+LAYER = dict(n=16, c_in=32, c_out=64, t=256, k=9, dilation=4)
+REPS = 7
+WARMUP = 2
+# Allowance for scheduler/BLAS noise on a shared machine; im2col wins by
+# ~25-30% on this shape, so 1.15x still catches a real regression.
+TOLERANCE = 1.15
+
+RESULT_PATH = os.path.join(os.path.dirname(__file__), "..",
+                           "BENCH_conv_backends.json")
+
+
+def _time_backend(backend: str) -> float:
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.standard_normal((LAYER["n"], LAYER["c_in"], LAYER["t"])),
+               requires_grad=True)
+    w = Tensor(rng.standard_normal((LAYER["c_out"], LAYER["c_in"], LAYER["k"])),
+               requires_grad=True)
+    b = Tensor(rng.standard_normal(LAYER["c_out"]), requires_grad=True)
+    best = float("inf")
+    for rep in range(WARMUP + REPS):
+        x.grad = w.grad = b.grad = None
+        start = time.perf_counter()
+        out = conv1d_causal(x, w, b, dilation=LAYER["dilation"],
+                            backend=backend)
+        out.sum().backward()
+        elapsed = time.perf_counter() - start
+        if rep >= WARMUP:
+            best = min(best, elapsed)
+    return best
+
+
+def test_im2col_not_slower_than_einsum():
+    einsum_s = _time_backend("einsum")
+    im2col_s = _time_backend("im2col")
+
+    payload = {
+        "layer": LAYER,
+        "reps": REPS,
+        "einsum_seconds": einsum_s,
+        "im2col_seconds": im2col_s,
+        "speedup": einsum_s / im2col_s,
+    }
+    with open(os.path.abspath(RESULT_PATH), "w") as handle:
+        json.dump(payload, handle, indent=2)
+    print(f"\neinsum {einsum_s * 1e3:.2f} ms  im2col {im2col_s * 1e3:.2f} ms  "
+          f"speedup {payload['speedup']:.2f}x")
+
+    assert im2col_s <= einsum_s * TOLERANCE, (
+        f"im2col backend regressed: {im2col_s * 1e3:.2f} ms vs "
+        f"einsum {einsum_s * 1e3:.2f} ms")
