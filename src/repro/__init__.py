@@ -32,9 +32,12 @@ Quickstart::
 """
 
 from .autograd import (
+    CompiledStep,
     available_backends,
     current_backend,
+    get_default_dtype,
     set_backend,
+    set_default_dtype,
     use_backend,
 )
 from .core import (
@@ -50,15 +53,20 @@ from .core import (
     search_space_size,
     train_plain,
     evaluate,
+    make_training_step,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "CompiledStep",
     "available_backends",
     "current_backend",
+    "get_default_dtype",
     "set_backend",
+    "set_default_dtype",
     "use_backend",
+    "make_training_step",
     "PITConv1d",
     "PITTrainer",
     "PITResult",

@@ -6,9 +6,16 @@ equivalent differentiable-tensor substrate on plain numpy.  See
 """
 
 from .tensor import (
+    OpDef,
     Tensor,
+    apply_op,
+    record_side_effect,
+    mark_capture_unsafe,
     no_grad,
     is_grad_enabled,
+    set_default_dtype,
+    get_default_dtype,
+    default_dtype_scope,
     tensor,
     zeros,
     ones,
@@ -33,9 +40,28 @@ from .backends import (
 )
 from .ops_conv import conv1d_causal, avg_pool1d, max_pool1d, global_avg_pool1d
 from .ops_nn import softmax, log_softmax, logsumexp, binarize_ste, dropout
+from .graph import (
+    CompiledStep,
+    EagerStep,
+    GraphCapture,
+    GraphCaptureError,
+    compile_step_default,
+)
 from .gradcheck import numerical_gradient, check_gradients, GradCheckError
 
 __all__ = [
+    "OpDef",
+    "apply_op",
+    "record_side_effect",
+    "mark_capture_unsafe",
+    "set_default_dtype",
+    "get_default_dtype",
+    "default_dtype_scope",
+    "CompiledStep",
+    "EagerStep",
+    "GraphCapture",
+    "GraphCaptureError",
+    "compile_step_default",
     "ConvBackend",
     "available_backends",
     "register_backend",

@@ -1,0 +1,41 @@
+"""Graph-capture executor: trace a training step once, replay it flat.
+
+Eager autograd rebuilds the op graph in Python for every batch.  For the
+static networks of this reproduction (TCNs, PIT supernets, unrolled RNNs)
+that graph is identical batch after batch, so this subsystem records it
+once and replays it as a flat schedule:
+
+* :class:`GraphCapture` — thread-local tracer observing every
+  :func:`repro.autograd.apply_op` dispatch during one eager step;
+* :mod:`~repro.autograd.graph.ir` — the frozen program: topo-ordered nodes
+  carrying op kind, static attrs (including the conv backend handle
+  resolved at trace time) and input/output buffer slots;
+* :class:`CompiledStep` — the replay executor: per-shape program cache,
+  preallocated gradient buffers, bit-identical results, automatic eager
+  fallback for anything value-dependent.
+
+Entry points for training code: ``PITTrainer(compile_step=True)``,
+``train_plain(compile_step=True)``, the ``--compile`` CLI flag, or the
+``REPRO_COMPILE_STEP=1`` environment default.
+"""
+
+from .capture import GraphCapture, capture
+from .executor import (
+    ENV_COMPILE,
+    CompiledStep,
+    EagerStep,
+    compile_step_default,
+)
+from .ir import GraphCaptureError, GraphProgram, build_program
+
+__all__ = [
+    "GraphCapture",
+    "GraphCaptureError",
+    "GraphProgram",
+    "CompiledStep",
+    "EagerStep",
+    "build_program",
+    "capture",
+    "compile_step_default",
+    "ENV_COMPILE",
+]

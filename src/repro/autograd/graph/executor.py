@@ -1,0 +1,258 @@
+"""Replay executor: run a captured training step without building a graph.
+
+:class:`CompiledStep` wraps a step function ``step_fn(x, y) -> (loss, ...)``
+(tensors in, tensors out).  The first call per input shape *traces*: the
+step runs eagerly under a :class:`GraphCapture` — producing real losses and
+gradients — and is frozen into a :class:`GraphProgram`.  Every later call
+with that shape *replays* the program: a flat loop over recorded kernels on
+slot-indexed numpy buffers, with
+
+* no ``Tensor`` objects, no parent tuples, no per-op bookkeeping;
+* no topological sort — the backward schedule was precomputed from the same
+  topo order the eager engine uses;
+* preallocated gradient buffers (and output buffers for elementwise ops
+  that support ``fwd_out``), reused across replays.
+
+Because replay invokes the *same* :class:`OpDef` kernels in the *same*
+order on the same values as eager execution would, results — losses, every
+parameter gradient, and therefore entire training trajectories — are
+bit-identical to eager mode; ``tests/test_graph_executor.py`` locks this.
+
+Shape changes (e.g. a short final batch) transparently re-trace: programs
+are cached per ``(x.shape, y.shape)``, so each distinct shape pays one
+eager step and replays thereafter.  Captures that fail — legacy closure
+ops, value-dependent control flow announced via ``mark_capture_unsafe`` —
+poison the step permanently and it runs eagerly, which is always correct;
+see :attr:`CompiledStep.fallback_reason`.
+
+A ``CompiledStep`` is single-threaded (per-replay scratch lives in the
+program nodes); concurrent trainers — e.g. parallel DSE workers — each
+compile their own step.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from ..tensor import Tensor
+from .capture import capture
+from .ir import GraphCaptureError, GraphProgram, OpNode, build_program
+
+__all__ = ["CompiledStep", "EagerStep", "compile_step_default", "ENV_COMPILE"]
+
+ENV_COMPILE = "REPRO_COMPILE_STEP"
+
+
+def compile_step_default() -> bool:
+    """Process-wide default for ``compile_step=None`` knobs.
+
+    True when the ``REPRO_COMPILE_STEP`` environment variable is a truthy
+    flag (``1``/``true``/``yes``/``on``); read per call so tests can flip it.
+    """
+    return os.environ.get(ENV_COMPILE, "").strip().lower() in ("1", "true", "yes", "on")
+
+
+def _scalarize(array: np.ndarray) -> Union[float, np.ndarray]:
+    return float(array) if array.size == 1 else np.array(array, copy=True)
+
+
+class EagerStep:
+    """Uniform step interface over plain eager execution.
+
+    ``step(x, y)`` builds input tensors, runs the step function, calls
+    ``backward()`` on its first output (leaving ``.grad`` populated), and
+    returns the outputs as floats/arrays — the exact contract of
+    :class:`CompiledStep`, so trainers can hold either interchangeably.
+    """
+
+    def __init__(self, step_fn: Callable):
+        self.step_fn = step_fn
+
+    def __call__(self, x, y) -> Tuple:
+        outs = self.step_fn(Tensor(x), Tensor(y))
+        outs = outs if isinstance(outs, tuple) else (outs,)
+        outs[0].backward()
+        return tuple(_scalarize(o.data) for o in outs)
+
+
+# Forward-plan entry kinds (first tuple element), chosen so the replay loop
+# is one integer compare away from the right call shape.
+_K_FWD, _K_OUT, _K_SCRATCH, _K_EFFECT = 0, 1, 2, 3
+
+
+class _ProgramRunner:
+    """Replays one :class:`GraphProgram` with preallocated buffers.
+
+    The program is flattened further at construction into plain-tuple
+    *plans* (no attribute lookups, no isinstance checks in the replay
+    loop); all per-replay scratch — gradient buffers, elementwise output
+    buffers, op scratch dicts — is allocated here once.
+    """
+
+    def __init__(self, program: GraphProgram):
+        self.program = program
+        self.values: list = [None] * program.n_slots
+        # Gradient buffers: one per slot that receives gradients, allocated
+        # once from the traced shapes and reused for every replay.
+        self.grad_bufs = {slot: np.empty(shape, dtype)
+                          for slot, (shape, dtype) in program.slot_meta.items()}
+
+        fwd_plan = []
+        for node in program.schedule:
+            if type(node) is OpNode:
+                op = node.op
+                meta = program.slot_meta.get(node.out_slot)
+                if op.fwd_out is not None and meta is not None:
+                    buf = np.empty(*meta)
+                    fwd_plan.append((_K_OUT, op.fwd_out, node.attrs,
+                                     node.in_slots, node.out_slot, node, buf))
+                elif op.fwd_scratch is not None:
+                    fwd_plan.append((_K_SCRATCH, op.fwd_scratch, node.attrs,
+                                     node.in_slots, node.out_slot, node, {}))
+                else:
+                    fwd_plan.append((_K_FWD, op.fwd, node.attrs,
+                                     node.in_slots, node.out_slot, node, None))
+            else:
+                fwd_plan.append((_K_EFFECT, node.fn, None,
+                                 node.in_slots, -1, None, None))
+        self._fwd_plan = fwd_plan
+        self._bwd_plan = [
+            (step.node.op.bwd, step.node.attrs, step.node.in_slots,
+             step.node.out_slot, step.node, step.needs, step.acc)
+            for step in program.backward_steps]
+
+    def run(self, inputs: Tuple[np.ndarray, ...]) -> Tuple:
+        program = self.program
+        values = self.values
+        dtype = program.dtype
+
+        # Bind leaves live (the optimizer mutates parameter storage in
+        # place) and the fresh batch arrays.
+        for slot, t in program.leaves:
+            values[slot] = t.data
+        for slot, array in zip(program.input_slots, inputs):
+            if array.dtype != dtype:
+                array = array.astype(dtype)
+            values[slot] = array
+
+        # Forward sweep in recorded program order (effects interleaved).
+        for kind, fn, attrs, in_slots, out_slot, node, extra in self._fwd_plan:
+            ins = [values[s] for s in in_slots]
+            if kind == _K_FWD:
+                out, node.ctx = fn(ins, attrs)
+                # Mirror the Tensor() dtype coercion of eager dispatch.
+                if not isinstance(out, np.ndarray) or out.dtype != dtype:
+                    out = np.asarray(out, dtype=dtype)
+                values[out_slot] = out
+            elif kind == _K_OUT:
+                node.ctx = fn(ins, attrs, extra)
+                values[out_slot] = extra
+            elif kind == _K_SCRATCH:
+                out, node.ctx = fn(ins, attrs, extra)
+                if not isinstance(out, np.ndarray) or out.dtype != dtype:
+                    out = np.asarray(out, dtype=dtype)
+                values[out_slot] = out
+            else:
+                fn(*ins)
+
+        # Backward sweep: precomputed schedule, preallocated buffers.
+        grad_bufs = self.grad_bufs
+        grad_bufs[program.root_slot].fill(1.0)
+        for bwd, attrs, in_slots, out_slot, node, needs, acc in self._bwd_plan:
+            gsrc = grad_bufs[out_slot]
+            ins = [values[s] for s in in_slots]
+            grads = bwd(gsrc, ins, values[out_slot], node.ctx, attrs, needs)
+            for target, g in zip(acc, grads):
+                if target is None or g is None:
+                    continue
+                slot, first, sole = target
+                if not first:
+                    grad_bufs[slot] += g
+                elif (sole and g.base is None and g is not gsrc
+                      and g.dtype == grad_bufs[slot].dtype):
+                    # Adopt a fresh kernel-owned array as this slot's
+                    # gradient: the slot has exactly one contribution, so
+                    # nothing accumulates into (or re-reads) the adopted
+                    # buffer, and a full copy pass is saved.  Views and the
+                    # upstream grad itself are excluded — adopting those
+                    # would alias another slot's buffer.
+                    grad_bufs[slot] = g
+                else:
+                    # 0.0 + g: identical to eager's zeros-then-add, without
+                    # the zeroing.
+                    np.add(g, 0.0, out=grad_bufs[slot])
+
+        for slot, t in program.grad_leaves:
+            t.grad = grad_bufs[slot]
+        return tuple(_scalarize(values[slot]) for slot in program.output_slots)
+
+
+class CompiledStep:
+    """Trace a training step once per input shape, then replay it.
+
+    Parameters
+    ----------
+    step_fn:
+        ``step_fn(x, y) -> Tensor | tuple`` building loss (first output)
+        from input tensors.  It must construct its graph from module
+        parameters, inline constants and the given inputs only; anything
+        value-dependent must call
+        :func:`repro.autograd.mark_capture_unsafe`, which turns this step
+        into a permanent (correct) eager fallback.
+
+    Calls return the step outputs as floats (scalars) / arrays, with
+    parameter ``.grad`` populated — the same contract as
+    :class:`EagerStep`.
+    """
+
+    def __init__(self, step_fn: Callable):
+        self.step_fn = step_fn
+        self._runners: Dict[Tuple, _ProgramRunner] = {}
+        self._eager = EagerStep(step_fn)  # fallback path, built once
+        self.fallback_reason: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def compiled_shapes(self) -> Tuple[Tuple, ...]:
+        """Input-shape keys with a compiled program (introspection/tests)."""
+        return tuple(self._runners)
+
+    def __call__(self, x, y) -> Tuple:
+        if self.fallback_reason is not None:
+            return self._eager(x, y)
+        x = np.asarray(x)
+        y = np.asarray(y)
+        runner = self._runners.get((x.shape, y.shape))
+        if runner is not None:
+            return runner.run((x, y))
+        return self._trace(x, y)
+
+    # ------------------------------------------------------------------
+    def _trace(self, x: np.ndarray, y: np.ndarray) -> Tuple:
+        """Run one step eagerly under capture; freeze it if possible.
+
+        The traced execution is itself a valid step (real loss, real
+        gradients), so tracing never wastes a batch — and a failed capture
+        simply leaves its eager results as the step's results.
+        """
+        with capture() as tracer:
+            tx, ty = Tensor(x), Tensor(y)
+            tracer.add_input(tx)
+            tracer.add_input(ty)
+            outs = self.step_fn(tx, ty)
+            outs = outs if isinstance(outs, tuple) else (outs,)
+            outs[0].backward()
+        values = tuple(_scalarize(o.data) for o in outs)
+        if tracer.failure is not None:
+            self.fallback_reason = tracer.failure
+            return values
+        try:
+            program = build_program(tracer, outs[0], outs)
+        except GraphCaptureError as exc:
+            self.fallback_reason = str(exc)
+            return values
+        self._runners[(x.shape, y.shape)] = _ProgramRunner(program)
+        return values

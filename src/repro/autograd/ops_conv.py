@@ -12,7 +12,13 @@ an output sample never reads inputs from the future.  The numerical kernels
 an im2col/``as_strided`` single-GEMM fast path, selectable per call, via
 ``repro.set_backend()``, or through the ``REPRO_CONV_BACKEND`` environment
 variable.  This module owns everything backend-independent: validation,
-causal padding, bias, and the autograd tape.
+causal padding, bias, and the autograd dispatch.
+
+The backend is resolved *at dispatch time* and stored as a static attribute
+of the recorded op, so a graph-captured training step keeps replaying the
+kernels it was traced with even if the process-wide default is switched
+mid-run — and, symmetrically, an eager graph always runs forward and
+backward through the same kernels.
 
 Shapes follow the PyTorch convention:
 
@@ -29,9 +35,67 @@ from typing import Optional
 import numpy as np
 
 from .backends import get_backend
-from .tensor import Tensor
+from .tensor import OpDef, Tensor, apply_op
 
 __all__ = ["conv1d_causal", "avg_pool1d", "max_pool1d", "global_avg_pool1d"]
+
+
+def _conv_fwd(ins, attrs):
+    x, w = ins[0], ins[1]
+    dilation, stride = attrs["dilation"], attrs["stride"]
+    kernels = attrs["kernels"]
+    t = x.shape[2]
+    pad = (w.shape[2] - 1) * dilation
+    xp = np.pad(x, ((0, 0), (0, 0), (pad, 0)))
+    out = kernels.forward(xp, w, dilation, stride, t)
+    if len(ins) == 3:
+        out += ins[2][None, :, None]  # backends return owned buffers
+    # The padded input is the forward byproduct both adjoints need.
+    return out, xp
+
+
+def _conv_bwd(g, ins, out, xp, attrs, needs):
+    x, w = ins[0], ins[1]
+    dilation, stride = attrs["dilation"], attrs["stride"]
+    kernels = attrs["kernels"]
+    t = x.shape[2]
+    pad = (w.shape[2] - 1) * dilation
+    gx = gw = gb = None
+    if needs[0]:
+        gxp = kernels.grad_input(g, w, xp.shape, dilation, stride, t)
+        gx = gxp[:, :, pad:]
+    if needs[1]:
+        gw = kernels.grad_weight(g, xp, w.shape, dilation, stride, t)
+    if len(ins) == 3 and needs[2]:
+        gb = g.sum(axis=(0, 2))
+    return (gx, gw) if len(ins) == 2 else (gx, gw, gb)
+
+
+def _conv_fwd_scratch(ins, attrs, scratch):
+    """Replay variant: reuse a preallocated padded-input buffer.
+
+    ``np.pad`` zero-fills and copies into a fresh allocation every call;
+    here the zero left margin is written once and only the payload region
+    is refreshed — identical values, no allocation.
+    """
+    x, w = ins[0], ins[1]
+    dilation, stride = attrs["dilation"], attrs["stride"]
+    kernels = attrs["kernels"]
+    t = x.shape[2]
+    pad = (w.shape[2] - 1) * dilation
+    xp = scratch.get("xp")
+    if xp is None or xp.shape != (x.shape[0], x.shape[1], t + pad) or xp.dtype != x.dtype:
+        xp = np.zeros((x.shape[0], x.shape[1], t + pad), dtype=x.dtype)
+        scratch["xp"] = xp
+    xp[:, :, pad:] = x
+    out = kernels.forward(xp, w, dilation, stride, t)
+    if len(ins) == 3:
+        out += ins[2][None, :, None]
+    return out, xp
+
+
+_CONV1D = OpDef("conv1d_causal", _conv_fwd, _conv_bwd,
+                fwd_scratch=_conv_fwd_scratch)
 
 
 def conv1d_causal(x: Tensor, w: Tensor, b: Optional[Tensor] = None,
@@ -61,9 +125,10 @@ def conv1d_causal(x: Tensor, w: Tensor, b: Optional[Tensor] = None,
         Temporal output stride.
     backend:
         Conv-backend name (see :mod:`repro.autograd.backends`); None uses
-        the process-wide default.  The backend resolved here is captured by
-        the tape, so forward and backward always run the same kernels even
-        if the default is switched mid-graph.
+        the process-wide default.  The backend resolved here is recorded as
+        a static op attribute, so forward, backward and any graph-captured
+        replay always run the same kernels even if the default is switched
+        mid-graph.
     """
     if x.ndim != 3:
         raise ValueError(f"expected input (N, C_in, T), got shape {x.shape}")
@@ -75,29 +140,36 @@ def conv1d_causal(x: Tensor, w: Tensor, b: Optional[Tensor] = None,
     if dilation < 1 or stride < 1:
         raise ValueError("dilation and stride must be >= 1")
 
-    kernels = get_backend(backend)
-    _, _, t = x.shape
-    k = w.shape[2]
-    pad = (k - 1) * dilation
-    xp = np.pad(x.data, ((0, 0), (0, 0), (pad, 0)))
+    attrs = {"dilation": dilation, "stride": stride,
+             "kernels": get_backend(backend)}
+    inputs = (x, w) if b is None else (x, w, b)
+    return apply_op(_CONV1D, inputs, attrs)
 
-    out_data = kernels.forward(xp, w.data, dilation, stride, t)
-    if b is not None:
-        out_data += b.data[None, :, None]  # backends return owned buffers
 
-    parents = (x, w) if b is None else (x, w, b)
+def _avg_pool_fwd(ins, attrs):
+    x = ins[0]
+    kernel_size, stride = attrs["kernel_size"], attrs["stride"]
+    n, c, t = x.shape
+    t_out = (t - kernel_size) // stride + 1
+    out = np.zeros((n, c, t_out))
+    for offset in range(kernel_size):
+        out += x[:, :, offset: offset + stride * t_out: stride]
+    out /= kernel_size
+    return out, None
 
-    def backward(grad: np.ndarray) -> None:
-        if x.requires_grad:
-            gxp = kernels.grad_input(grad, w.data, xp.shape, dilation, stride, t)
-            x._accumulate(gxp[:, :, pad:])
-        if w.requires_grad:
-            w._accumulate(
-                kernels.grad_weight(grad, xp, w.shape, dilation, stride, t))
-        if b is not None and b.requires_grad:
-            b._accumulate(grad.sum(axis=(0, 2)))
 
-    return Tensor._make(out_data, parents, backward)
+def _avg_pool_bwd(g, ins, out, ctx, attrs, needs):
+    x = ins[0]
+    kernel_size, stride = attrs["kernel_size"], attrs["stride"]
+    t_out = (x.shape[2] - kernel_size) // stride + 1
+    gx = np.zeros_like(x)
+    scaled = g / kernel_size
+    for offset in range(kernel_size):
+        gx[:, :, offset: offset + stride * t_out: stride] += scaled
+    return (gx,)
+
+
+_AVG_POOL = OpDef("avg_pool1d", _avg_pool_fwd, _avg_pool_bwd)
 
 
 def avg_pool1d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Tensor:
@@ -108,26 +180,40 @@ def avg_pool1d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Ten
     if x.ndim != 3:
         raise ValueError(f"expected (N, C, T), got {x.shape}")
     stride = stride or kernel_size
-    n, c, t = x.shape
-    t_out = (t - kernel_size) // stride + 1
+    t_out = (x.shape[2] - kernel_size) // stride + 1
     if t_out <= 0:
-        raise ValueError(f"pooling window {kernel_size} larger than input length {t}")
+        raise ValueError(f"pooling window {kernel_size} larger than input length {x.shape[2]}")
+    return apply_op(_AVG_POOL, (x,),
+                    {"kernel_size": kernel_size, "stride": stride})
 
-    out_data = np.zeros((n, c, t_out))
-    for offset in range(kernel_size):
-        out_data += x.data[:, :, offset: offset + stride * t_out: stride]
-    out_data /= kernel_size
 
-    def backward(grad: np.ndarray) -> None:
-        if not x.requires_grad:
-            return
-        gx = np.zeros_like(x.data)
-        scaled = grad / kernel_size
-        for offset in range(kernel_size):
-            gx[:, :, offset: offset + stride * t_out: stride] += scaled
-        x._accumulate(gx)
+def _max_pool_fwd(ins, attrs):
+    x = ins[0]
+    kernel_size, stride = attrs["kernel_size"], attrs["stride"]
+    t_out = (x.shape[2] - kernel_size) // stride + 1
+    windows = np.stack(
+        [x[:, :, offset: offset + stride * t_out: stride] for offset in range(kernel_size)],
+        axis=-1)  # (N, C, T_out, K)
+    argmax = windows.argmax(axis=-1)
+    out = np.take_along_axis(windows, argmax[..., None], axis=-1).squeeze(-1)
+    return out, argmax
 
-    return Tensor._make(out_data, (x,), backward)
+
+def _max_pool_bwd(g, ins, out, argmax, attrs, needs):
+    x = ins[0]
+    stride = attrs["stride"]
+    n, c, _ = x.shape
+    t_out = argmax.shape[2]
+    gx = np.zeros_like(x)
+    # Scatter each output gradient back to the argmax input position.
+    n_idx, c_idx, t_idx = np.meshgrid(
+        np.arange(n), np.arange(c), np.arange(t_out), indexing="ij")
+    src_t = t_idx * stride + argmax
+    np.add.at(gx, (n_idx, c_idx, src_t), g)
+    return (gx,)
+
+
+_MAX_POOL = OpDef("max_pool1d", _max_pool_fwd, _max_pool_bwd)
 
 
 def max_pool1d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Tensor:
@@ -135,29 +221,11 @@ def max_pool1d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Ten
     if x.ndim != 3:
         raise ValueError(f"expected (N, C, T), got {x.shape}")
     stride = stride or kernel_size
-    n, c, t = x.shape
-    t_out = (t - kernel_size) // stride + 1
+    t_out = (x.shape[2] - kernel_size) // stride + 1
     if t_out <= 0:
-        raise ValueError(f"pooling window {kernel_size} larger than input length {t}")
-
-    windows = np.stack(
-        [x.data[:, :, offset: offset + stride * t_out: stride] for offset in range(kernel_size)],
-        axis=-1)  # (N, C, T_out, K)
-    argmax = windows.argmax(axis=-1)
-    out_data = np.take_along_axis(windows, argmax[..., None], axis=-1).squeeze(-1)
-
-    def backward(grad: np.ndarray) -> None:
-        if not x.requires_grad:
-            return
-        gx = np.zeros_like(x.data)
-        # Scatter each output gradient back to the argmax input position.
-        n_idx, c_idx, t_idx = np.meshgrid(
-            np.arange(n), np.arange(c), np.arange(t_out), indexing="ij")
-        src_t = t_idx * stride + argmax
-        np.add.at(gx, (n_idx, c_idx, src_t), grad)
-        x._accumulate(gx)
-
-    return Tensor._make(out_data, (x,), backward)
+        raise ValueError(f"pooling window {kernel_size} larger than input length {x.shape[2]}")
+    return apply_op(_MAX_POOL, (x,),
+                    {"kernel_size": kernel_size, "stride": stride})
 
 
 def global_avg_pool1d(x: Tensor) -> Tensor:

@@ -3,6 +3,13 @@
 Contains the numerically-stable softmax family, the straight-through
 Heaviside binarization used by PIT's γ parameters (paper Eq. 2), and a
 dropout primitive.
+
+All ops are expressed as :class:`repro.autograd.tensor.OpDef` kernel pairs
+dispatched through :func:`repro.autograd.tensor.apply_op`, so they are
+captured by the graph executor like every other primitive.  Dropout is the
+one stateful op: its generator is a static attribute, and every replay of a
+captured step draws fresh masks from it in recorded program order — exactly
+the stream an eager run would consume.
 """
 
 from __future__ import annotations
@@ -11,7 +18,7 @@ from typing import Optional
 
 import numpy as np
 
-from .tensor import Tensor
+from .tensor import OpDef, Tensor, apply_op
 
 __all__ = [
     "softmax",
@@ -22,54 +29,84 @@ __all__ = [
 ]
 
 
+def _softmax_fwd(ins, attrs):
+    x = ins[0]
+    shifted = x - x.max(axis=attrs["axis"], keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=attrs["axis"], keepdims=True), None
+
+
+def _softmax_bwd(g, ins, out, ctx, attrs, needs):
+    # J^T g = s * (g - sum(g * s))
+    dot = (g * out).sum(axis=attrs["axis"], keepdims=True)
+    return (out * (g - dot),)
+
+
+_SOFTMAX = OpDef("softmax", _softmax_fwd, _softmax_bwd)
+
+
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable softmax along ``axis``."""
-    shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    exp = np.exp(shifted)
-    out_data = exp / exp.sum(axis=axis, keepdims=True)
+    return apply_op(_SOFTMAX, (x,), {"axis": axis})
 
-    def backward(grad: np.ndarray) -> None:
-        if not x.requires_grad:
-            return
-        # J^T g = s * (g - sum(g * s))
-        dot = (grad * out_data).sum(axis=axis, keepdims=True)
-        x._accumulate(out_data * (grad - dot))
 
-    return Tensor._make(out_data, (x,), backward)
+def _log_softmax_fwd(ins, attrs):
+    x = ins[0]
+    shifted = x - x.max(axis=attrs["axis"], keepdims=True)
+    lse = np.log(np.exp(shifted).sum(axis=attrs["axis"], keepdims=True))
+    return shifted - lse, None
+
+
+def _log_softmax_bwd(g, ins, out, ctx, attrs, needs):
+    soft = np.exp(out)
+    return (g - soft * g.sum(axis=attrs["axis"], keepdims=True),)
+
+
+_LOG_SOFTMAX = OpDef("log_softmax", _log_softmax_fwd, _log_softmax_bwd)
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable log-softmax along ``axis``."""
-    shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
-    out_data = shifted - lse
-    soft = np.exp(out_data)
+    return apply_op(_LOG_SOFTMAX, (x,), {"axis": axis})
 
-    def backward(grad: np.ndarray) -> None:
-        if not x.requires_grad:
-            return
-        x._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
 
-    return Tensor._make(out_data, (x,), backward)
+def _logsumexp_fwd(ins, attrs):
+    x = ins[0]
+    axis = attrs["axis"]
+    m = x.max(axis=axis, keepdims=True)
+    out = np.log(np.exp(x - m).sum(axis=axis, keepdims=True)) + m
+    if not attrs["keepdims"]:
+        out = out.squeeze(axis=axis)
+    return out, None
+
+
+def _logsumexp_bwd(g, ins, out, ctx, attrs, needs):
+    axis = attrs["axis"]
+    if not attrs["keepdims"]:
+        g = np.expand_dims(g, axis=axis)
+        out = np.expand_dims(out, axis=axis)
+    soft = np.exp(ins[0] - out)
+    return (g * soft,)
+
+
+_LOGSUMEXP = OpDef("logsumexp", _logsumexp_fwd, _logsumexp_bwd)
 
 
 def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
     """Numerically stable log-sum-exp reduction."""
-    m = x.data.max(axis=axis, keepdims=True)
-    out_data = np.log(np.exp(x.data - m).sum(axis=axis, keepdims=True)) + m
-    soft = np.exp(x.data - out_data)
-    if not keepdims:
-        out_squeezed = out_data.squeeze(axis=axis)
-    else:
-        out_squeezed = out_data
+    return apply_op(_LOGSUMEXP, (x,), {"axis": axis, "keepdims": keepdims})
 
-    def backward(grad: np.ndarray) -> None:
-        if not x.requires_grad:
-            return
-        g = grad if keepdims else np.expand_dims(grad, axis=axis)
-        x._accumulate(g * soft)
 
-    return Tensor._make(out_squeezed, (x,), backward)
+def _binarize_fwd(ins, attrs):
+    x = ins[0]
+    return (x >= attrs["threshold"]).astype(x.dtype), None
+
+
+def _binarize_bwd(g, ins, out, ctx, attrs, needs):
+    return (g,)
+
+
+_BINARIZE = OpDef("binarize_ste", _binarize_fwd, _binarize_bwd)
 
 
 def binarize_ste(x: Tensor, threshold: float = 0.5) -> Tensor:
@@ -83,13 +120,21 @@ def binarize_ste(x: Tensor, threshold: float = 0.5) -> Tensor:
     following BinaryConnect [19] — the gradient passes through unchanged
     (identity), letting the float "shadow" parameters γ̂ keep learning.
     """
-    out_data = (x.data >= threshold).astype(x.data.dtype)
+    return apply_op(_BINARIZE, (x,), {"threshold": threshold})
 
-    def backward(grad: np.ndarray) -> None:
-        if x.requires_grad:
-            x._accumulate(grad)
 
-    return Tensor._make(out_data, (x,), backward)
+def _dropout_fwd(ins, attrs):
+    x = ins[0]
+    p = attrs["p"]
+    keep = (attrs["rng"].random(x.shape) >= p) / (1.0 - p)
+    return x * keep, keep
+
+
+def _dropout_bwd(g, ins, out, keep, attrs, needs):
+    return (g * keep,)
+
+
+_DROPOUT = OpDef("dropout", _dropout_fwd, _dropout_bwd)
 
 
 def dropout(x: Tensor, p: float, training: bool,
@@ -105,11 +150,4 @@ def dropout(x: Tensor, p: float, training: bool,
     if not training or p == 0.0:
         return x
     rng = rng or np.random.default_rng()
-    keep = (rng.random(x.shape) >= p) / (1.0 - p)
-    out_data = x.data * keep
-
-    def backward(grad: np.ndarray) -> None:
-        if x.requires_grad:
-            x._accumulate(grad * keep)
-
-    return Tensor._make(out_data, (x,), backward)
+    return apply_op(_DROPOUT, (x,), {"p": p, "rng": rng})

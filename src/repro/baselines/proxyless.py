@@ -31,7 +31,7 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
-from ..autograd import Tensor, softmax
+from ..autograd import Tensor, mark_capture_unsafe, softmax
 from ..core.masks import kept_lags, num_gamma
 from ..core.pit_conv import PITConv1d
 from ..core.trainer import TrainResult, evaluate, train_plain
@@ -99,6 +99,9 @@ class ProxylessDilatedConv1d(Module):
         self._sample_paths = enabled
 
     def forward(self, x: Tensor) -> Tensor:
+        # Path choice is sampled per batch: a replayed static graph would
+        # train only the trace-time branch, so supernet steps stay eager.
+        mark_capture_unsafe("ProxylessNAS samples a supernet path per batch")
         if self._sample_paths and self.training:
             probs = self.probabilities()
             index = int(self._rng.choice(len(self.dilations), p=probs))
@@ -189,7 +192,8 @@ class ProxylessTrainer:
                  lr: float = 1e-3, alpha_lr: float = 1e-2,
                  warmup_epochs: int = 3, max_search_epochs: int = 50,
                  search_patience: int = 5, finetune_epochs: int = 30,
-                 finetune_patience: int = 10, verbose: bool = False):
+                 finetune_patience: int = 10, verbose: bool = False,
+                 compile_step: Optional[bool] = None):
         if not proxyless_layers(supernet):
             raise ValueError("model contains no ProxylessDilatedConv1d layers")
         self.supernet = supernet
@@ -203,6 +207,11 @@ class ProxylessTrainer:
         self.finetune_epochs = finetune_epochs
         self.finetune_patience = finetune_patience
         self.verbose = verbose
+        # Applies to the fine-tuning of the derived (static) network only:
+        # supernet search epochs sample a path per batch, which the
+        # graph-capture executor cannot replay, so they always run eagerly
+        # (the layers mark themselves capture-unsafe as a backstop).
+        self.compile_step = compile_step
         self.derived: Optional[Module] = None
 
     def _split_params(self):
@@ -256,7 +265,8 @@ class ProxylessTrainer:
         self.derived = export_proxyless(self.supernet)
         result = train_plain(self.derived, self.loss_fn, train_loader, val_loader,
                              epochs=self.finetune_epochs, lr=self.lr,
-                             patience=self.finetune_patience)
+                             patience=self.finetune_patience,
+                             compile_step=self.compile_step)
         dilations = tuple(layer.chosen_dilation()
                           for layer in proxyless_layers(self.supernet))
         if self.verbose:

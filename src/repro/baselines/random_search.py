@@ -52,14 +52,16 @@ def random_configurations(model: Module, count: int,
 
 def _train_configuration(seed_model: Module, config, loss_fn, train_loader,
                          val_loader, epochs: int, lr: float,
-                         patience: int) -> RandomSearchResult:
+                         patience: int,
+                         compile_step: Optional[bool] = None) -> RandomSearchResult:
     candidate = copy.deepcopy(seed_model)
     for layer, dilation in zip(pit_layers(candidate), config):
         layer.set_dilation(dilation)
         layer.freeze()
     network = export_network(candidate)
     outcome = train_plain(network, loss_fn, train_loader, val_loader,
-                          epochs=epochs, lr=lr, patience=patience)
+                          epochs=epochs, lr=lr, patience=patience,
+                          compile_step=compile_step)
     return RandomSearchResult(dilations=tuple(config),
                               best_val=outcome.best_val,
                               params=network.count_parameters())
@@ -68,7 +70,8 @@ def _train_configuration(seed_model: Module, config, loss_fn, train_loader,
 def exhaustive_search(seed_model: Module, loss_fn: Callable, train_loader,
                       val_loader, epochs: int = 6, lr: float = 1e-3,
                       patience: int = 4,
-                      max_configs: int = 64) -> List[RandomSearchResult]:
+                      max_configs: int = 64,
+                      compile_step: Optional[bool] = None) -> List[RandomSearchResult]:
     """Train *every* dilation assignment (ground truth for tiny spaces).
 
     This is the oracle PIT approximates in a single training run; the test
@@ -83,28 +86,26 @@ def exhaustive_search(seed_model: Module, loss_fn: Callable, train_loader,
         raise ValueError(f"search space has {size} configurations; exhaustive "
                          f"search is capped at {max_configs}")
     return [_train_configuration(seed_model, config, loss_fn, train_loader,
-                                 val_loader, epochs, lr, patience)
+                                 val_loader, epochs, lr, patience,
+                                 compile_step=compile_step)
             for config in enumerate_configurations(seed_model)]
 
 
 def random_search(seed_model: Module, loss_fn: Callable, train_loader, val_loader,
                   count: int = 8, epochs: int = 10, lr: float = 1e-3,
                   patience: int = 5,
-                  rng: Optional[np.random.Generator] = None
+                  rng: Optional[np.random.Generator] = None,
+                  compile_step: Optional[bool] = None
                   ) -> List[RandomSearchResult]:
-    """Train ``count`` random fixed-dilation networks; return all results."""
+    """Train ``count`` random fixed-dilation networks; return all results.
+
+    Each candidate is a fixed (static) network, so ``compile_step=True``
+    traces its training step once and replays it for every batch.
+    """
     rng = rng or np.random.default_rng()
     results = []
     for config in random_configurations(seed_model, count, rng):
-        candidate = copy.deepcopy(seed_model)
-        for layer, dilation in zip(pit_layers(candidate), config):
-            layer.set_dilation(dilation)
-            layer.freeze()
-        network = export_network(candidate)
-        outcome = train_plain(network, loss_fn, train_loader, val_loader,
-                              epochs=epochs, lr=lr, patience=patience)
-        results.append(RandomSearchResult(
-            dilations=config,
-            best_val=outcome.best_val,
-            params=network.count_parameters()))
+        results.append(_train_configuration(
+            seed_model, config, loss_fn, train_loader, val_loader,
+            epochs, lr, patience, compile_step=compile_step))
     return results

@@ -3,11 +3,14 @@
 Subcommands::
 
     python -m repro.cli info   --benchmark ppg
+    python -m repro.cli train  --benchmark ppg --dilations 2 2 1 4 4 8 8
     python -m repro.cli search --benchmark ppg --lam 0.02 --width 0.25
     python -m repro.cli sweep  --benchmark music --lambdas 0 1e-3 1e-2
     python -m repro.cli deploy --benchmark ppg --dilations 2 2 1 4 4 8 8
 
 * ``info``   — seed statistics: parameters, search-space size, layer budgets;
+* ``train``  — plain (no-NAS) training of a fixed-dilation network, the
+  Fig. 5 reference flow;
 * ``search`` — one full PIT run (Algorithm 1); optionally saves a checkpoint;
 * ``sweep``  — the λ design-space exploration (Fig. 4 workflow);
 * ``deploy`` — build a fixed-dilation network and price it on the GAP8 model.
@@ -17,6 +20,11 @@ ResTCN/Nottingham or TEMPONet/PPG-Dalia pairing, ``--width`` to scale the
 experiment (1.0 = paper width), and ``--conv-backend`` to pick the
 convolution kernels (``einsum`` reference or ``im2col`` GEMM fast path;
 also settable via the ``REPRO_CONV_BACKEND`` environment variable).
+
+The training commands (``train``, ``search``, ``sweep``) accept
+``--compile``, which traces each training step once and replays it through
+the graph-capture executor (see README "Compiled training step"); the
+``REPRO_COMPILE_STEP=1`` environment variable is the equivalent default.
 
 ``sweep`` additionally exposes the DSE engine knobs: ``--workers`` /
 ``--executor`` parallelize the grid, ``--cache`` memoizes completed
@@ -98,6 +106,45 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fixed_model(benchmark: str, dilations, width: float, seed: int):
+    from .models import restcn_fixed, temponet_fixed
+    if benchmark == "music":
+        return restcn_fixed(dilations, width_mult=width, seed=seed)
+    return temponet_fixed(dilations, width_mult=width, seed=seed)
+
+
+def _compile_flag(args: argparse.Namespace):
+    # True when --compile was given; None lets REPRO_COMPILE_STEP decide.
+    return True if getattr(args, "compile", False) else None
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    from .core import train_plain
+    train_loader, val_loader, test_loader = _loaders(args.benchmark, args.seed)
+    dilations = tuple(args.dilations) if args.dilations else None
+    model = _fixed_model(args.benchmark, dilations, args.width, args.seed)
+    result = train_plain(model, _loss(args.benchmark), train_loader, val_loader,
+                         epochs=args.epochs, lr=args.lr,
+                         patience=args.patience,
+                         compile_step=_compile_flag(args))
+    from .core import evaluate
+    test_loss = evaluate(model, _loss(args.benchmark), test_loader)
+    print(f"network   : {args.benchmark} dilations={dilations or 'all-1'}")
+    print(f"params    : {model.count_parameters()}")
+    print(f"epochs    : {result.epochs}")
+    print(f"val loss  : {result.best_val:.4f}")
+    print(f"test loss : {test_loss:.4f}")
+    print(f"time      : {result.seconds:.1f} s")
+    if args.save:
+        from .nn.serialization import save_model
+        save_model(model, args.save, metadata={
+            "benchmark": args.benchmark,
+            "dilations": list(dilations) if dilations else None,
+            "val_loss": result.best_val})
+        print(f"checkpoint: {args.save}")
+    return 0
+
+
 def cmd_search(args: argparse.Namespace) -> int:
     from .core import PITTrainer, export_network
     train_loader, val_loader, _ = _loaders(args.benchmark, args.seed)
@@ -106,7 +153,8 @@ def cmd_search(args: argparse.Namespace) -> int:
         model, _loss(args.benchmark), lam=args.lam, gamma_lr=args.gamma_lr,
         warmup_epochs=args.warmup, max_prune_epochs=args.epochs,
         prune_patience=args.patience, finetune_epochs=args.finetune,
-        finetune_patience=args.patience, verbose=not args.quiet)
+        finetune_patience=args.patience, verbose=not args.quiet,
+        compile_step=_compile_flag(args))
     result = trainer.fit(train_loader, val_loader)
     print(f"dilations : {result.dilations}")
     print(f"val loss  : {result.best_val:.4f}")
@@ -141,7 +189,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                      verbose=not args.quiet, workers=args.workers,
                      executor=args.executor, cache_path=args.cache,
                      cache_tag=f"{args.benchmark}|width={args.width}"
-                               f"|seed={args.seed}")
+                               f"|seed={args.seed}",
+                     compile_step=_compile_flag(args))
     print(f"{'lambda':>10s} {'warmup':>6s} {'params':>8s} {'loss':>9s}  dilations")
     for p in sorted(result.points, key=lambda q: q.params):
         print(f"{p.lam:>10g} {p.warmup_epochs:>6d} {p.params:>8d} "
@@ -204,6 +253,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="max pruning epochs")
         p.add_argument("--finetune", type=int, default=4)
         p.add_argument("--patience", type=int, default=4)
+        compile_flag(p)
+
+    def compile_flag(p):
+        p.add_argument("--compile", action="store_true",
+                       help="trace the training step once and replay it "
+                            "through the graph executor (default: "
+                            "REPRO_COMPILE_STEP)")
+
+    p_train = sub.add_parser(
+        "train", help="plain (no-NAS) training of a fixed-dilation network")
+    common(p_train)
+    compile_flag(p_train)
+    p_train.add_argument("--dilations", type=int, nargs="+", default=None,
+                         help="per-layer dilations (default: all 1)")
+    p_train.add_argument("--epochs", type=int, default=6)
+    p_train.add_argument("--lr", type=float, default=1e-3)
+    p_train.add_argument("--patience", type=int, default=4)
+    p_train.add_argument("--save", type=str, default=None,
+                         help="write an npz checkpoint here")
+    p_train.set_defaults(func=cmd_train)
 
     p_search = sub.add_parser("search", help="run one PIT search")
     common(p_search)

@@ -44,7 +44,14 @@ from .search_space import (
     enumerate_configurations,
     parameter_range,
 )
-from .trainer import PITTrainer, PITResult, train_plain, evaluate, TrainResult
+from .trainer import (
+    PITTrainer,
+    PITResult,
+    train_plain,
+    evaluate,
+    TrainResult,
+    make_training_step,
+)
 from .channel_mask import (
     ChannelMask,
     PITChannelConv1d,
@@ -85,6 +92,7 @@ __all__ = [
     "train_plain",
     "evaluate",
     "TrainResult",
+    "make_training_step",
     "ChannelMask",
     "PITChannelConv1d",
     "channel_regularizer",

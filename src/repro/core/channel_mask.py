@@ -30,7 +30,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..autograd import Tensor, binarize_ste, conv1d_causal
+from ..autograd import Tensor, binarize_ste, conv1d_causal, mark_capture_unsafe
 from ..nn import init
 from ..nn.module import Module, Parameter
 from .masks import TimeMask, kept_lags
@@ -69,6 +69,10 @@ class ChannelMask(Module):
         self.frozen = False
 
     def forward(self) -> Tensor:
+        # The min-channels rescue below branches on the current γ̂ values,
+        # which a replayed static graph would freeze at their trace-time
+        # state — so channel-masked steps always train eagerly.
+        mark_capture_unsafe("ChannelMask's min-channels rescue is value-dependent")
         if self.frozen:
             return Tensor(self.frozen_mask)
         mask = binarize_ste(self.gamma_hat, self.threshold)

@@ -27,51 +27,85 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..autograd import Tensor, no_grad
+from ..autograd import Tensor
+from ..autograd.graph import CompiledStep, EagerStep, compile_step_default
+from ..nn.eval_utils import mean_loss_over_loader
 from ..nn.module import Module
 from ..optim import Adam, EarlyStopping, clip_grad_norm
 from .export import effective_parameters, network_dilations
 from .regularizer import flops_regularizer, pit_layers, size_regularizer
 
-__all__ = ["PITResult", "PITTrainer", "train_plain", "evaluate", "TrainResult"]
+__all__ = ["PITResult", "PITTrainer", "train_plain", "evaluate",
+           "TrainResult", "make_training_step"]
 
 LossFn = Callable[[Tensor, Tensor], Tensor]
 
 
 def evaluate(model: Module, loss_fn: LossFn, loader) -> float:
     """Mean task loss over a data loader, in evaluation mode, no gradients."""
-    was_training = model.training
-    model.eval()
-    total, batches = 0.0, 0
-    with no_grad():
-        for x, y in loader:
-            pred = model(Tensor(x))
-            loss = loss_fn(pred, Tensor(y))
-            total += loss.item()
-            batches += 1
-    if was_training:
-        model.train()
-    if batches == 0:
-        raise ValueError("evaluation loader produced no batches")
-    return total / batches
+    return mean_loss_over_loader(
+        model, loader, loss_fn,
+        empty_message="evaluation loader produced no batches")
+
+
+def _step_function(model: Module, loss_fn: LossFn,
+                   extra_loss: Optional[Callable[[], Tensor]] = None):
+    """The canonical training-step graph: loss first, task loss second."""
+    def step_fn(x: Tensor, y: Tensor):
+        pred = model(x)
+        task_loss = loss_fn(pred, y)
+        loss = task_loss if extra_loss is None else task_loss + extra_loss()
+        return loss, task_loss
+    return step_fn
+
+
+def make_training_step(model: Module, loss_fn: LossFn,
+                       extra_loss: Optional[Callable[[], Tensor]] = None,
+                       compile_step: Optional[bool] = None):
+    """Build the per-batch step runner: ``step(x, y) -> (loss, task_loss)``.
+
+    The runner computes the (optionally regularized) loss, backpropagates
+    it into the parameters' ``.grad``, and returns both loss values as
+    floats.  With ``compile_step=True`` the step is traced on first use and
+    replayed through the :mod:`repro.autograd.graph` executor — bit-identical
+    results, no per-batch graph construction; False runs eagerly; None
+    defers to the ``REPRO_COMPILE_STEP`` environment default, like every
+    other compile knob.
+    """
+    step_fn = _step_function(model, loss_fn, extra_loss)
+    if _resolve_compile(compile_step):
+        return CompiledStep(step_fn)
+    return EagerStep(step_fn)
+
+
+def _resolve_compile(compile_step: Optional[bool]) -> bool:
+    """None means "whatever REPRO_COMPILE_STEP says"; booleans win."""
+    return compile_step_default() if compile_step is None else bool(compile_step)
 
 
 def _train_epoch(model: Module, loss_fn: LossFn, optimizer, loader,
                  extra_loss: Optional[Callable[[], Tensor]] = None,
-                 grad_clip: Optional[float] = None) -> float:
-    """One optimization epoch; returns the mean (task-only) training loss."""
+                 grad_clip: Optional[float] = None, step=None) -> float:
+    """One optimization epoch; returns the mean (task-only) training loss.
+
+    ``step`` is a runner from :func:`make_training_step`; passing one in
+    lets a compiled step persist across the epochs of a training phase.
+    When None, a fresh *eager* runner is built from the other arguments —
+    a per-epoch temporary would re-trace every call, so compilation is
+    only worthwhile through an explicit ``step``.
+    """
     model.train()
+    if step is None:
+        step = make_training_step(model, loss_fn, extra_loss,
+                                  compile_step=False)
     total, batches = 0.0, 0
     for x, y in loader:
         optimizer.zero_grad()
-        pred = model(Tensor(x))
-        task_loss = loss_fn(pred, Tensor(y))
-        loss = task_loss if extra_loss is None else task_loss + extra_loss()
-        loss.backward()
+        _, task_value = step(x, y)
         if grad_clip is not None:
             clip_grad_norm(optimizer.params, grad_clip)
         optimizer.step()
-        total += task_loss.item()
+        total += task_value
         batches += 1
     if batches == 0:
         raise ValueError("training loader produced no batches")
@@ -90,16 +124,24 @@ class TrainResult:
 def train_plain(model: Module, loss_fn: LossFn, train_loader, val_loader,
                 epochs: int = 50, lr: float = 1e-3, patience: int = 10,
                 grad_clip: Optional[float] = None,
-                weight_decay: float = 0.0) -> TrainResult:
-    """Standard training with early stopping and best-state restore."""
+                weight_decay: float = 0.0,
+                compile_step: Optional[bool] = None) -> TrainResult:
+    """Standard training with early stopping and best-state restore.
+
+    ``compile_step=True`` traces the training step once and replays it via
+    the graph executor (bit-identical, faster); None defers to the
+    ``REPRO_COMPILE_STEP`` environment default.
+    """
     optimizer = Adam(model.parameters(), lr=lr, weight_decay=weight_decay)
     stopper = EarlyStopping(patience=patience, mode="min")
     start = time.perf_counter()
     history: List[Tuple[float, float]] = []
     ran = 0
+    step = make_training_step(model, loss_fn,
+                              compile_step=_resolve_compile(compile_step))
     for _ in range(epochs):
         train_loss = _train_epoch(model, loss_fn, optimizer, train_loader,
-                                  grad_clip=grad_clip)
+                                  grad_clip=grad_clip, step=step)
         val_loss = evaluate(model, loss_fn, val_loader)
         history.append((train_loss, val_loss))
         ran += 1
@@ -154,6 +196,13 @@ class PITTrainer:
         Length / early stop of phase 3.
     regularizer:
         ``"size"`` (Eq. 6, the paper's choice) or ``"flops"``.
+    compile_step:
+        True traces each phase's training step once and replays it through
+        the graph executor (:mod:`repro.autograd.graph`) — bit-identical
+        losses/gradients/masks, no per-batch graph construction.  Each
+        phase compiles its own step (the pruning phase adds the
+        regularizer; fine-tuning freezes the masks).  None defers to the
+        ``REPRO_COMPILE_STEP`` environment default.
     """
 
     def __init__(self, model: Module, loss_fn: LossFn, lam: float,
@@ -162,7 +211,8 @@ class PITTrainer:
                  max_prune_epochs: int = 50, finetune_epochs: int = 30,
                  finetune_patience: int = 10, regularizer: str = "size",
                  channel_lam: float = 0.0,
-                 grad_clip: Optional[float] = None, verbose: bool = False):
+                 grad_clip: Optional[float] = None, verbose: bool = False,
+                 compile_step: Optional[bool] = None):
         if regularizer not in ("size", "flops"):
             raise ValueError("regularizer must be 'size' or 'flops'")
         self.model = model
@@ -179,6 +229,7 @@ class PITTrainer:
         self.channel_lam = channel_lam
         self.grad_clip = grad_clip
         self.verbose = verbose
+        self.compile_step = _resolve_compile(compile_step)
         if not self._searchable_layers():
             raise ValueError("model contains no searchable (PITConv1d / "
                              "PITChannelConv1d) layers")
@@ -222,9 +273,11 @@ class PITTrainer:
         warmup_ran = 0
         if self.warmup_epochs > 0:
             optimizer = Adam(weight_params, lr=self.lr)
+            step = make_training_step(self.model, self.loss_fn,
+                                      compile_step=self.compile_step)
             for _ in range(self.warmup_epochs):
                 _train_epoch(self.model, self.loss_fn, optimizer, train_loader,
-                             grad_clip=self.grad_clip)
+                             grad_clip=self.grad_clip, step=step)
                 history["warmup_val"].append(evaluate(self.model, self.loss_fn, val_loader))
                 warmup_ran += 1
             self._log(f"warmup done, val={history['warmup_val'][-1]:.4f}")
@@ -239,9 +292,13 @@ class PITTrainer:
         optimizer = Adam(groups, lr=self.lr)
         stopper = EarlyStopping(patience=self.prune_patience, mode="min")
         prune_ran = 0
+        step = make_training_step(self.model, self.loss_fn,
+                                  extra_loss=self._regularizer_term,
+                                  compile_step=self.compile_step)
         for _ in range(self.max_prune_epochs):
             _train_epoch(self.model, self.loss_fn, optimizer, train_loader,
-                         extra_loss=self._regularizer_term, grad_clip=self.grad_clip)
+                         extra_loss=self._regularizer_term,
+                         grad_clip=self.grad_clip, step=step)
             val_loss = evaluate(self.model, self.loss_fn, val_loader)
             history["prune_val"].append(val_loss)
             history["prune_params"].append(float(effective_parameters(self.model)))
@@ -260,9 +317,12 @@ class PITTrainer:
         optimizer = Adam(weight_params, lr=self.lr)
         stopper = EarlyStopping(patience=self.finetune_patience, mode="min")
         finetune_ran = 0
+        # Fresh step: freezing changed the graph (masks became constants).
+        step = make_training_step(self.model, self.loss_fn,
+                                  compile_step=self.compile_step)
         for _ in range(self.finetune_epochs):
             _train_epoch(self.model, self.loss_fn, optimizer, train_loader,
-                         grad_clip=self.grad_clip)
+                         grad_clip=self.grad_clip, step=step)
             val_loss = evaluate(self.model, self.loss_fn, val_loader)
             history["finetune_val"].append(val_loss)
             finetune_ran += 1

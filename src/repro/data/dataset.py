@@ -11,6 +11,8 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..autograd import get_default_dtype
+
 __all__ = ["Dataset", "ArrayDataset", "DataLoader", "train_val_test_split"]
 
 
@@ -31,8 +33,9 @@ class ArrayDataset(Dataset):
         if len(inputs) != len(targets):
             raise ValueError(f"inputs ({len(inputs)}) and targets ({len(targets)}) "
                              f"must have the same length")
-        self.inputs = np.asarray(inputs, dtype=np.float64)
-        self.targets = np.asarray(targets, dtype=np.float64)
+        dtype = get_default_dtype()
+        self.inputs = np.asarray(inputs, dtype=dtype)
+        self.targets = np.asarray(targets, dtype=dtype)
 
     def __len__(self) -> int:
         return len(self.inputs)

@@ -232,7 +232,8 @@ def _private_loader(loader):
 
 def _train_grid_point(seed_factory: Callable[[], Module], loss_fn: Callable,
                       train_loader, val_loader, lam: float, warmup: int,
-                      trainer_kwargs: Dict, backend: str) -> DSEPoint:
+                      trainer_kwargs: Dict, backend: str,
+                      compile_step: Optional[bool] = None) -> DSEPoint:
     """Train one (λ, warmup) grid point from a fresh seed.
 
     Module-level (not a closure) so a ``ProcessPoolExecutor`` can pickle it.
@@ -243,13 +244,17 @@ def _train_grid_point(seed_factory: Callable[[], Module], loss_fn: Callable,
     thread-local :func:`use_backend` scope so the whole grid point trains
     under exactly the backend its cache key records, even if a spawned
     worker's import-time default differs or another thread switches
-    backends mid-sweep.
+    backends mid-sweep.  ``compile_step`` turns on the graph-capture
+    executor inside the worker's :class:`PITTrainer`: each grid point
+    traces its step once per phase and replays it for every batch — the
+    compiled-vs-eager bit-parity guarantee is what lets cached and fresh
+    results mix freely (cache keys do not record the flag).
     """
     train_loader = _private_loader(train_loader)
     val_loader = _private_loader(val_loader)
     model = seed_factory()
     trainer = PITTrainer(model, loss_fn, lam=lam, warmup_epochs=warmup,
-                         **trainer_kwargs)
+                         compile_step=compile_step, **trainer_kwargs)
     with use_backend(backend):
         result = trainer.fit(train_loader, val_loader)
     return DSEPoint(
@@ -286,7 +291,15 @@ class DSEEngine:
         sweeps over different models or datasets.
     trainer_kwargs:
         Extra :class:`PITTrainer` arguments shared by every grid point
-        (``lam`` / ``warmup_epochs`` are stripped: the grid owns them).
+        (``lam`` / ``warmup_epochs`` are stripped: the grid owns them;
+        ``compile_step`` is stripped into the engine knob below).
+    compile_step:
+        Train every grid point through the graph-capture executor
+        (``PITTrainer(compile_step=...)``): each worker traces one step per
+        phase and replays it with preallocated buffers.  Deliberately *not*
+        part of the cache key — compiled steps are bit-identical to eager,
+        so points trained either way are interchangeable.  None defers to
+        ``REPRO_COMPILE_STEP``.
     """
 
     def __init__(self, seed_factory: Callable[[], Module], loss_fn: Callable,
@@ -294,7 +307,8 @@ class DSEEngine:
                  executor: str = "thread", cache_path: Optional[str] = None,
                  cache_tag: str = "",
                  trainer_kwargs: Optional[Dict] = None,
-                 verbose: bool = False):
+                 verbose: bool = False,
+                 compile_step: Optional[bool] = None):
         if executor not in ("thread", "process"):
             raise ValueError("executor must be 'thread' or 'process'")
         if workers < 0:
@@ -311,6 +325,8 @@ class DSEEngine:
         self.trainer_kwargs = dict(trainer_kwargs or {})
         self.trainer_kwargs.pop("lam", None)
         self.trainer_kwargs.pop("warmup_epochs", None)
+        kwargs_compile = self.trainer_kwargs.pop("compile_step", None)
+        self.compile_step = compile_step if compile_step is not None else kwargs_compile
         self.verbose = verbose
 
     # ------------------------------------------------------------------
@@ -326,7 +342,7 @@ class DSEEngine:
         return _train_grid_point(self.seed_factory, self.loss_fn,
                                  self.train_loader, self.val_loader,
                                  lam, warmup, self.trainer_kwargs,
-                                 self._run_backend)
+                                 self._run_backend, self.compile_step)
 
     def run(self, lambdas: Sequence[float],
             warmups: Sequence[int] = (5,)) -> DSEResult:
@@ -361,7 +377,7 @@ class DSEEngine:
                                     self.seed_factory, self.loss_fn,
                                     self.train_loader, self.val_loader,
                                     lam, warmup, self.trainer_kwargs,
-                                    self._run_backend): index
+                                    self._run_backend, self.compile_step): index
                         for index, warmup, lam in pending}
                     # Consume in completion order; grid order is restored
                     # by index when assembling the result.  When a cache is
@@ -410,18 +426,20 @@ def run_dse(seed_factory: Callable[[], Module], loss_fn: Callable,
             verbose: bool = False, workers: int = 0,
             executor: str = "thread",
             cache_path: Optional[str] = None,
-            cache_tag: str = "") -> DSEResult:
+            cache_tag: str = "",
+            compile_step: Optional[bool] = None) -> DSEResult:
     """Sweep (λ, warmup); one full PIT search per grid point.
 
     Thin wrapper over :class:`DSEEngine` kept for API compatibility;
-    ``workers`` / ``executor`` / ``cache_path`` / ``cache_tag`` expose the
-    engine's parallelism and memoization knobs.
+    ``workers`` / ``executor`` / ``cache_path`` / ``cache_tag`` /
+    ``compile_step`` expose the engine's parallelism, memoization and
+    graph-compilation knobs.
     """
     engine = DSEEngine(seed_factory, loss_fn, train_loader, val_loader,
                        workers=workers, executor=executor,
                        cache_path=cache_path, cache_tag=cache_tag,
                        trainer_kwargs=trainer_kwargs,
-                       verbose=verbose)
+                       verbose=verbose, compile_step=compile_step)
     return engine.run(lambdas, warmups=warmups)
 
 

@@ -11,8 +11,8 @@ from typing import Callable
 
 import numpy as np
 
-from ..autograd import Tensor, no_grad
-from ..nn import Module, mae_loss, polyphonic_nll
+from ..autograd import Tensor
+from ..nn import Module, mae_loss, mean_loss_over_loader, polyphonic_nll
 
 __all__ = ["nll_metric", "mae_metric", "evaluate_metric", "count_macs"]
 
@@ -30,19 +30,7 @@ def mae_metric(model: Module, loader) -> float:
 def evaluate_metric(model: Module, loader,
                     metric: Callable[[Tensor, Tensor], Tensor]) -> float:
     """Average a tensor metric over a loader in evaluation mode."""
-    was_training = model.training
-    model.eval()
-    total, batches = 0.0, 0
-    with no_grad():
-        for x, y in loader:
-            value = metric(model(Tensor(x)), Tensor(y))
-            total += value.item()
-            batches += 1
-    if was_training:
-        model.train()
-    if batches == 0:
-        raise ValueError("loader produced no batches")
-    return total / batches
+    return mean_loss_over_loader(model, loader, metric)
 
 
 def count_macs(model: Module, input_shape) -> int:

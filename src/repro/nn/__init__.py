@@ -30,11 +30,13 @@ from .losses import (
     HuberLoss,
     CrossEntropy,
 )
+from .eval_utils import mean_loss_over_loader
 from .recurrent import LSTM, GRU
 from .serialization import save_model, load_model, save_state, load_state
 from . import init
 
 __all__ = [
+    "mean_loss_over_loader",
     "Module",
     "Parameter",
     "Linear",

@@ -20,6 +20,7 @@ from ..autograd import (
     dropout as dropout_op,
     global_avg_pool1d,
     max_pool1d,
+    record_side_effect,
 )
 from . import init
 from .module import Module, Parameter
@@ -156,14 +157,9 @@ class BatchNorm1d(Module):
         if self.training:
             mean = x.mean(axis=axes, keepdims=True)
             var = x.var(axis=axes, keepdims=True)
-            self.update_buffer(
-                "running_mean",
-                (1 - self.momentum) * self.running_mean
-                + self.momentum * mean.data.reshape(-1))
-            self.update_buffer(
-                "running_var",
-                (1 - self.momentum) * self.running_var
-                + self.momentum * var.data.reshape(-1))
+            # Routed through the side-effect hook so a graph-captured step
+            # replays the running-statistics update on every batch.
+            record_side_effect((mean, var), self._update_running_stats)
             x_hat = (x - mean) / (var + self.eps).sqrt()
         else:
             mean = Tensor(self.running_mean.reshape(shape))
@@ -173,6 +169,14 @@ class BatchNorm1d(Module):
         w = self.weight.reshape(shape)
         b = self.bias.reshape(shape)
         return x_hat * w + b
+
+    def _update_running_stats(self, mean: np.ndarray, var: np.ndarray) -> None:
+        self.update_buffer(
+            "running_mean",
+            (1 - self.momentum) * self.running_mean + self.momentum * mean.reshape(-1))
+        self.update_buffer(
+            "running_var",
+            (1 - self.momentum) * self.running_var + self.momentum * var.reshape(-1))
 
     def __repr__(self) -> str:
         return f"BatchNorm1d({self.num_features})"

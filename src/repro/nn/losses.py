@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..autograd import Tensor, log_softmax
+from ..autograd import Tensor, log_softmax, mark_capture_unsafe
 from .module import Module
 
 __all__ = [
@@ -87,7 +87,9 @@ def huber_loss(pred: Tensor, target: Tensor, delta: float = 1.0) -> Tensor:
     quadratic = 0.5 * diff * diff
     linear = delta * diff - 0.5 * delta * delta
     from ..autograd import where
-    return where(diff.data <= delta, quadratic, linear).mean()
+    # The tensor comparison keeps the branch condition inside the op graph,
+    # so a graph-captured step re-evaluates it on every batch.
+    return where(diff <= delta, quadratic, linear).mean()
 
 
 def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
@@ -95,6 +97,9 @@ def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
     if logits.ndim != 2:
         raise ValueError(f"expected (N, C) logits, got {logits.shape}")
     labels = np.asarray(labels)
+    # The label-indexed gather below is data-dependent; a static replay
+    # would keep selecting the trace batch's labels.
+    mark_capture_unsafe("cross_entropy gathers by per-batch labels")
     log_probs = log_softmax(logits, axis=1)
     n = logits.shape[0]
     picked = log_probs[np.arange(n), labels]

@@ -1,9 +1,27 @@
 """Tests for the command-line interface."""
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def restore_conv_backend():
+    """`main --conv-backend` sets the process default and exports
+    REPRO_CONV_BACKEND for worker processes; undo both after each test."""
+    from repro.autograd import current_backend, set_backend
+    from repro.autograd.backends import ENV_VAR
+    previous = current_backend()
+    had_env = os.environ.get(ENV_VAR)
+    yield
+    set_backend(previous)
+    if had_env is None:
+        os.environ.pop(ENV_VAR, None)
+    else:
+        os.environ[ENV_VAR] = had_env
 
 
 class TestParser:
@@ -97,3 +115,59 @@ class TestSweep:
         out = capsys.readouterr().out
         assert "pareto front" in out
         assert "lambda" in out
+
+    def test_sweep_exposes_backend_and_compile(self, capsys):
+        code = main(["sweep", "--benchmark", "ppg", "--width", "0.1",
+                     "--lambdas", "0.5", "--gamma-lr", "0.1",
+                     "--warmup", "0", "--epochs", "1", "--finetune", "0",
+                     "--quiet", "--conv-backend", "im2col", "--compile"])
+        assert code == 0
+        assert "pareto front" in capsys.readouterr().out
+
+
+class TestTrain:
+    def test_train_runs_and_reports(self, capsys):
+        code = main(["train", "--benchmark", "ppg", "--width", "0.1",
+                     "--epochs", "1", "--patience", "1", "--quiet"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "val loss" in out
+        assert "test loss" in out
+        assert "all-1" in out
+
+    def test_train_custom_dilations(self, capsys):
+        code = main(["train", "--benchmark", "ppg", "--width", "0.1",
+                     "--epochs", "1", "--patience", "1", "--quiet",
+                     "--dilations", "2", "2", "1", "4", "4", "8", "8"])
+        assert code == 0
+        assert "(2, 2, 1, 4, 4, 8, 8)" in capsys.readouterr().out
+
+    def test_train_exposes_backend_knob(self, capsys):
+        """The PR-1 --conv-backend knob must work on train like on sweep."""
+        code = main(["train", "--benchmark", "ppg", "--width", "0.1",
+                     "--epochs", "1", "--patience", "1", "--quiet",
+                     "--conv-backend", "im2col"])
+        assert code == 0
+        assert "val loss" in capsys.readouterr().out
+
+    def test_train_compile_flag(self, capsys):
+        code = main(["train", "--benchmark", "ppg", "--width", "0.1",
+                     "--epochs", "1", "--patience", "1", "--quiet",
+                     "--compile"])
+        assert code == 0
+        assert "val loss" in capsys.readouterr().out
+
+    def test_train_saves_checkpoint(self, tmp_path):
+        path = tmp_path / "plain.npz"
+        main(["train", "--benchmark", "ppg", "--width", "0.1",
+              "--epochs", "1", "--patience", "1", "--quiet",
+              "--save", str(path)])
+        assert path.exists()
+
+    def test_compile_defaults_parse(self):
+        args = build_parser().parse_args(["train"])
+        assert args.compile is False
+        args = build_parser().parse_args(["search", "--compile"])
+        assert args.compile is True
+        args = build_parser().parse_args(["sweep", "--compile"])
+        assert args.compile is True

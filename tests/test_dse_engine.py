@@ -58,10 +58,12 @@ def _loaders(shuffle=False, seed=0):
     return train, val
 
 
-def _sweep(workers, cache_path=None, shuffle=False, factory=Tiny):
+def _sweep(workers, cache_path=None, shuffle=False, factory=Tiny,
+           compile_step=None):
     train, val = _loaders(shuffle=shuffle)
     engine = DSEEngine(factory, mse_loss, train, val, workers=workers,
-                       cache_path=cache_path, trainer_kwargs=dict(SCHEDULE))
+                       cache_path=cache_path, trainer_kwargs=dict(SCHEDULE),
+                       compile_step=compile_step)
     return engine.run(LAMBDAS, warmups=WARMUPS)
 
 
@@ -94,6 +96,26 @@ class TestParallelDeterminism:
         serial = _sweep(workers=0, shuffle=True)
         parallel = _sweep(workers=2, shuffle=True)
         _assert_identical(serial, parallel)
+
+    def test_compiled_sweep_bit_identical_to_eager(self):
+        """compile_step routes every grid point through the graph-capture
+        executor; results (and therefore cache entries) must not change."""
+        eager = _sweep(workers=0)
+        compiled = _sweep(workers=0, compile_step=True)
+        parallel_compiled = _sweep(workers=2, compile_step=True)
+        _assert_identical(eager, compiled)
+        _assert_identical(eager, parallel_compiled)
+
+    def test_compile_flag_accepted_via_trainer_kwargs(self):
+        """Legacy spelling: compile_step inside trainer_kwargs is stripped
+        into the engine knob (and stays out of cache keys)."""
+        train, val = _loaders()
+        engine = DSEEngine(Tiny, mse_loss, train, val,
+                           trainer_kwargs=dict(SCHEDULE, compile_step=True))
+        assert engine.compile_step is True
+        assert "compile_step" not in engine.trainer_kwargs
+        _assert_identical(_sweep(workers=0),
+                          engine.run(LAMBDAS, warmups=WARMUPS))
 
     def test_process_executor_matches_serial(self):
         train, val = _loaders()

@@ -1,0 +1,146 @@
+"""Tests for the configurable default dtype (``repro.set_default_dtype``).
+
+float32 halves memory traffic — it compounds with the compiled training
+step — while gradient checking stays pinned to float64 so numerical
+differentiation keeps meaning.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.autograd import (
+    Tensor,
+    check_gradients,
+    default_dtype_scope,
+    get_default_dtype,
+    set_default_dtype,
+)
+from repro.data import ArrayDataset
+
+
+@pytest.fixture(autouse=True)
+def restore_dtype():
+    # Pin the baseline on entry too, so these tests hold even when the
+    # suite itself was launched under a REPRO_DTYPE override.
+    set_default_dtype("float64")
+    yield
+    set_default_dtype("float64")
+
+
+class TestConfiguration:
+    def test_default_is_float64(self):
+        assert get_default_dtype() is np.float64
+
+    def test_set_by_name_and_dtype(self):
+        set_default_dtype("float32")
+        assert get_default_dtype() is np.float32
+        set_default_dtype(np.float64)
+        assert get_default_dtype() is np.float64
+
+    def test_rejects_unsupported(self):
+        with pytest.raises(ValueError, match="unsupported dtype"):
+            set_default_dtype("int32")
+        with pytest.raises(ValueError):
+            set_default_dtype("float16")
+
+    def test_top_level_reexports(self):
+        assert repro.get_default_dtype() is np.float64
+        repro.set_default_dtype("float32")
+        assert get_default_dtype() is np.float32
+
+    def test_scope_restores(self):
+        with default_dtype_scope("float32"):
+            assert get_default_dtype() is np.float32
+            with default_dtype_scope("float64"):
+                assert get_default_dtype() is np.float64
+            assert get_default_dtype() is np.float32
+        assert get_default_dtype() is np.float64
+
+
+class TestTensorDtype:
+    def test_tensor_storage_follows_default(self):
+        set_default_dtype("float32")
+        t = Tensor([1.0, 2.0])
+        assert t.dtype == np.float32
+        out = (t * 2.0 + 1.0).exp()
+        assert out.dtype == np.float32
+
+    def test_float64_inputs_are_downcast(self):
+        set_default_dtype("float32")
+        t = Tensor(np.arange(4, dtype=np.float64))
+        assert t.dtype == np.float32
+
+    def test_gradients_in_float32(self):
+        set_default_dtype("float32")
+        t = Tensor(np.ones(3), requires_grad=True)
+        (t * t).sum().backward()
+        assert t.grad.dtype == np.float32
+        assert np.allclose(t.grad, 2.0)
+
+    def test_training_step_in_float32(self):
+        from repro.core.trainer import make_training_step
+        from repro.nn import CausalConv1d, GlobalAvgPool1d, Linear, Sequential, mse_loss
+        from repro.optim import Adam
+        set_default_dtype("float32")
+        rng = np.random.default_rng(0)
+        model = Sequential(CausalConv1d(2, 4, 3, rng=rng),
+                           GlobalAvgPool1d(), Linear(4, 1, rng=rng))
+        step = make_training_step(model, mse_loss)
+        optimizer = Adam(model.parameters())
+        optimizer.zero_grad()
+        loss, task = step(rng.standard_normal((4, 2, 8)),
+                          rng.standard_normal((4, 1)))
+        optimizer.step()
+        assert np.isfinite(loss) and loss == task
+        assert all(p.dtype == np.float32 for p in model.parameters())
+
+
+class TestDataAndGradcheck:
+    def test_array_dataset_follows_default(self):
+        set_default_dtype("float32")
+        data = ArrayDataset(np.zeros((4, 2)), np.zeros((4, 1)))
+        assert data.inputs.dtype == np.float32
+        assert data.targets.dtype == np.float32
+
+    def test_gradcheck_pinned_to_float64(self):
+        """check_gradients stays meaningful under a float32 default: the
+        inputs are upcast and the whole comparison runs in float64."""
+        set_default_dtype("float32")
+        t = Tensor(np.array([0.3, -1.2, 2.0], dtype=np.float32),
+                   requires_grad=True)
+        check_gradients(lambda a: (a * a).exp(), [t])
+        assert t.data.dtype == np.float64
+        assert get_default_dtype() is np.float32  # scope restored
+
+    def test_env_variable(self):
+        import subprocess
+        import sys
+        code = ("import repro; from repro.autograd import get_default_dtype, Tensor; "
+                "import numpy as np; "
+                "assert get_default_dtype() is np.float32; "
+                "assert Tensor([1.0]).dtype == np.float32; print('ok')")
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            env={"REPRO_DTYPE": "float32", "PYTHONPATH": "src",
+                 "PATH": "/usr/bin:/bin"},
+            capture_output=True, text=True, cwd=".")
+        assert result.returncode == 0, result.stderr
+        assert "ok" in result.stdout
+
+    def test_invalid_env_variable_fails_on_use_not_import(self):
+        import subprocess
+        import sys
+        code = ("import repro.cli; "  # import must survive a bad REPRO_DTYPE
+                "from repro.autograd import get_default_dtype\n"
+                "try:\n"
+                "    get_default_dtype()\n"
+                "except ValueError as exc:\n"
+                "    assert 'REPRO_DTYPE' in str(exc); print('ok')\n")
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            env={"REPRO_DTYPE": "float128", "PYTHONPATH": "src",
+                 "PATH": "/usr/bin:/bin"},
+            capture_output=True, text=True, cwd=".")
+        assert result.returncode == 0, result.stderr
+        assert "ok" in result.stdout
