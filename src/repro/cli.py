@@ -12,8 +12,13 @@ Subcommands::
 * ``train``  — plain (no-NAS) training of a fixed-dilation network, the
   Fig. 5 reference flow;
 * ``search`` — one full PIT run (Algorithm 1); optionally saves a checkpoint;
-* ``sweep``  — the λ design-space exploration (Fig. 4 workflow);
-* ``deploy`` — build a fixed-dilation network and price it on the GAP8 model.
+* ``sweep``  — the λ design-space exploration (Fig. 4 workflow); ``--hw``
+  additionally deploys every trained grid point (int8 fake-quantization +
+  GAP8 estimate) and annotates it with latency/energy/quantized-loss
+  metrics, printing the 3-D (params, latency, loss) Pareto front;
+* ``deploy`` — the full deployment flow on a fixed-dilation network
+  (optionally loaded from a checkpoint): int8 quantization, quantized
+  accuracy, GAP8 latency/energy — rendered as a paper-style Table III row.
 
 Every command accepts ``--benchmark {music, ppg}`` selecting the
 ResTCN/Nottingham or TEMPONet/PPG-Dalia pairing, ``--width`` to scale the
@@ -28,8 +33,8 @@ the graph-capture executor (see README "Compiled training step"); the
 
 ``sweep`` additionally exposes the DSE engine knobs: ``--workers`` /
 ``--executor`` parallelize the grid, ``--cache`` memoizes completed
-(λ, warmup) points to a JSON file so interrupted sweeps resume where they
-left off.
+(λ, warmup) points — including ``--hw`` deployment metrics (cache format
+v2) — to a JSON file so interrupted sweeps resume where they left off.
 """
 
 from __future__ import annotations
@@ -172,12 +177,21 @@ def cmd_search(args: argparse.Namespace) -> int:
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     from .evaluation import run_dse
-    train_loader, val_loader, _ = _loaders(args.benchmark, args.seed)
+    train_loader, val_loader, test_loader = _loaders(args.benchmark, args.seed)
 
     # functools.partial of a module-level function (not a closure) so the
     # factory survives pickling under --executor process.
     factory = functools.partial(_seed_model, args.benchmark, args.width,
                                 args.seed)
+
+    evaluators = []
+    if args.hw:
+        from .hw import gap8_evaluator
+        # Validation data calibrates the activation ranges; held-out test
+        # data measures the int8 accuracy column.
+        evaluators.append(gap8_evaluator(
+            _loss(args.benchmark), val_loader, test_loader,
+            _input_shape(args.benchmark), bits=args.bits))
 
     result = run_dse(factory, _loss(args.benchmark), train_loader, val_loader,
                      lambdas=args.lambdas, warmups=tuple(args.warmups),
@@ -190,31 +204,51 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                      executor=args.executor, cache_path=args.cache,
                      cache_tag=f"{args.benchmark}|width={args.width}"
                                f"|seed={args.seed}",
-                     compile_step=_compile_flag(args))
-    print(f"{'lambda':>10s} {'warmup':>6s} {'params':>8s} {'loss':>9s}  dilations")
+                     compile_step=_compile_flag(args),
+                     point_evaluators=evaluators)
+    header = f"{'lambda':>10s} {'warmup':>6s} {'params':>8s} {'loss':>9s}"
+    if args.hw:
+        header += f" {'int8 loss':>9s} {'lat ms':>8s} {'mJ':>7s}"
+    print(header + "  dilations")
     for p in sorted(result.points, key=lambda q: q.params):
-        print(f"{p.lam:>10g} {p.warmup_epochs:>6d} {p.params:>8d} "
-              f"{p.loss:>9.4f}  {p.dilations}")
+        line = (f"{p.lam:>10g} {p.warmup_epochs:>6d} {p.params:>8d} "
+                f"{p.loss:>9.4f}")
+        if args.hw:
+            nan = float("nan")
+            line += (f" {p.metrics.get('quantized_loss', nan):>9.4f} "
+                     f"{p.metrics.get('latency_ms', nan):>8.1f} "
+                     f"{p.metrics.get('energy_mj', nan):>7.2f}")
+        print(line + f"  {p.dilations}")
     front = result.pareto()
     print(f"pareto front: {[(p.params, round(p.loss, 4)) for p in front]}")
+    if args.hw:
+        front3 = result.pareto(objectives=("params", "latency_ms", "loss"))
+        print("hw pareto front (params, latency_ms, loss): "
+              f"{[(p.params, round(p.metrics['latency_ms'], 1), round(p.loss, 4)) for p in front3]}")
     return 0
 
 
 def cmd_deploy(args: argparse.Namespace) -> int:
-    from .hw import GAP8Model
-    from .models import restcn_fixed, temponet_fixed
+    from .hw import deploy, format_table_iii
     dilations = tuple(args.dilations) if args.dilations else None
-    if args.benchmark == "music":
-        network = restcn_fixed(dilations, width_mult=args.width, seed=args.seed)
-    else:
-        network = temponet_fixed(dilations, width_mult=args.width, seed=args.seed)
-    report = GAP8Model().estimate(network, _input_shape(args.benchmark))
+    network = _fixed_model(args.benchmark, dilations, args.width, args.seed)
+    if args.load:
+        from .nn.serialization import load_model
+        metadata = load_model(network, args.load) or {}
+        print(f"loaded    : {args.load} "
+              f"(val loss {metadata.get('val_loss', 'n/a')})")
+    _, val_loader, test_loader = _loaders(args.benchmark, args.seed)
+    report = deploy(network, _loss(args.benchmark), val_loader, test_loader,
+                    _input_shape(args.benchmark),
+                    name=f"{args.benchmark}-w{args.width:g}",
+                    quantize=not args.no_quantize, bits=args.bits)
     print(f"network  : {args.benchmark} dilations={dilations or 'all-1'}")
     print(f"params   : {network.count_parameters()}")
-    print(f"estimate : {report.summary()}")
+    print(f"estimate : {report.gap8.summary()}")
+    print(format_table_iii([report]))
     if args.layers:
         print(f"{'layer':<28s} {'kind':<10s} {'MACs':>10s} {'kcycles':>9s}")
-        for layer in report.layers:
+        for layer in report.gap8.layers:
             print(f"{layer.name:<28s} {layer.kind:<10s} {layer.macs:>10d} "
                   f"{layer.cycles / 1e3:>9.1f}")
     return 0
@@ -296,11 +330,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--cache", type=str, default=None,
                          help="JSON results cache; completed (lambda, warmup) "
                               "points are skipped on re-runs")
+    p_sweep.add_argument("--hw", action="store_true",
+                         help="hardware-in-the-loop: after each grid point "
+                              "trains, export + int8-quantize it and "
+                              "annotate the point with GAP8 latency/energy/"
+                              "quantized-loss metrics")
+    p_sweep.add_argument("--bits", type=int, default=8,
+                         help="quantization bit width for --hw")
     p_sweep.set_defaults(func=cmd_sweep)
 
-    p_deploy = sub.add_parser("deploy", help="GAP8 cost of a fixed network")
+    p_deploy = sub.add_parser(
+        "deploy", help="full deployment flow of a fixed network: int8 "
+                       "quantization + GAP8 cost (a Table III row)")
     common(p_deploy)
     p_deploy.add_argument("--dilations", type=int, nargs="+", default=None)
+    p_deploy.add_argument("--load", type=str, default=None,
+                          help="npz checkpoint from `train --save` to load "
+                               "into the network; --dilations/--width must "
+                               "match it.  (`search --save` checkpoints "
+                               "hold the searchable supernet and do not "
+                               "fit — retrain the found dilations with "
+                               "`train --dilations ... --save` first)")
+    p_deploy.add_argument("--bits", type=int, default=8,
+                          help="quantization bit width")
+    p_deploy.add_argument("--no-quantize", action="store_true",
+                          help="skip int8 fake-quantization (float estimate)")
     p_deploy.add_argument("--layers", action="store_true",
                           help="print the per-layer breakdown")
     p_deploy.set_defaults(func=cmd_deploy)

@@ -34,6 +34,7 @@ from .regularizer import (
 from .export import (
     export_conv,
     export_network,
+    deployable_network,
     network_dilations,
     network_summary,
     effective_parameters,
@@ -80,6 +81,7 @@ __all__ = [
     "pit_layers",
     "export_conv",
     "export_network",
+    "deployable_network",
     "network_dilations",
     "network_summary",
     "effective_parameters",

@@ -28,7 +28,8 @@ from ..nn.module import Module
 from .masks import kept_lags
 from .pit_conv import PITConv1d
 
-__all__ = ["export_conv", "export_network", "network_dilations", "network_summary"]
+__all__ = ["export_conv", "export_network", "deployable_network",
+           "network_dilations", "network_summary"]
 
 
 def export_conv(layer: PITConv1d) -> CausalConv1d:
@@ -62,6 +63,18 @@ def export_network(model: Module) -> Module:
             if isinstance(child, PITConv1d):
                 setattr(module, name, export_conv(child))
     return exported
+
+
+def deployable_network(model: Module) -> Module:
+    """The fixed-dilation network a deployment flow should consume.
+
+    Searchable models (any :class:`PITConv1d` left) are exported into a
+    compact copy; already-fixed networks pass through untouched — the one
+    dispatch point the GAP8 flow and the DSE hardware evaluators share, so
+    both accept either kind of model.
+    """
+    from .regularizer import pit_layers
+    return export_network(model) if pit_layers(model) else model
 
 
 def network_dilations(model: Module) -> Tuple[int, ...]:

@@ -5,7 +5,13 @@ Both of the paper's benchmarks are provided as seeded synthetic generators
 the polyphonic-music task and ``make_ppg_dalia`` for heart-rate estimation.
 """
 
-from .dataset import Dataset, ArrayDataset, DataLoader, train_val_test_split
+from .dataset import (
+    Dataset,
+    ArrayDataset,
+    DataLoader,
+    clone_loader,
+    train_val_test_split,
+)
 from .nottingham import (
     NottinghamConfig,
     generate_tune,
@@ -35,6 +41,7 @@ __all__ = [
     "Dataset",
     "ArrayDataset",
     "DataLoader",
+    "clone_loader",
     "train_val_test_split",
     "NottinghamConfig",
     "generate_tune",

@@ -7,13 +7,15 @@ explicit seeded generator so every experiment is reproducible.
 
 from __future__ import annotations
 
+import copy
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..autograd import get_default_dtype
 
-__all__ = ["Dataset", "ArrayDataset", "DataLoader", "train_val_test_split"]
+__all__ = ["Dataset", "ArrayDataset", "DataLoader", "clone_loader",
+           "train_val_test_split"]
 
 
 class Dataset:
@@ -86,6 +88,26 @@ class DataLoader:
                 return
             xs, ys = zip(*(self.dataset[int(i)] for i in batch))
             yield np.stack(xs), np.stack(ys)
+
+
+def clone_loader(loader: DataLoader) -> DataLoader:
+    """Deep-copy a loader while sharing its (read-only) sample arrays.
+
+    Every piece of mutable iteration state — the shuffle RNG, augmentation
+    RNGs, cursors in loader subclasses — becomes private to the clone, so
+    concurrent consumers (parallel DSE grid points, per-point deployment
+    evaluators) never thread RNG state through each other.  The
+    materialized sample arrays, however, are never mutated by training, so
+    they are seeded into the deepcopy memo and stay shared: N clones cost
+    O(N) loader state, not N copies of the dataset.
+    """
+    memo = {}
+    dataset = getattr(loader, "dataset", None)
+    for name in ("inputs", "targets"):
+        array = getattr(dataset, name, None)
+        if isinstance(array, np.ndarray):
+            memo[id(array)] = array
+    return copy.deepcopy(loader, memo)
 
 
 def train_val_test_split(dataset: ArrayDataset, val_fraction: float = 0.15,

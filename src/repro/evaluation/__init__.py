@@ -1,12 +1,20 @@
 """Evaluation: metrics, Pareto analysis, design-space exploration."""
 
 from .metrics import nll_metric, mae_metric, evaluate_metric, count_macs
-from .pareto import dominates, pareto_front, pareto_points, hypervolume_2d
+from .pareto import (
+    dominates,
+    pareto_front,
+    pareto_points,
+    hypervolume,
+    hypervolume_2d,
+)
 from .dse import (
     DSECache,
     DSEEngine,
     DSEPoint,
     DSEResult,
+    evaluator_name,
+    objective_value,
     run_dse,
     select_small_medium_large,
 )
@@ -25,11 +33,14 @@ __all__ = [
     "dominates",
     "pareto_front",
     "pareto_points",
+    "hypervolume",
     "hypervolume_2d",
     "DSECache",
     "DSEEngine",
     "DSEPoint",
     "DSEResult",
+    "evaluator_name",
+    "objective_value",
     "run_dse",
     "select_small_medium_large",
     "format_table",

@@ -18,14 +18,21 @@ Completed points can be memoized to a JSON cache file (see
 :class:`DSECache`), making long sweeps resumable: a re-run with the same
 grid and trainer settings skips finished points and only trains the rest.
 
+Deployment cost is a first-class objective: ``point_evaluators`` run after
+each grid point trains (e.g. :func:`repro.hw.gap8_evaluator`, which exports
+the discovered network, fake-quantizes it to int8 and prices it on the GAP8
+model) and annotate the point's ``metrics`` dict; the cache persists them
+(format version 2) and :meth:`DSEResult.pareto` accepts arbitrary objective
+tuples such as ``("params", "latency_ms", "loss")``.
+
 It also implements the small/medium/large selection rule of Tables I-III:
 *small* = fewest parameters, *large* = most parameters, *medium* = closest
-in size to the hand-engineered reference network.
+in size to the hand-engineered reference network — optionally along any
+other objective (latency, energy, …) via ``objective=``.
 """
 
 from __future__ import annotations
 
-import copy
 import json
 import os
 import tempfile
@@ -42,22 +49,39 @@ import numpy as np
 
 from ..autograd import current_backend, use_backend
 from ..core.trainer import PITResult, PITTrainer
+from ..data import clone_loader
 from ..nn import Module
 from .pareto import pareto_front
 
 __all__ = ["DSEPoint", "DSEResult", "DSECache", "DSEEngine", "run_dse",
-           "select_small_medium_large"]
+           "objective_value", "evaluator_name", "select_small_medium_large"]
 
 
 @dataclass
 class DSEPoint:
-    """One trained architecture in the design space."""
+    """One trained architecture in the design space.
+
+    ``metrics`` holds post-training evaluator annotations (deployment cost,
+    quantized accuracy, …) keyed by objective name; it is empty unless the
+    sweep ran with ``point_evaluators``.
+    """
     lam: float
     warmup_epochs: int
     dilations: Tuple[int, ...]
     params: int
     loss: float
     result: Optional[PITResult] = field(repr=False, default=None)
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+
+def objective_value(point: DSEPoint, name: str) -> Optional[float]:
+    """Resolve an objective by name: a dataclass field (``params``,
+    ``loss``, ``lam``, …) or a ``metrics`` entry (``latency_ms``, …).
+    Returns None when the point carries no such objective."""
+    value = getattr(point, name, None)
+    if value is None or name in ("result", "metrics", "dilations"):
+        value = point.metrics.get(name)
+    return None if value is None else float(value)
 
 
 @dataclass
@@ -65,9 +89,24 @@ class DSEResult:
     """Outcome of a full (λ × warmup) sweep."""
     points: List[DSEPoint]
 
-    def pareto(self) -> List[DSEPoint]:
-        coords = [(p.params, p.loss) for p in self.points]
-        return [self.points[i] for i in pareto_front(coords)]
+    def pareto(self, objectives: Sequence[str] = ("params", "loss")
+               ) -> List[DSEPoint]:
+        """Non-dominated points along the named objectives (all minimized).
+
+        Objectives resolve against dataclass fields first, then the
+        ``metrics`` dict — e.g. ``("params", "latency_ms", "loss")`` for the
+        hardware-aware 3-D front.  Points missing any requested objective
+        (cached v1 entries, sweeps run without evaluators) are excluded.
+        """
+        keep: List[DSEPoint] = []
+        coords: List[Tuple[float, ...]] = []
+        for point in self.points:
+            values = [objective_value(point, name) for name in objectives]
+            if any(v is None for v in values):
+                continue
+            keep.append(point)
+            coords.append(tuple(values))
+        return [keep[i] for i in pareto_front(coords)]
 
     def best_loss(self) -> DSEPoint:
         return min(self.points, key=lambda p: p.loss)
@@ -83,23 +122,33 @@ class DSEResult:
 class DSECache:
     """JSON memo of completed DSE points, for resumable sweeps.
 
-    File format (version 1)::
+    File format (version 2)::
 
         {
-          "version": 1,
+          "version": 2,
           "points": {
             "<key>": {
               "lam": 0.02, "warmup_epochs": 5,
               "dilations": [1, 2, 4], "params": 1234, "loss": 0.567,
+              "metrics": {"latency_ms": 112.6, "energy_mj": 29.5, ...},
               "result": { ... PITResult fields ... }
             }, ...
           }
         }
 
-    Keys encode (tag, conv backend, λ, warmup, trainer settings), so a
-    cache file is never allowed to return a point trained under different
-    hyper-parameters — or under a different conv backend, whose ~1e-12
-    per-call differences training can amplify into different dilations.
+    Version 2 adds the ``metrics`` dict (post-training evaluator
+    annotations: deployment latency/energy, quantized loss, …).  Version 1
+    files are still accepted — their entries load with empty metrics and
+    the file is rewritten as version 2 on the next recorded point.
+
+    Keys encode (tag, conv backend, λ, warmup, trainer settings, and the
+    point evaluators that annotated the entry), so a cache file is never
+    allowed to return a point trained under different hyper-parameters —
+    or under a different conv backend, whose ~1e-12 per-call differences
+    training can amplify into different dilations.  λ and warmup are
+    normalized to native ``float``/``int`` first: a ``np.linspace`` grid
+    (numpy scalars) must key identically to the same values spelled as
+    Python floats, or resumed sweeps would silently retrain everything.
     The *tag* is the caller's name for the model/data
     identity (seed factory, dataset, width, …), which the engine cannot
     see into — callers sharing one cache file across different seeds or
@@ -109,7 +158,9 @@ class DSECache:
     concurrently.
     """
 
-    VERSION = 1
+    VERSION = 2
+    #: formats this reader understands (v1 = pre-metrics entries)
+    READABLE_VERSIONS = (1, 2)
 
     def __init__(self, path: str):
         self.path = path
@@ -118,7 +169,7 @@ class DSECache:
         if os.path.exists(path):
             with open(path) as handle:
                 payload = json.load(handle)
-            if payload.get("version") != self.VERSION:
+            if payload.get("version") not in self.READABLE_VERSIONS:
                 raise ValueError(
                     f"unsupported DSE cache version in {path!r}: "
                     f"{payload.get('version')!r}")
@@ -126,7 +177,8 @@ class DSECache:
 
     @staticmethod
     def key(lam: float, warmup: int, trainer_kwargs: Dict,
-            tag: str = "", backend: Optional[str] = None) -> str:
+            tag: str = "", backend: Optional[str] = None,
+            evaluators: Sequence[str] = ()) -> str:
         try:
             settings = json.dumps(trainer_kwargs, sort_keys=True)
         except TypeError as exc:
@@ -138,8 +190,22 @@ class DSECache:
                 "DSE caching requires JSON-serializable trainer settings; "
                 f"got {trainer_kwargs!r}") from exc
         backend = backend if backend is not None else current_backend()
-        return (f"tag={tag}|backend={backend}|lam={lam!r}|warmup={warmup}"
-                f"|trainer={settings}")
+        # float()/int() so numpy scalars (np.linspace grids) and Python
+        # numbers produce one key; !r on the *native* float keeps the full
+        # precision the old format relied on.
+        key = (f"tag={tag}|backend={backend}|lam={float(lam)!r}"
+               f"|warmup={int(warmup)}|trainer={settings}")
+        if evaluators:
+            # Sweeps with different evaluator stacks do not share entries:
+            # a point cached without hw metrics cannot satisfy an --hw
+            # resume (the trained weights needed to compute them are gone).
+            # Evaluator-less keys keep the legacy format so v1 files hit.
+            # The name list is JSON-encoded, not bare-joined: names carry
+            # arbitrary configuration strings (commas, pipes), and a
+            # delimiter collision between different stacks would serve one
+            # configuration another's cached metrics.
+            key += f"|evaluators={json.dumps(list(evaluators))}"
+        return key
 
     def __len__(self) -> int:
         return len(self._points)
@@ -147,6 +213,24 @@ class DSECache:
     def get(self, key: str) -> Optional[DSEPoint]:
         entry = self._points.get(key)
         return None if entry is None else _point_from_dict(entry)
+
+    def get_annotated(self, base_key: str) -> Optional[DSEPoint]:
+        """An entry recorded under ``base_key`` by *some* evaluator stack.
+
+        Keys are asymmetric on purpose: an entry without metrics can never
+        satisfy an evaluator-carrying lookup (the trained weights needed to
+        compute the missing metrics are gone).  The reverse is free — the
+        same base key means the same training, evaluators only ran
+        afterwards — so an evaluator-less resume falls back to any
+        ``base_key|evaluators=...`` entry instead of retraining, keeping
+        whatever metrics it carries as a bonus.  Deterministic when several
+        evaluator stacks recorded the point (lexicographically first key).
+        """
+        prefix = base_key + "|evaluators="
+        for key in sorted(self._points):
+            if key.startswith(prefix):
+                return _point_from_dict(self._points[key])
+        return None
 
     def put(self, key: str, point: DSEPoint) -> None:
         with self._lock:
@@ -164,7 +248,7 @@ class DSECache:
             try:
                 with open(self.path) as handle:
                     payload = json.load(handle)
-                if payload.get("version") == self.VERSION:
+                if payload.get("version") in self.READABLE_VERSIONS:
                     merged = dict(payload.get("points", {}))
                     merged.update(self._points)
                     self._points = merged
@@ -182,6 +266,24 @@ class DSECache:
             raise
 
 
+def _to_native(value):
+    """Recursively coerce numpy scalars/arrays to JSON-native Python types.
+
+    Grid values, parameter counts and evaluator metrics routinely arrive as
+    ``np.float64``/``np.int64`` (anything touched by numpy does); ``json``
+    refuses to serialize those, which used to crash :meth:`DSECache.put`.
+    """
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {str(k): _to_native(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_to_native(v) for v in value]
+    return value
+
+
 def _point_to_dict(point: DSEPoint) -> dict:
     entry = {
         "lam": point.lam,
@@ -189,10 +291,11 @@ def _point_to_dict(point: DSEPoint) -> dict:
         "dilations": list(point.dilations),
         "params": point.params,
         "loss": point.loss,
+        "metrics": dict(point.metrics),
     }
     if point.result is not None:
         entry["result"] = asdict(point.result)
-    return entry
+    return _to_native(entry)
 
 
 def _point_from_dict(entry: dict) -> DSEPoint:
@@ -204,36 +307,26 @@ def _point_from_dict(entry: dict) -> DSEPoint:
     return DSEPoint(
         lam=entry["lam"], warmup_epochs=entry["warmup_epochs"],
         dilations=tuple(entry["dilations"]), params=entry["params"],
-        loss=entry["loss"], result=result)
+        loss=entry["loss"], result=result,
+        metrics=dict(entry.get("metrics") or {}))  # absent in v1 entries
 
 
 # ----------------------------------------------------------------------
 # Execution engine
 # ----------------------------------------------------------------------
 
-def _private_loader(loader):
-    """Deep-copy a loader while sharing its (read-only) sample arrays.
-
-    Every piece of mutable iteration state — the shuffle RNG, augmentation
-    RNGs, cursors in loader subclasses — must be private per grid point for
-    parallel sweeps to be bit-identical to serial ones.  The materialized
-    sample arrays, however, are never mutated by training, so they are
-    seeded into the deepcopy memo and stay shared: a pool of N in-flight
-    points costs O(N) loader state, not N copies of the dataset.
-    """
-    memo = {}
-    dataset = getattr(loader, "dataset", None)
-    for name in ("inputs", "targets"):
-        array = getattr(dataset, name, None)
-        if isinstance(array, np.ndarray):
-            memo[id(array)] = array
-    return copy.deepcopy(loader, memo)
+# Every piece of mutable loader state must be private per grid point for
+# parallel sweeps to be bit-identical to serial ones; the shared helper
+# lives in repro.data (deployment evaluators apply the same discipline).
+_private_loader = clone_loader
 
 
 def _train_grid_point(seed_factory: Callable[[], Module], loss_fn: Callable,
                       train_loader, val_loader, lam: float, warmup: int,
                       trainer_kwargs: Dict, backend: str,
-                      compile_step: Optional[bool] = None) -> DSEPoint:
+                      compile_step: Optional[bool] = None,
+                      point_evaluators: Optional[Sequence[Callable]] = None
+                      ) -> DSEPoint:
     """Train one (λ, warmup) grid point from a fresh seed.
 
     Module-level (not a closure) so a ``ProcessPoolExecutor`` can pickle it.
@@ -249,6 +342,10 @@ def _train_grid_point(seed_factory: Callable[[], Module], loss_fn: Callable,
     traces its step once per phase and replays it for every batch — the
     compiled-vs-eager bit-parity guarantee is what lets cached and fresh
     results mix freely (cache keys do not record the flag).
+    ``point_evaluators`` run after training, while the trained model is
+    still in hand, and merge their returned dicts into ``DSEPoint.metrics``
+    — still inside the backend scope, so evaluation forward passes use the
+    same kernels the cache key records.
     """
     train_loader = _private_loader(train_loader)
     val_loader = _private_loader(val_loader)
@@ -257,9 +354,39 @@ def _train_grid_point(seed_factory: Callable[[], Module], loss_fn: Callable,
                          compile_step=compile_step, **trainer_kwargs)
     with use_backend(backend):
         result = trainer.fit(train_loader, val_loader)
-    return DSEPoint(
-        lam=lam, warmup_epochs=warmup, dilations=result.dilations,
-        params=result.effective_params, loss=result.best_val, result=result)
+        point = DSEPoint(
+            lam=lam, warmup_epochs=warmup, dilations=result.dilations,
+            params=result.effective_params, loss=result.best_val,
+            result=result)
+        for evaluator in (point_evaluators or ()):
+            annotations = evaluator(model, point)
+            if annotations:
+                point.metrics.update(annotations)
+    return point
+
+
+def evaluator_name(evaluator: Callable) -> str:
+    """Stable cache-key identity of a point evaluator.
+
+    Preference order: an explicit ``cache_name`` attribute (class-based
+    evaluators like :func:`repro.hw.gap8_evaluator` derive one from their
+    configuration), then the function ``__name__``.  Must not embed
+    per-process state (memory addresses) or resumed sweeps would never
+    hit.  Anonymous callables — lambdas, ``functools.partial`` — are
+    refused: they all render alike (``<lambda>`` / ``partial``), so two
+    differently-configured evaluators would silently share cache entries
+    and serve each other's metrics.  Give them a ``cache_name``.
+    """
+    name = getattr(evaluator, "cache_name", None)
+    if name:
+        return str(name)
+    name = getattr(evaluator, "__name__", None)
+    if name and name != "<lambda>":
+        return name
+    raise ValueError(
+        f"point evaluator {evaluator!r} has no stable cache identity; "
+        "set a cache_name attribute (anonymous callables key "
+        "indistinguishably, which would mis-attribute cached metrics)")
 
 
 class DSEEngine:
@@ -300,6 +427,18 @@ class DSEEngine:
         part of the cache key — compiled steps are bit-identical to eager,
         so points trained either way are interchangeable.  None defers to
         ``REPRO_COMPILE_STEP``.
+    point_evaluators:
+        Post-training hooks, each called as ``evaluator(model, point)``
+        with the trained (still searchable) model; the returned
+        ``Dict[str, float]`` is merged into ``DSEPoint.metrics`` and
+        persisted by the cache.  :func:`repro.hw.gap8_evaluator` is the
+        canonical one (int8 fake-quantization + GAP8 latency/energy).
+        Evaluator identities (``cache_name``) are part of the cache key:
+        points cached without hardware metrics cannot satisfy a
+        hardware-aware resume, because the weights needed to compute the
+        missing metrics are not persisted.  (The reverse resume is free:
+        an evaluator-less sweep falls back to annotated entries, which are
+        a superset.)  Must be picklable when ``executor="process"``.
     """
 
     def __init__(self, seed_factory: Callable[[], Module], loss_fn: Callable,
@@ -308,7 +447,8 @@ class DSEEngine:
                  cache_tag: str = "",
                  trainer_kwargs: Optional[Dict] = None,
                  verbose: bool = False,
-                 compile_step: Optional[bool] = None):
+                 compile_step: Optional[bool] = None,
+                 point_evaluators: Optional[Sequence[Callable]] = None):
         if executor not in ("thread", "process"):
             raise ValueError("executor must be 'thread' or 'process'")
         if workers < 0:
@@ -327,6 +467,7 @@ class DSEEngine:
         self.trainer_kwargs.pop("warmup_epochs", None)
         kwargs_compile = self.trainer_kwargs.pop("compile_step", None)
         self.compile_step = compile_step if compile_step is not None else kwargs_compile
+        self.point_evaluators = list(point_evaluators or [])
         self.verbose = verbose
 
     # ------------------------------------------------------------------
@@ -342,7 +483,8 @@ class DSEEngine:
         return _train_grid_point(self.seed_factory, self.loss_fn,
                                  self.train_loader, self.val_loader,
                                  lam, warmup, self.trainer_kwargs,
-                                 self._run_backend, self.compile_step)
+                                 self._run_backend, self.compile_step,
+                                 self.point_evaluators)
 
     def run(self, lambdas: Sequence[float],
             warmups: Sequence[int] = (5,)) -> DSEResult:
@@ -359,7 +501,12 @@ class DSEEngine:
         for index, (warmup, lam) in enumerate(grid):
             cached = None
             if self.cache is not None:
-                cached = self.cache.get(self._key(lam, warmup))
+                key = self._key(lam, warmup)
+                cached = self.cache.get(key)
+                if cached is None and not self.point_evaluators:
+                    # A hardware-annotated sweep trained this exact point;
+                    # its entry is a superset of what we need.
+                    cached = self.cache.get_annotated(key)
             if cached is not None:
                 points[index] = cached
                 self._log(f"lam={lam:g} warmup={warmup}: cached "
@@ -377,7 +524,8 @@ class DSEEngine:
                                     self.seed_factory, self.loss_fn,
                                     self.train_loader, self.val_loader,
                                     lam, warmup, self.trainer_kwargs,
-                                    self._run_backend, self.compile_step): index
+                                    self._run_backend, self.compile_step,
+                                    self.point_evaluators): index
                         for index, warmup, lam in pending}
                     # Consume in completion order; grid order is restored
                     # by index when assembling the result.  When a cache is
@@ -408,14 +556,17 @@ class DSEEngine:
 
     def _key(self, lam: float, warmup: int) -> str:
         return DSECache.key(lam, warmup, self.trainer_kwargs,
-                            tag=self.cache_tag, backend=self._run_backend)
+                            tag=self.cache_tag, backend=self._run_backend,
+                            evaluators=[evaluator_name(e)
+                                        for e in self.point_evaluators])
 
     def _record(self, point: DSEPoint) -> DSEPoint:
         if self.cache is not None:
             self.cache.put(self._key(point.lam, point.warmup_epochs), point)
+        extra = "".join(f", {k}={v:.4g}" for k, v in point.metrics.items())
         self._log(f"lam={point.lam:g} warmup={point.warmup_epochs}: "
                   f"{point.params} params, loss={point.loss:.4f}, "
-                  f"d={point.dilations}")
+                  f"d={point.dilations}{extra}")
         return point
 
 
@@ -427,33 +578,55 @@ def run_dse(seed_factory: Callable[[], Module], loss_fn: Callable,
             executor: str = "thread",
             cache_path: Optional[str] = None,
             cache_tag: str = "",
-            compile_step: Optional[bool] = None) -> DSEResult:
+            compile_step: Optional[bool] = None,
+            point_evaluators: Optional[Sequence[Callable]] = None
+            ) -> DSEResult:
     """Sweep (λ, warmup); one full PIT search per grid point.
 
     Thin wrapper over :class:`DSEEngine` kept for API compatibility;
     ``workers`` / ``executor`` / ``cache_path`` / ``cache_tag`` /
-    ``compile_step`` expose the engine's parallelism, memoization and
-    graph-compilation knobs.
+    ``compile_step`` / ``point_evaluators`` expose the engine's
+    parallelism, memoization, graph-compilation and hardware-in-the-loop
+    knobs.
     """
     engine = DSEEngine(seed_factory, loss_fn, train_loader, val_loader,
                        workers=workers, executor=executor,
                        cache_path=cache_path, cache_tag=cache_tag,
                        trainer_kwargs=trainer_kwargs,
-                       verbose=verbose, compile_step=compile_step)
+                       verbose=verbose, compile_step=compile_step,
+                       point_evaluators=point_evaluators)
     return engine.run(lambdas, warmups=warmups)
 
 
 def select_small_medium_large(points: Sequence[DSEPoint],
-                              reference_params: int) -> Dict[str, DSEPoint]:
+                              reference_params: Optional[float] = None,
+                              *, objective: str = "params",
+                              reference: Optional[float] = None
+                              ) -> Dict[str, DSEPoint]:
     """The paper's Table I selection rule over a set of DSE points.
 
-    * ``small``: the smallest network found;
-    * ``large``: the largest network found;
-    * ``medium``: the closest in size to the hand-designed reference.
+    * ``small``: the cheapest network found;
+    * ``large``: the most expensive network found;
+    * ``medium``: the closest in cost to the hand-designed reference.
+
+    ``objective`` names the cost axis: ``"params"`` (default, the paper's
+    rule) or any metrics key a hardware-aware sweep annotated
+    (``"latency_ms"``, ``"energy_mj"``, …), with ``reference`` the
+    reference network's value on that axis (``reference_params`` is the
+    legacy spelling of the same argument).  Points that do not carry the
+    requested objective are ignored.
     """
-    if not points:
-        raise ValueError("no DSE points to select from")
-    small = min(points, key=lambda p: p.params)
-    large = max(points, key=lambda p: p.params)
-    medium = min(points, key=lambda p: abs(p.params - reference_params))
+    if reference is None:
+        reference = reference_params
+    if reference is None:
+        raise TypeError("a reference value is required "
+                        "(reference_params= or reference=)")
+    scored = [(p, objective_value(p, objective)) for p in points]
+    scored = [(p, v) for p, v in scored if v is not None]
+    if not scored:
+        raise ValueError(
+            f"no DSE points carry the {objective!r} objective to select from")
+    small = min(scored, key=lambda pv: pv[1])[0]
+    large = max(scored, key=lambda pv: pv[1])[0]
+    medium = min(scored, key=lambda pv: abs(pv[1] - reference))[0]
     return {"small": small, "medium": medium, "large": large}

@@ -1,57 +1,93 @@
-"""Pareto-front utilities for the accuracy-vs-size design space (Fig. 4).
+"""Pareto-front utilities for the accuracy-vs-cost design space (Fig. 4).
 
-All functions treat points as ``(cost, loss)`` pairs where *both*
-coordinates are minimized (parameters and NLL/MAE).
+All functions treat points as tuples of objectives where *every*
+coordinate is minimized.  The classic use is the 2-D ``(params, loss)``
+plane of Fig. 4, but the hardware-in-the-loop sweep annotates points with
+deployment metrics (latency, energy, quantized loss, …), so the dominance
+test, front extraction and hypervolume all accept objective tuples of any
+dimensionality.  :func:`hypervolume_2d` is kept as the 2-D spelling.
 """
 
 from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
-__all__ = ["dominates", "pareto_front", "pareto_points", "hypervolume_2d"]
+__all__ = ["dominates", "pareto_front", "pareto_points", "hypervolume",
+           "hypervolume_2d"]
 
-Point = Tuple[float, float]
+Point = Tuple[float, ...]
 
 
-def dominates(a: Point, b: Point) -> bool:
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
     """True if ``a`` Pareto-dominates ``b`` (<= in all, < in at least one)."""
-    return a[0] <= b[0] and a[1] <= b[1] and (a[0] < b[0] or a[1] < b[1])
+    if len(a) != len(b):
+        raise ValueError(f"dimension mismatch: {len(a)} vs {len(b)}")
+    return (all(x <= y for x, y in zip(a, b))
+            and any(x < y for x, y in zip(a, b)))
 
 
-def pareto_front(points: Sequence[Point]) -> List[int]:
-    """Indices of the non-dominated points, sorted by the first coordinate."""
+def pareto_front(points: Sequence[Sequence[float]]) -> List[int]:
+    """Indices of the non-dominated points, sorted lexicographically."""
     indices = []
     for i, p in enumerate(points):
         if not any(dominates(q, p) for j, q in enumerate(points) if j != i):
             indices.append(i)
-    indices.sort(key=lambda i: (points[i][0], points[i][1]))
+    indices.sort(key=lambda i: tuple(points[i]))
     return indices
 
 
-def pareto_points(points: Sequence[Point]) -> List[Point]:
-    """The non-dominated points themselves, sorted by cost."""
-    return [points[i] for i in pareto_front(points)]
+def pareto_points(points: Sequence[Sequence[float]]) -> List[Point]:
+    """The non-dominated points themselves, in lexicographic order."""
+    return [tuple(points[i]) for i in pareto_front(points)]
 
 
-def hypervolume_2d(points: Sequence[Point], reference: Point) -> float:
-    """Dominated hypervolume w.r.t. a reference (upper-right) point.
+def hypervolume(points: Sequence[Sequence[float]],
+                reference: Sequence[float]) -> float:
+    """Dominated hypervolume w.r.t. a reference (worst-corner) point.
 
-    Scalar quality of a 2-D minimization front: the area dominated between
-    the front and ``reference`` (larger is better).  Points outside the
-    reference box contribute nothing.
+    Scalar quality of an N-D minimization front: the volume dominated
+    between the front and ``reference`` (larger is better).  Points outside
+    the reference box contribute nothing.
 
-    Sweeping the front left to right, the dominated region at abscissa
-    ``x`` has height ``ref_y - min{y_i : x_i <= x}``; summing the strips
-    between consecutive front points gives the exact area.
+    Computed by slicing along the first objective (the HSO scheme): sweeping
+    the front in ascending first coordinate, the slab between consecutive
+    abscissae is the slab width times the (N-1)-D hypervolume of the points
+    seen so far, projected onto the remaining objectives.  Exact, and fast
+    enough for the few-dozen-point fronts a DSE sweep produces.
     """
-    front = [p for p in pareto_points(points)
-             if p[0] <= reference[0] and p[1] <= reference[1]]
-    if not front:
+    reference = tuple(float(r) for r in reference)
+    box: List[Point] = []
+    for p in points:
+        p = tuple(float(c) for c in p)
+        if len(p) != len(reference):
+            raise ValueError(
+                f"point dimension {len(p)} != reference dimension "
+                f"{len(reference)}")
+        if all(c <= r for c, r in zip(p, reference)):
+            box.append(p)
+    if not box:
         return 0.0
+    return _slab_volume([box[i] for i in pareto_front(box)], reference)
+
+
+def _slab_volume(front: List[Point], reference: Point) -> float:
+    """HSO recursion over a non-dominated front sorted by first coordinate."""
+    if len(reference) == 1:
+        return max(0.0, reference[0] - min(p[0] for p in front))
     volume = 0.0
-    best_y = reference[1]
-    for i, (x, y) in enumerate(front):
+    for i, point in enumerate(front):
         next_x = front[i + 1][0] if i + 1 < len(front) else reference[0]
-        best_y = min(best_y, y)
-        volume += max(0.0, next_x - x) * max(0.0, reference[1] - best_y)
+        width = next_x - point[0]
+        if width <= 0.0:
+            continue  # duplicate abscissa: folded into the next slab
+        slab = [q[1:] for q in front[:i + 1]]
+        sub_front = [slab[j] for j in pareto_front(slab)]
+        volume += width * _slab_volume(sub_front, reference[1:])
     return volume
+
+
+def hypervolume_2d(points: Sequence[Sequence[float]],
+                   reference: Sequence[float]) -> float:
+    """The 2-D spelling of :func:`hypervolume` (area between front and
+    reference), kept for the Fig. 4 ``(params, loss)`` plane."""
+    return hypervolume(points, reference)

@@ -16,9 +16,17 @@ __all__ = ["format_table", "format_markdown_table", "ExperimentRegistry", "Compa
 
 
 def _render_cell(value, spec: Optional[str]) -> str:
+    if isinstance(value, bool):
+        # Feature flags (e.g. the deployment tables' "fits L2" column)
+        # read as yes/no, not Python reprs.
+        return "yes" if value else "no"
     if spec and isinstance(value, (int, float)):
         return format(value, spec)
     return str(value)
+
+
+def _is_numeric(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence],
@@ -30,7 +38,7 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence],
     cells = [[_render_cell(v, f) for v, f in zip(row, formats)] for row in rows]
     widths = [max(len(h), *(len(row[i]) for row in cells)) if cells else len(h)
               for i, h in enumerate(headers)]
-    numeric = [all(isinstance(row[i], (int, float)) for row in rows) if rows else False
+    numeric = [all(_is_numeric(row[i]) for row in rows) if rows else False
                for i in range(len(headers))]
 
     def line(parts, pad=" "):

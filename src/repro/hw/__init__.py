@@ -11,7 +11,13 @@ from .quantization import (
     quantization_error,
 )
 from .gap8 import GAP8Config, LayerCost, GAP8Report, GAP8Model
-from .deployment import DeploymentReport, deploy
+from .deployment import (
+    DeploymentReport,
+    GAP8PointEvaluator,
+    deploy,
+    format_table_iii,
+    gap8_evaluator,
+)
 
 __all__ = [
     "QuantizedArray",
@@ -27,5 +33,8 @@ __all__ = [
     "GAP8Report",
     "GAP8Model",
     "DeploymentReport",
+    "GAP8PointEvaluator",
     "deploy",
+    "format_table_iii",
+    "gap8_evaluator",
 ]

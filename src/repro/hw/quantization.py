@@ -96,29 +96,37 @@ class FakeQuant(Module):
 
     In ``calibrating`` mode it records the running min/max of what passes
     through; afterwards it clamps + quantize-dequantizes to ``bits`` levels.
+
+    The calibrated range (``lo``/``hi``) and the mode flag are *registered
+    buffers*, not plain attributes: a calibrated model checkpointed with
+    :mod:`repro.nn.serialization` gets its activation ranges back on load
+    (plain attributes silently dropped them, so a reloaded "quantized"
+    model ran in float).
     """
 
     def __init__(self, bits: int = 8):
         super().__init__()
         self.bits = bits
-        self.calibrating = True
-        self.lo = np.inf
-        self.hi = -np.inf
+        self.register_buffer("calibrating", np.asarray(True))
+        self.register_buffer("lo", np.asarray(np.inf))
+        self.register_buffer("hi", np.asarray(-np.inf))
 
     def forward(self, x: Tensor) -> Tensor:
         if self.calibrating:
-            self.lo = min(self.lo, float(x.data.min()))
-            self.hi = max(self.hi, float(x.data.max()))
+            self.lo = min(float(self.lo), float(x.data.min()))
+            self.hi = max(float(self.hi), float(x.data.max()))
             return x
-        if not np.isfinite(self.lo) or self.hi <= self.lo:
+        lo, hi = float(self.lo), float(self.hi)
+        if not np.isfinite(lo) or hi <= lo:
             return x
         qmax = 2 ** self.bits - 1
-        scale = (self.hi - self.lo) / qmax
-        q = np.clip(np.round((x.data - self.lo) / scale), 0, qmax)
-        return Tensor(q * scale + self.lo)
+        scale = (hi - lo) / qmax
+        q = np.clip(np.round((x.data - lo) / scale), 0, qmax)
+        return Tensor(q * scale + lo)
 
     def __repr__(self) -> str:
-        return f"FakeQuant(bits={self.bits}, range=({self.lo:.3g}, {self.hi:.3g}))"
+        return (f"FakeQuant(bits={self.bits}, "
+                f"range=({float(self.lo):.3g}, {float(self.hi):.3g}))")
 
 
 class QuantWrapper(Module):

@@ -47,6 +47,13 @@ class Module:
             self._parameters[key] = value
         elif isinstance(value, Module):
             self._modules[key] = value
+        elif key in self.__dict__.get("_buffers", ()):
+            # Assigning to a registered buffer name updates the buffer
+            # (coerced to an array so scalars survive state_dict round
+            # trips) instead of silently shadowing it with a plain
+            # attribute that save/load would ignore.
+            value = np.asarray(value)
+            self._buffers[key] = value
         object.__setattr__(self, key, value)
 
     def register_buffer(self, name: str, value: np.ndarray) -> None:

@@ -82,6 +82,30 @@ class TestDeploy:
         with pytest.raises(ValueError):
             main(["deploy", "--benchmark", "ppg", "--dilations", "2", "2"])
 
+    def test_deploy_renders_table_iii(self, capsys):
+        """deploy now runs the full pipeline: int8 quantization + GAP8
+        estimate, rendered as a paper-style Table III row."""
+        assert main(["deploy", "--benchmark", "ppg", "--width", "0.125"]) == 0
+        out = capsys.readouterr().out
+        assert "int8 loss" in out
+        assert "latency [ms]" in out
+        assert "energy [mJ]" in out
+
+    def test_deploy_no_quantize(self, capsys):
+        assert main(["deploy", "--benchmark", "ppg", "--width", "0.125",
+                     "--no-quantize"]) == 0
+        assert "latency [ms]" in capsys.readouterr().out
+
+    def test_deploy_loads_checkpoint(self, tmp_path, capsys):
+        path = tmp_path / "ckpt.npz"
+        main(["train", "--benchmark", "ppg", "--width", "0.125",
+              "--epochs", "1", "--patience", "1", "--save", str(path)])
+        capsys.readouterr()
+        assert main(["deploy", "--benchmark", "ppg", "--width", "0.125",
+                     "--load", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"loaded    : {path}" in out
+
 
 class TestSearch:
     def test_search_runs_and_reports(self, capsys):
@@ -123,6 +147,28 @@ class TestSweep:
                      "--quiet", "--conv-backend", "im2col", "--compile"])
         assert code == 0
         assert "pareto front" in capsys.readouterr().out
+
+    def test_sweep_hw_annotates_and_prints_3d_front(self, capsys, tmp_path):
+        cache = tmp_path / "dse.json"
+        argv = ["sweep", "--benchmark", "ppg", "--width", "0.1",
+                "--lambdas", "0", "--gamma-lr", "0.1", "--warmup", "0",
+                "--epochs", "1", "--finetune", "0", "--quiet", "--hw",
+                "--cache", str(cache)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "int8 loss" in out
+        assert "lat ms" in out
+        assert "hw pareto front (params, latency_ms, loss)" in out
+
+        # The v2 cache recorded the deployment metrics...
+        import json
+        payload = json.loads(cache.read_text())
+        assert payload["version"] == 2
+        entry = next(iter(payload["points"].values()))
+        assert entry["metrics"]["latency_ms"] > 0
+        # ...and a re-run resumes from it (same printed result, no retrain).
+        assert main(argv) == 0
+        assert "hw pareto front" in capsys.readouterr().out
 
 
 class TestTrain:

@@ -357,6 +357,191 @@ class TestCache:
             DSECache(str(path))
 
 
+class StubEvaluator:
+    """Deterministic point evaluator with a stable cache identity."""
+
+    cache_name = "stub"
+
+    def __call__(self, model, point):
+        assert model is not None  # gets the trained model, not just the point
+        return {"latency_ms": 10.0 + point.lam, "energy_mj": 2.5}
+
+
+class TestCacheBugfixes:
+    """Regression tests for the two confirmed DSECache bugs."""
+
+    def test_key_normalizes_numpy_scalars(self):
+        """np.linspace grids (numpy scalars) must key identically to the
+        same values spelled as Python numbers — `lam!r` used to embed
+        `np.float64(0.02)` and miss every resume."""
+        native = DSECache.key(0.02, 5, dict(SCHEDULE), backend="einsum")
+        numpied = DSECache.key(np.float64(0.02), np.int64(5),
+                               dict(SCHEDULE), backend="einsum")
+        assert native == numpied
+        assert "np.float64" not in numpied
+
+    def test_numpy_grid_resumes_python_float_cache(self, tmp_path):
+        """End-to-end: a cache written with Python-float λs satisfies a
+        resume whose grid comes from np.linspace/np.arange."""
+        cache = str(tmp_path / "dse.json")
+        train, val = _loaders()
+        DSEEngine(Tiny, mse_loss, train, val, cache_path=cache,
+                  trainer_kwargs=dict(SCHEDULE)).run(LAMBDAS, warmups=WARMUPS)
+
+        factory = CountingFactory()
+        numpy_lambdas = np.linspace(LAMBDAS[0], LAMBDAS[-1], len(LAMBDAS))
+        assert [float(v) for v in numpy_lambdas] == LAMBDAS  # same grid
+        resumed = DSEEngine(factory, mse_loss, train, val, cache_path=cache,
+                            trainer_kwargs=dict(SCHEDULE)).run(
+                                numpy_lambdas, warmups=np.array(WARMUPS))
+        assert factory.calls == 0  # every numpy-keyed point hit
+        assert len(resumed.points) == len(LAMBDAS) * len(WARMUPS)
+
+    def test_put_accepts_numpy_typed_point(self, tmp_path):
+        """`put` used to crash with `TypeError: Object of type int64 is
+        not JSON serializable` when dilations/params were numpy ints."""
+        path = str(tmp_path / "np.json")
+        point = DSEPoint(
+            lam=np.float64(0.5), warmup_epochs=np.int64(1),
+            dilations=(np.int64(1), np.int64(4)), params=np.int64(123),
+            loss=np.float64(0.25),
+            metrics={"latency_ms": np.float64(7.5), "macs": np.int64(80)})
+        cache = DSECache(path)
+        cache.put("k", point)  # must not raise
+
+        with open(path) as handle:
+            entry = json.load(handle)["points"]["k"]
+        assert entry["params"] == 123 and isinstance(entry["params"], int)
+        assert entry["dilations"] == [1, 4]
+        assert entry["metrics"] == {"latency_ms": 7.5, "macs": 80}
+
+        restored = DSECache(path).get("k")
+        assert restored.params == 123
+        assert restored.dilations == (1, 4)
+        assert restored.metrics["latency_ms"] == 7.5
+
+
+class TestCacheV2:
+    def test_file_format_is_v2_with_metrics(self, tmp_path):
+        cache = str(tmp_path / "dse.json")
+        _sweep(workers=0, cache_path=cache)
+        with open(cache) as handle:
+            payload = json.load(handle)
+        assert payload["version"] == 2
+        for entry in payload["points"].values():
+            assert entry["metrics"] == {}  # no evaluators ran
+
+    def test_v1_file_resumes_without_retraining(self, tmp_path):
+        """Migration path: a version-1 file (no metrics key) loads and
+        satisfies every grid point of an evaluator-less resume."""
+        cache = str(tmp_path / "dse.json")
+        first = _sweep(workers=0, cache_path=cache)
+        with open(cache) as handle:
+            payload = json.load(handle)
+        for entry in payload["points"].values():
+            del entry["metrics"]  # exactly what v1 writers produced
+        payload["version"] = 1
+        with open(cache, "w") as handle:
+            json.dump(payload, handle)
+
+        factory = CountingFactory()
+        resumed = _sweep(workers=0, cache_path=cache, factory=factory)
+        assert factory.calls == 0
+        _assert_identical(first, resumed)
+        assert all(p.metrics == {} for p in resumed.points)
+
+    def test_v1_file_upgraded_on_next_write(self, tmp_path):
+        path = str(tmp_path / "dse.json")
+        with open(path, "w") as handle:
+            json.dump({"version": 1, "points": {}}, handle)
+        cache = DSECache(path)  # accepted
+        cache.put("k", DSEPoint(lam=0.0, warmup_epochs=0, dilations=(1,),
+                                params=1, loss=0.5))
+        with open(path) as handle:
+            assert json.load(handle)["version"] == 2
+
+
+class TestPointEvaluators:
+    def _sweep(self, cache_path=None, factory=Tiny, evaluators=None):
+        train, val = _loaders()
+        engine = DSEEngine(factory, mse_loss, train, val,
+                           cache_path=cache_path,
+                           trainer_kwargs=dict(SCHEDULE),
+                           point_evaluators=evaluators)
+        return engine.run(LAMBDAS, warmups=[0])
+
+    def test_evaluators_annotate_points(self):
+        result = self._sweep(evaluators=[StubEvaluator()])
+        for point in result.points:
+            assert point.metrics == {"latency_ms": 10.0 + point.lam,
+                                     "energy_mj": 2.5}
+
+    def test_metrics_survive_cache_resume(self, tmp_path):
+        cache = str(tmp_path / "dse.json")
+        first = self._sweep(cache_path=cache, evaluators=[StubEvaluator()])
+        factory = CountingFactory()
+        resumed = self._sweep(cache_path=cache, factory=factory,
+                              evaluators=[StubEvaluator()])
+        assert factory.calls == 0  # resumed without retraining...
+        assert [p.metrics for p in resumed.points] == \
+               [p.metrics for p in first.points]  # ...metrics intact
+
+    def test_evaluator_identity_is_part_of_the_key(self, tmp_path):
+        """A point cached without hw metrics cannot satisfy an
+        evaluator-carrying resume (the weights needed to compute the
+        missing metrics are gone), so the key must differ."""
+        cache = str(tmp_path / "dse.json")
+        self._sweep(cache_path=cache)  # no evaluators
+        factory = CountingFactory()
+        result = self._sweep(cache_path=cache, factory=factory,
+                             evaluators=[StubEvaluator()])
+        assert factory.calls == len(LAMBDAS)  # full retrain, with metrics
+        assert all(p.metrics for p in result.points)
+
+    def test_annotated_cache_satisfies_plain_resume(self, tmp_path):
+        """The reverse direction is free: entries an evaluator-carrying
+        sweep recorded are a superset of what an evaluator-less resume
+        needs, so it must not retrain."""
+        cache = str(tmp_path / "dse.json")
+        annotated = self._sweep(cache_path=cache,
+                                evaluators=[StubEvaluator()])
+        factory = CountingFactory()
+        plain = self._sweep(cache_path=cache, factory=factory)
+        assert factory.calls == 0
+        _assert_identical(DSEResult(points=annotated.points),
+                          DSEResult(points=plain.points))
+        # The cached metrics ride along as a bonus.
+        assert [p.metrics for p in plain.points] == \
+               [p.metrics for p in annotated.points]
+
+    def test_evaluator_key_is_delimiter_injection_safe(self):
+        """Names carry configuration strings (commas, pipes); a bare join
+        would let different stacks collide on one key."""
+        def key(evaluators):
+            return DSECache.key(0.0, 0, dict(SCHEDULE), backend="einsum",
+                                evaluators=evaluators)
+        assert key(["a,b"]) != key(["a", "b"])
+        assert key(["a|evaluators=x"]) != key(["a"])
+        assert key(["gap8(bits=4,shape=1x1x10)"]) != \
+               key(["gap8(bits=8,shape=1x1x10)"])
+
+    def test_evaluator_names(self):
+        import functools
+        from repro.evaluation import evaluator_name
+
+        def my_probe(model, point):
+            return {}
+
+        assert evaluator_name(StubEvaluator()) == "stub"
+        assert evaluator_name(my_probe) == "my_probe"
+        # Anonymous callables key indistinguishably from one another, so
+        # they are refused rather than silently sharing cache entries.
+        with pytest.raises(ValueError, match="cache identity"):
+            evaluator_name(lambda model, point: {})
+        with pytest.raises(ValueError, match="cache identity"):
+            evaluator_name(functools.partial(my_probe, None))
+
+
 class TestRunDseWrapper:
     def test_run_dse_accepts_engine_knobs(self, tmp_path):
         train, val = _loaders()

@@ -10,6 +10,7 @@ from repro.evaluation import (
     count_macs,
     dominates,
     evaluate_metric,
+    hypervolume,
     hypervolume_2d,
     mae_metric,
     nll_metric,
@@ -88,6 +89,114 @@ class TestHypervolume:
         assert hypervolume_2d([], (1.0, 1.0)) == 0.0
 
 
+class TestNDPareto:
+    """The generalized (N-objective) dominance / front / hypervolume."""
+
+    def test_dominates_3d(self):
+        assert dominates((1, 1, 1), (2, 2, 2))
+        assert dominates((1, 1, 1), (1, 1, 2))
+        assert not dominates((1, 1, 1), (1, 1, 1))
+        assert not dominates((1, 2, 3), (3, 2, 1))
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError, match="dimension"):
+            dominates((1, 2), (1, 2, 3))
+
+    def test_front_3d(self):
+        points = [(1.0, 1.0, 3.0), (1.0, 2.0, 2.0), (2.0, 2.0, 2.0),
+                  (3.0, 3.0, 3.0)]
+        # (2,2,2) is dominated by (1,2,2); (3,3,3) by everything.
+        assert pareto_front(points) == [0, 1]
+
+    def test_front_3d_duplicates_both_kept(self):
+        assert pareto_front([(1.0, 1.0, 1.0), (1.0, 1.0, 1.0)]) == [0, 1]
+
+    def test_front_3d_degenerate_all_dominated(self):
+        points = [(0.0, 0.0, 0.0), (1.0, 1.0, 1.0), (2.0, 1.0, 3.0)]
+        assert pareto_front(points) == [0]
+
+    def test_hypervolume_single_point_3d(self):
+        # Box [1,2]^3 -> volume 1.
+        assert hypervolume([(1.0, 1.0, 1.0)], (2.0, 2.0, 2.0)) == \
+               pytest.approx(1.0)
+
+    def test_hypervolume_3d_inclusion_exclusion(self):
+        # Three boxes of volume 3 each (3*1*1), pairwise intersections
+        # (2,2,2)..(3,3,3) of volume 1, triple intersection volume 1:
+        # 9 - 3 + 1 = 7.
+        points = [(0.0, 2.0, 2.0), (2.0, 0.0, 2.0), (2.0, 2.0, 0.0)]
+        assert hypervolume(points, (3.0, 3.0, 3.0)) == pytest.approx(7.0)
+
+    def test_hypervolume_matches_2d_reference(self):
+        points = [(1.0, 2.0), (2.0, 1.0), (3.0, 3.0)]
+        assert hypervolume(points, (4.0, 4.0)) == \
+               pytest.approx(hypervolume_2d(points, (4.0, 4.0)))
+
+    def test_hypervolume_duplicate_points(self):
+        base = hypervolume([(1.0, 2.0, 3.0)], (4.0, 4.0, 4.0))
+        doubled = hypervolume([(1.0, 2.0, 3.0), (1.0, 2.0, 3.0)],
+                              (4.0, 4.0, 4.0))
+        assert doubled == pytest.approx(base)
+
+    def test_hypervolume_dominated_point_contributes_nothing(self):
+        front = [(0.0, 2.0, 2.0), (2.0, 0.0, 2.0), (2.0, 2.0, 0.0)]
+        padded = front + [(2.5, 2.5, 2.5)]
+        assert hypervolume(padded, (3.0, 3.0, 3.0)) == \
+               pytest.approx(hypervolume(front, (3.0, 3.0, 3.0)))
+
+    def test_hypervolume_all_outside_reference(self):
+        assert hypervolume([(5.0, 5.0, 5.0)], (3.0, 3.0, 3.0)) == 0.0
+
+    def test_hypervolume_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError, match="dimension"):
+            hypervolume([(1.0, 1.0)], (3.0, 3.0, 3.0))
+
+
+class TestObjectiveResolution:
+    def _points(self):
+        a = DSEPoint(lam=0.0, warmup_epochs=0, dilations=(1,), params=100,
+                     loss=5.0, metrics={"latency_ms": 10.0, "energy_mj": 2.0})
+        b = DSEPoint(lam=0.1, warmup_epochs=0, dilations=(1,), params=200,
+                     loss=1.0, metrics={"latency_ms": 30.0, "energy_mj": 8.0})
+        c = DSEPoint(lam=0.2, warmup_epochs=0, dilations=(1,), params=300,
+                     loss=4.0, metrics={"latency_ms": 40.0, "energy_mj": 9.0})
+        return a, b, c
+
+    def test_objective_value_resolves_fields_and_metrics(self):
+        from repro.evaluation import objective_value
+        a, _, _ = self._points()
+        assert objective_value(a, "params") == 100.0
+        assert objective_value(a, "loss") == 5.0
+        assert objective_value(a, "latency_ms") == 10.0
+        assert objective_value(a, "nonexistent") is None
+
+    def test_result_pareto_default_matches_legacy(self):
+        from repro.evaluation import DSEResult
+        a, b, c = self._points()
+        result = DSEResult(points=[a, b, c])
+        coords = [(p.params, p.loss) for p in result.points]
+        legacy = [result.points[i] for i in pareto_front(coords)]
+        assert result.pareto() == legacy
+
+    def test_result_pareto_3d_front(self):
+        from repro.evaluation import DSEResult
+        a, b, c = self._points()
+        result = DSEResult(points=[a, b, c])
+        # c is dominated by b on every axis; a and b trade off loss vs cost.
+        front = result.pareto(objectives=("params", "latency_ms", "loss"))
+        assert front == [a, b]
+
+    def test_result_pareto_skips_points_missing_metrics(self):
+        from repro.evaluation import DSEResult
+        a, b, _ = self._points()
+        bare = DSEPoint(lam=0.3, warmup_epochs=0, dilations=(1,), params=1,
+                        loss=0.0)  # no metrics (e.g. cached v1 entry)
+        result = DSEResult(points=[a, b, bare])
+        front = result.pareto(objectives=("params", "latency_ms", "loss"))
+        assert bare not in front
+        assert front == [a, b]
+
+
 class TestMetrics:
     def test_evaluate_metric_averages_batches(self):
         net = Sequential(CausalConv1d(1, 1, 1, rng=np.random.default_rng(0)))
@@ -144,6 +253,27 @@ class TestSelection:
     def test_empty_raises(self):
         with pytest.raises(ValueError):
             select_small_medium_large([], reference_params=100)
+
+    def test_missing_reference_raises(self):
+        with pytest.raises(TypeError, match="reference"):
+            select_small_medium_large(self.POINTS)
+
+    def test_selection_along_metric_objective(self):
+        points = [DSEPoint(lam=p.lam, warmup_epochs=1, dilations=(1,),
+                           params=p.params, loss=p.loss,
+                           metrics={"latency_ms": 1000.0 / p.params})
+                  for p in self.POINTS]
+        sel = select_small_medium_large(points, objective="latency_ms",
+                                        reference=3.0)
+        assert sel["small"].params == 900   # fastest = fewest ms
+        assert sel["large"].params == 100
+        # closest to 3.0 ms: latencies are 10, 2.5, 1.11, 4 -> 2.5 (400 p)
+        assert sel["medium"].params == 400
+
+    def test_points_without_objective_raise(self):
+        with pytest.raises(ValueError, match="latency_ms"):
+            select_small_medium_large(self.POINTS, objective="latency_ms",
+                                      reference=1.0)
 
 
 class TestRunDSE:

@@ -37,6 +37,15 @@ class TestFormatTable:
         out = format_table(["a"], [])
         assert "a" in out
 
+    def test_bools_render_as_yes_no(self):
+        out = format_table(["fits L2"], [[True], [False]])
+        assert "yes" in out and "no" in out
+        assert "True" not in out and "False" not in out
+
+    def test_markdown_bools_render_as_yes_no(self):
+        out = format_markdown_table(["ok"], [[True]])
+        assert "| yes |" in out
+
 
 class TestMarkdownTable:
     def test_structure(self):

@@ -106,6 +106,56 @@ class TestFakeQuant:
         assert np.allclose(fq(x).data, x.data)
 
 
+class TestFakeQuantSerialization:
+    """Calibrated ranges must survive save/load (they are buffers, not
+    plain attributes — a reloaded quantized model used to silently run in
+    float because lo/hi/calibrating were dropped by state_dict)."""
+
+    def make_quantized(self, scale=1.0):
+        rng = np.random.default_rng(0)
+        net = Sequential(CausalConv1d(2, 4, 3, rng=rng), ReLU(),
+                         CausalConv1d(4, 2, 3, rng=rng))
+        data = ArrayDataset(scale * RNG.standard_normal((8, 2, 10)),
+                            RNG.standard_normal((8, 2, 10)))
+        return quantize_network(net, DataLoader(data, 4))
+
+    def test_ranges_are_registered_buffers(self):
+        quantized = self.make_quantized()
+        state = quantized.state_dict()
+        for name, module in quantized.named_modules():
+            if isinstance(module, FakeQuant):
+                assert f"{name}.lo" in state
+                assert f"{name}.hi" in state
+                assert f"{name}.calibrating" in state
+
+    def test_state_dict_round_trip_restores_ranges(self):
+        source = self.make_quantized(scale=1.0)
+        target = self.make_quantized(scale=100.0)  # different calibration
+        target.load_state_dict(source.state_dict())
+        src_fq = [m for m in source.modules() if isinstance(m, FakeQuant)]
+        dst_fq = [m for m in target.modules() if isinstance(m, FakeQuant)]
+        for a, b in zip(src_fq, dst_fq):
+            assert float(a.lo) == float(b.lo)
+            assert float(a.hi) == float(b.hi)
+            assert bool(a.calibrating) == bool(b.calibrating) is False
+
+    def test_npz_round_trip_preserves_quantized_forward(self, tmp_path):
+        from repro.nn.serialization import load_model, save_model
+        source = self.make_quantized(scale=1.0)
+        path = tmp_path / "quantized.npz"
+        save_model(source, path)
+        target = self.make_quantized(scale=100.0)
+        load_model(target, path)
+        x = Tensor(RNG.standard_normal((2, 2, 10)))
+        assert np.array_equal(source(x).data, target(x).data)
+
+    def test_assigning_calibrating_updates_the_buffer(self):
+        fq = FakeQuant()
+        fq(Tensor(np.array([0.0, 1.0])))
+        fq.calibrating = False  # the quantize_network idiom
+        assert not fq.state_dict()["calibrating"]
+
+
 class TestQuantizeNetwork:
     def make_net_and_loader(self):
         rng = np.random.default_rng(0)
