@@ -20,11 +20,11 @@ the einsum reference on forward values and all gradients.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
-__all__ = ["ConvBackend", "conv_out_length"]
+__all__ = ["ConvBackend", "conv_out_length", "scratch_buffer"]
 
 
 def conv_out_length(t: int, stride: int) -> int:
@@ -33,13 +33,22 @@ def conv_out_length(t: int, stride: int) -> int:
 
 
 class ConvBackend:
-    """Abstract numerical kernel set for ``conv1d_causal``."""
+    """Abstract numerical kernel set for ``conv1d_causal``.
+
+    Every kernel takes an optional ``scratch`` dict.  Eager dispatch passes
+    None; the compiled-step executor passes a per-node dict that persists
+    across replays, letting a backend keep its output / work buffers alive
+    instead of reallocating them each batch (the returned array may then be
+    the same buffer every call).  Results must be bit-identical with and
+    without ``scratch`` — the graph-executor parity suite runs both paths.
+    """
 
     #: Registry name; subclasses must override.
     name: str = "abstract"
 
     def forward(self, xp: np.ndarray, w: np.ndarray,
-                dilation: int, stride: int, t: int) -> np.ndarray:
+                dilation: int, stride: int, t: int,
+                scratch: Optional[dict] = None) -> np.ndarray:
         """Convolve the padded input with the kernel.
 
         Parameters
@@ -52,26 +61,72 @@ class ConvBackend:
             Temporal dilation / output stride.
         t:
             Unpadded temporal length ``T``.
+        scratch:
+            Optional persistent buffer dict (see class docstring).
 
         Returns
         -------
-        ``(N, C_out, ceil(T / stride))`` output (no bias).  Must be a
-        freshly allocated array the caller owns — the op adds the bias
-        into it in place.
+        ``(N, C_out, ceil(T / stride))`` output (no bias).  Must be an
+        array the caller may mutate — the op adds the bias into it in
+        place (a fresh allocation, or the caller's private scratch
+        buffer).
         """
         raise NotImplementedError
 
     def grad_input(self, grad: np.ndarray, w: np.ndarray,
                    xp_shape: Tuple[int, int, int],
-                   dilation: int, stride: int, t: int) -> np.ndarray:
+                   dilation: int, stride: int, t: int,
+                   scratch: Optional[dict] = None) -> np.ndarray:
         """Adjoint w.r.t. the *padded* input; shape ``xp_shape``."""
         raise NotImplementedError
 
     def grad_weight(self, grad: np.ndarray, xp: np.ndarray,
                     w_shape: Tuple[int, int, int],
-                    dilation: int, stride: int, t: int) -> np.ndarray:
+                    dilation: int, stride: int, t: int,
+                    scratch: Optional[dict] = None) -> np.ndarray:
         """Adjoint w.r.t. the kernel; shape ``w_shape``."""
         raise NotImplementedError
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"
+
+
+def scratch_buffer(scratch: Optional[dict], key: str,
+                   shape: Tuple[int, ...], dtype, zero: bool = False
+                   ) -> Tuple[Optional[np.ndarray], bool]:
+    """Fetch-or-create a persistent work buffer; ``(None, False)`` when no
+    scratch dict is in play (eager call — the backend allocates fresh).
+
+    Returns ``(buffer, created)``; with ``zero=True`` an existing buffer is
+    zero-filled, matching a fresh ``np.zeros`` bit for bit.
+    """
+    if scratch is None:
+        return None, False
+    buf = scratch.get(key)
+    if buf is None or buf.shape != shape or buf.dtype != np.dtype(dtype):
+        scratch[key] = buf = (np.zeros if zero else np.empty)(shape, dtype)
+        return buf, True
+    if zero:
+        buf.fill(0)
+    return buf, False
+
+
+_EINSUM_PATHS: dict = {}
+
+
+def einsum_cached(subscripts: str, *operands: np.ndarray, out=None):
+    """``np.einsum`` with the contraction path memoized per operand shape.
+
+    ``optimize=True`` re-runs the path search on every call — measurable
+    pure overhead once shapes are fixed, which for a training loop is
+    always.  The search is deterministic, so caching the path per
+    ``(subscripts, shapes)`` is bit-identical to ``optimize=True``.
+    """
+    key = (subscripts, tuple(op.shape for op in operands))
+    path = _EINSUM_PATHS.get(key)
+    if path is None:
+        path = _EINSUM_PATHS[key] = np.einsum_path(
+            subscripts, *operands, optimize=True)[0]
+    if out is None:
+        return np.einsum(subscripts, *operands, optimize=path)
+    return np.einsum(subscripts, *operands, optimize=path, out=out)

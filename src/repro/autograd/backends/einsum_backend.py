@@ -4,15 +4,19 @@ This is the original implementation of :func:`repro.autograd.conv1d_causal`,
 kept verbatim as the numerical reference all other backends are checked
 against.  It is simple, allocation-light and fast for the small tap counts
 TCNs use, but issues ``K`` separate GEMM-shaped contractions per call.
+
+Under a compiled step the accumulator arrays live in the per-node
+``scratch`` dict across replays (zero-filled instead of freshly
+``np.zeros``-allocated — bit-identical, no steady-state allocations).
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
-from .base import ConvBackend, conv_out_length
+from .base import ConvBackend, conv_out_length, einsum_cached, scratch_buffer
 
 __all__ = ["EinsumBackend"]
 
@@ -23,33 +27,45 @@ class EinsumBackend(ConvBackend):
     name = "einsum"
 
     def forward(self, xp: np.ndarray, w: np.ndarray,
-                dilation: int, stride: int, t: int) -> np.ndarray:
+                dilation: int, stride: int, t: int,
+                scratch: Optional[dict] = None) -> np.ndarray:
         n = xp.shape[0]
         c_out, _, k = w.shape
-        out = np.zeros((n, c_out, conv_out_length(t, stride)))
+        shape = (n, c_out, conv_out_length(t, stride))
+        out, _ = scratch_buffer(scratch, "out", shape, np.float64, zero=True)
+        if out is None:
+            out = np.zeros(shape)
         for tap in range(k):
             # Tap `tap` reads xp at offsets tap*dilation .. tap*dilation + t - 1,
             # subsampled by the stride.
             segment = xp[:, :, tap * dilation: tap * dilation + t: stride]
-            out += np.einsum("oc,nct->not", w[:, :, tap], segment, optimize=True)
+            out += einsum_cached("oc,nct->not", w[:, :, tap], segment)
         return out
 
     def grad_input(self, grad: np.ndarray, w: np.ndarray,
                    xp_shape: Tuple[int, int, int],
-                   dilation: int, stride: int, t: int) -> np.ndarray:
+                   dilation: int, stride: int, t: int,
+                   scratch: Optional[dict] = None) -> np.ndarray:
         k = w.shape[2]
-        gxp = np.zeros(xp_shape)
+        gxp, _ = scratch_buffer(scratch, "gxp", tuple(xp_shape), np.float64,
+                                zero=True)
+        if gxp is None:
+            gxp = np.zeros(xp_shape)
         for tap in range(k):
-            gxp[:, :, tap * dilation: tap * dilation + t: stride] += np.einsum(
-                "oc,not->nct", w[:, :, tap], grad, optimize=True)
+            gxp[:, :, tap * dilation: tap * dilation + t: stride] += einsum_cached(
+                "oc,not->nct", w[:, :, tap], grad)
         return gxp
 
     def grad_weight(self, grad: np.ndarray, xp: np.ndarray,
                     w_shape: Tuple[int, int, int],
-                    dilation: int, stride: int, t: int) -> np.ndarray:
+                    dilation: int, stride: int, t: int,
+                    scratch: Optional[dict] = None) -> np.ndarray:
         k = w_shape[2]
-        gw = np.zeros(w_shape)
+        gw, _ = scratch_buffer(scratch, "gw", tuple(w_shape), np.float64,
+                               zero=True)
+        if gw is None:
+            gw = np.zeros(w_shape)
         for tap in range(k):
             segment = xp[:, :, tap * dilation: tap * dilation + t: stride]
-            gw[:, :, tap] = np.einsum("not,nct->oc", grad, segment, optimize=True)
+            gw[:, :, tap] = einsum_cached("not,nct->oc", grad, segment)
         return gw

@@ -19,16 +19,22 @@ rather than a pure view write).
 The patch view never materializes until a GEMM consumes it, so peak extra
 memory is the ``(N, C_in*K, T_out)`` im2col buffer — the classic
 space-for-speed trade of im2col convolutions.
+
+Under a compiled step the kernels receive a persistent ``scratch`` dict:
+the GEMM outputs, the col2im accumulator and the ``einsum`` contraction
+path are then kept across replays instead of being reallocated (or, for
+the path, re-searched) every batch — same operations, same bits, no
+steady-state allocations.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 from numpy.lib.stride_tricks import as_strided
 
-from .base import ConvBackend, conv_out_length
+from .base import ConvBackend, conv_out_length, einsum_cached, scratch_buffer
 
 __all__ = ["Im2colBackend"]
 
@@ -53,36 +59,61 @@ class Im2colBackend(ConvBackend):
     name = "im2col"
 
     def forward(self, xp: np.ndarray, w: np.ndarray,
-                dilation: int, stride: int, t: int) -> np.ndarray:
+                dilation: int, stride: int, t: int,
+                scratch: Optional[dict] = None) -> np.ndarray:
         n, c_in, _ = xp.shape
         c_out, _, k = w.shape
         patches = _patch_view(xp, k, dilation, stride, t)
         t_out = patches.shape[-1]
         # (C_out, C_in*K) @ (N, C_in*K, T_out) -> (N, C_out, T_out)
-        return np.matmul(w.reshape(c_out, c_in * k),
-                         patches.reshape(n, c_in * k, t_out))
+        wmat = w.reshape(c_out, c_in * k)
+        pmat = patches.reshape(n, c_in * k, t_out)
+        dtype = np.result_type(wmat, pmat)
+        out, _ = scratch_buffer(scratch, "out", (n, c_out, t_out), dtype)
+        if out is None:
+            return np.matmul(wmat, pmat)
+        return np.matmul(wmat, pmat, out=out)
 
     def grad_input(self, grad: np.ndarray, w: np.ndarray,
                    xp_shape: Tuple[int, int, int],
-                   dilation: int, stride: int, t: int) -> np.ndarray:
-        n, c_in, _ = xp_shape
+                   dilation: int, stride: int, t: int,
+                   scratch: Optional[dict] = None) -> np.ndarray:
+        n, c_in, length = xp_shape
         c_out, _, k = w.shape
-        t_out = grad.shape[-1]
-        # (C_in*K, C_out) @ (N, C_out, T_out) -> columns (N, C_in, K, T_out)
-        gcol = np.matmul(w.reshape(c_out, c_in * k).T, grad)
-        gcol = gcol.reshape(n, c_in, k, t_out)
-        gxp = np.zeros(xp_shape)
-        for tap in range(k):  # col2im fold: columns overlap across taps
-            gxp[:, :, tap * dilation: tap * dilation + t: stride] += gcol[:, :, tap, :]
-        return gxp
+        pad = (k - 1) * dilation
+        # The adjoint of a correlation is a *convolution*: every padded
+        # input position p accumulates Σ_{o,i} w[o,c,i]·ĝ[n,o,p - i·d],
+        # where ĝ is the stride-upsampled output gradient.  Substituting
+        # i → K-1-i turns that into a correlation of the (both-sides
+        # zero-padded) ĝ with the tap-flipped kernel — the exact same
+        # patch-view + single-GEMM lowering as the forward pass, instead
+        # of a K-pass overlapping col2im fold.
+        dtype = np.result_type(w, grad)
+        gpad, _ = scratch_buffer(scratch, "gpad", (n, c_out, t + 2 * pad),
+                                 dtype, zero=True)
+        if gpad is None:
+            gpad = np.zeros((n, c_out, t + 2 * pad), dtype)
+        gpad[:, :, pad: pad + t: stride] = grad
+        patches = _patch_view(gpad, k, dilation, 1, length)
+        wflip = w[:, :, ::-1].transpose(1, 0, 2).reshape(c_in, c_out * k)
+        pmat = patches.reshape(n, c_out * k, length)
+        gxp, _ = scratch_buffer(scratch, "gxp", tuple(xp_shape), dtype)
+        if gxp is None:
+            return np.matmul(wflip, pmat)
+        return np.matmul(wflip, pmat, out=gxp)
 
     def grad_weight(self, grad: np.ndarray, xp: np.ndarray,
                     w_shape: Tuple[int, int, int],
-                    dilation: int, stride: int, t: int) -> np.ndarray:
+                    dilation: int, stride: int, t: int,
+                    scratch: Optional[dict] = None) -> np.ndarray:
         k = w_shape[2]
         patches = _patch_view(xp, k, dilation, stride, t)
         # One contraction over the strided view (gw[o,c,i] = Σ_{n,t}
         # grad[n,o,t] * patches[n,c,i,t]); einsum materializes at most one
         # im2col buffer internally, where an explicit reshape+transpose
         # GEMM would copy it twice.
-        return np.einsum("not,ncit->oci", grad, patches, optimize=True)
+        if scratch is None:
+            return einsum_cached("not,ncit->oci", grad, patches)
+        dtype = np.result_type(grad, patches)
+        gw, _ = scratch_buffer(scratch, "gw", tuple(w_shape), dtype)
+        return einsum_cached("not,ncit->oci", grad, patches, out=gw)

@@ -3,20 +3,26 @@
 Eager autograd rebuilds the op graph in Python for every batch.  For the
 static networks of this reproduction (TCNs, PIT supernets, unrolled RNNs)
 that graph is identical batch after batch, so this subsystem records it
-once and replays it as a flat schedule:
+once, optimizes it, and replays it as a flat schedule:
 
 * :class:`GraphCapture` — thread-local tracer observing every
   :func:`repro.autograd.apply_op` dispatch during one eager step;
 * :mod:`~repro.autograd.graph.ir` — the frozen program: topo-ordered nodes
   carrying op kind, static attrs (including the conv backend handle
   resolved at trace time) and input/output buffer slots;
+* :mod:`~repro.autograd.graph.passes` — the optimization pipeline run on
+  every captured program: constant folding, dead-node elimination,
+  contiguous-chain op fusion and liveness-planned buffer reuse, all
+  bit-identical to the unoptimized replay (``REPRO_GRAPH_OPT=none`` turns
+  it off);
 * :class:`CompiledStep` — the replay executor: per-shape program cache,
-  preallocated gradient buffers, bit-identical results, automatic eager
-  fallback for anything value-dependent.
+  preallocated gradient buffers and forward arena, bit-identical results,
+  automatic eager fallback for anything value-dependent.
 
 Entry points for training code: ``PITTrainer(compile_step=True)``,
-``train_plain(compile_step=True)``, the ``--compile`` CLI flag, or the
-``REPRO_COMPILE_STEP=1`` environment default.
+``train_plain(compile_step=True)``, the ``--compile`` / ``--graph-opt``
+CLI flags, or the ``REPRO_COMPILE_STEP=1`` / ``REPRO_GRAPH_OPT``
+environment defaults.
 """
 
 from .capture import GraphCapture, capture
@@ -27,6 +33,14 @@ from .executor import (
     compile_step_default,
 )
 from .ir import GraphCaptureError, GraphProgram, build_program
+from .passes import (
+    ENV_GRAPH_OPT,
+    OPT_LEVELS,
+    OptStats,
+    graph_opt_default,
+    optimize_program,
+    resolve_graph_opt,
+)
 
 __all__ = [
     "GraphCapture",
@@ -37,5 +51,11 @@ __all__ = [
     "build_program",
     "capture",
     "compile_step_default",
+    "optimize_program",
+    "graph_opt_default",
+    "resolve_graph_opt",
+    "OptStats",
     "ENV_COMPILE",
+    "ENV_GRAPH_OPT",
+    "OPT_LEVELS",
 ]

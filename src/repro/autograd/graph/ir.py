@@ -89,13 +89,14 @@ class GraphProgram:
 
     __slots__ = ("n_slots", "schedule", "backward_steps", "leaves",
                  "input_slots", "output_slots", "root_slot", "grad_leaves",
-                 "slot_meta", "dtype")
+                 "slot_meta", "grad_slots", "dtype", "mem_plan")
 
     def __init__(self, n_slots: int, schedule: List, backward_steps: List[BackwardStep],
                  leaves: List[Tuple[int, object]], input_slots: List[int],
                  output_slots: List[int], root_slot: int,
                  grad_leaves: List[Tuple[int, object]],
-                 slot_meta: Dict[int, Tuple[Tuple[int, ...], np.dtype]], dtype):
+                 slot_meta: Dict[int, Tuple[Tuple[int, ...], np.dtype]],
+                 grad_slots, dtype):
         self.n_slots = n_slots
         self.schedule = schedule              # OpNode | EffectNode, program order
         self.backward_steps = backward_steps  # reverse-topo order
@@ -104,8 +105,10 @@ class GraphProgram:
         self.output_slots = output_slots
         self.root_slot = root_slot
         self.grad_leaves = grad_leaves        # (slot, Tensor) — .grad targets
-        self.slot_meta = slot_meta            # slot -> (shape, dtype) for grads
+        self.slot_meta = slot_meta            # slot -> (shape, dtype), every slot
+        self.grad_slots = grad_slots          # slots receiving gradient buffers
         self.dtype = dtype                    # default dtype at capture time
+        self.mem_plan = None                  # set by the optimizer passes
 
     def __repr__(self) -> str:
         ops = sum(1 for n in self.schedule if isinstance(n, OpNode))
@@ -190,8 +193,11 @@ def build_program(tracer, loss, outputs) -> GraphProgram:
 
     grad_leaves = [(slot, t) for slot, t in leaves
                    if t.requires_grad and slot in touched]
-    slot_meta = {slot: (tensors[slot].data.shape, tensors[slot].data.dtype)
-                 for slot in touched}
+    # Shapes/dtypes of every slot: the memory planner sizes forward buffers
+    # from these; ``touched`` (separately) names the slots that need
+    # gradient buffers.
+    slot_meta = {slot: (t.data.shape, t.data.dtype)
+                 for slot, t in enumerate(tensors)}
 
     return GraphProgram(
         n_slots=len(tensors),
@@ -203,5 +209,6 @@ def build_program(tracer, loss, outputs) -> GraphProgram:
         root_slot=root_slot,
         grad_leaves=grad_leaves,
         slot_meta=slot_meta,
+        grad_slots=set(touched),
         dtype=get_default_dtype(),
     )

@@ -71,12 +71,34 @@ def _conv_bwd(g, ins, out, xp, attrs, needs):
     return (gx, gw) if len(ins) == 2 else (gx, gw, gb)
 
 
+def _kernel_scratch(kernels, scratch):
+    """The scratch dict to hand this backend, or None if it predates the
+    ``scratch=`` parameter.
+
+    External backends registered against the original three-argument-kernel
+    interface must keep working under compiled replay — they simply fall
+    back to allocating fresh buffers like eager dispatch does.  The
+    signature check runs once per node and is cached in the scratch dict.
+    """
+    accepts = scratch.get("_kernels_accept_scratch")
+    if accepts is None:
+        import inspect
+        try:
+            params = inspect.signature(kernels.forward).parameters
+            accepts = "scratch" in params
+        except (TypeError, ValueError):
+            accepts = False
+        scratch["_kernels_accept_scratch"] = accepts
+    return scratch if accepts else None
+
+
 def _conv_fwd_scratch(ins, attrs, scratch):
-    """Replay variant: reuse a preallocated padded-input buffer.
+    """Replay variant: reuse preallocated input/output buffers.
 
     ``np.pad`` zero-fills and copies into a fresh allocation every call;
     here the zero left margin is written once and only the payload region
-    is refreshed — identical values, no allocation.
+    is refreshed — identical values, no allocation.  The scratch dict is
+    also handed to the backend so its GEMM outputs persist across replays.
     """
     x, w = ins[0], ins[1]
     dilation, stride = attrs["dilation"], attrs["stride"]
@@ -88,14 +110,52 @@ def _conv_fwd_scratch(ins, attrs, scratch):
         xp = np.zeros((x.shape[0], x.shape[1], t + pad), dtype=x.dtype)
         scratch["xp"] = xp
     xp[:, :, pad:] = x
-    out = kernels.forward(xp, w, dilation, stride, t)
+    kscratch = _kernel_scratch(kernels, scratch)
+    if kscratch is None:
+        out = kernels.forward(xp, w, dilation, stride, t)
+    else:
+        out = kernels.forward(xp, w, dilation, stride, t, scratch=kscratch)
     if len(ins) == 3:
         out += ins[2][None, :, None]
     return out, xp
 
 
+def _conv_bwd_scratch(g, ins, out, xp, attrs, needs, scratch):
+    """Replay variant of the adjoints: backend work buffers persist.
+
+    Same kernels as :func:`_conv_bwd`, with the backend's accumulator /
+    GEMM-output arrays (and memoized einsum paths) kept in ``scratch``
+    across replays — identical bits, no steady-state allocations.
+    Backends without the ``scratch=`` parameter run their plain kernels.
+    """
+    x, w = ins[0], ins[1]
+    dilation, stride = attrs["dilation"], attrs["stride"]
+    kernels = attrs["kernels"]
+    t = x.shape[2]
+    pad = (w.shape[2] - 1) * dilation
+    kscratch = _kernel_scratch(kernels, scratch)
+    gx = gw = gb = None
+    if needs[0]:
+        if kscratch is None:
+            gxp = kernels.grad_input(g, w, xp.shape, dilation, stride, t)
+        else:
+            gxp = kernels.grad_input(g, w, xp.shape, dilation, stride, t,
+                                     scratch=kscratch)
+        gx = gxp[:, :, pad:]
+    if needs[1]:
+        if kscratch is None:
+            gw = kernels.grad_weight(g, xp, w.shape, dilation, stride, t)
+        else:
+            gw = kernels.grad_weight(g, xp, w.shape, dilation, stride, t,
+                                     scratch=kscratch)
+    if len(ins) == 3 and needs[2]:
+        gb = g.sum(axis=(0, 2))
+    return (gx, gw) if len(ins) == 2 else (gx, gw, gb)
+
+
 _CONV1D = OpDef("conv1d_causal", _conv_fwd, _conv_bwd,
-                fwd_scratch=_conv_fwd_scratch)
+                fwd_scratch=_conv_fwd_scratch,
+                bwd_scratch=_conv_bwd_scratch, bwd_uses=("ins",))
 
 
 def conv1d_causal(x: Tensor, w: Tensor, b: Optional[Tensor] = None,
@@ -169,7 +229,23 @@ def _avg_pool_bwd(g, ins, out, ctx, attrs, needs):
     return (gx,)
 
 
-_AVG_POOL = OpDef("avg_pool1d", _avg_pool_fwd, _avg_pool_bwd)
+def _avg_pool_bwd_scratch(g, ins, out, ctx, attrs, needs, scratch):
+    x = ins[0]
+    kernel_size, stride = attrs["kernel_size"], attrs["stride"]
+    t_out = (x.shape[2] - kernel_size) // stride + 1
+    gx = scratch.get("gx")
+    if gx is None or gx.shape != x.shape or gx.dtype != x.dtype:
+        gx = scratch["gx"] = np.zeros_like(x)
+    else:
+        gx.fill(0)
+    scaled = g / kernel_size
+    for offset in range(kernel_size):
+        gx[:, :, offset: offset + stride * t_out: stride] += scaled
+    return (gx,)
+
+
+_AVG_POOL = OpDef("avg_pool1d", _avg_pool_fwd, _avg_pool_bwd,
+                  bwd_scratch=_avg_pool_bwd_scratch, bwd_uses=())
 
 
 def avg_pool1d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Tensor:
@@ -213,7 +289,8 @@ def _max_pool_bwd(g, ins, out, argmax, attrs, needs):
     return (gx,)
 
 
-_MAX_POOL = OpDef("max_pool1d", _max_pool_fwd, _max_pool_bwd)
+# bwd scatters through the ctx argmax; it only reads input shapes.
+_MAX_POOL = OpDef("max_pool1d", _max_pool_fwd, _max_pool_bwd, bwd_uses=())
 
 
 def max_pool1d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Tensor:

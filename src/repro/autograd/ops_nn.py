@@ -36,13 +36,22 @@ def _softmax_fwd(ins, attrs):
     return exp / exp.sum(axis=attrs["axis"], keepdims=True), None
 
 
+def _softmax_out(ins, attrs, out):
+    x = ins[0]
+    shifted = x - x.max(axis=attrs["axis"], keepdims=True)
+    exp = np.exp(shifted)
+    np.divide(exp, exp.sum(axis=attrs["axis"], keepdims=True), out=out)
+    return None
+
+
 def _softmax_bwd(g, ins, out, ctx, attrs, needs):
     # J^T g = s * (g - sum(g * s))
     dot = (g * out).sum(axis=attrs["axis"], keepdims=True)
     return (out * (g - dot),)
 
 
-_SOFTMAX = OpDef("softmax", _softmax_fwd, _softmax_bwd)
+_SOFTMAX = OpDef("softmax", _softmax_fwd, _softmax_bwd, _softmax_out,
+                 bwd_uses=("out",), inplace={0: ()})
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
@@ -57,12 +66,21 @@ def _log_softmax_fwd(ins, attrs):
     return shifted - lse, None
 
 
+def _log_softmax_out(ins, attrs, out):
+    x = ins[0]
+    shifted = x - x.max(axis=attrs["axis"], keepdims=True)
+    lse = np.log(np.exp(shifted).sum(axis=attrs["axis"], keepdims=True))
+    np.subtract(shifted, lse, out=out)
+    return None
+
+
 def _log_softmax_bwd(g, ins, out, ctx, attrs, needs):
     soft = np.exp(out)
     return (g - soft * g.sum(axis=attrs["axis"], keepdims=True),)
 
 
-_LOG_SOFTMAX = OpDef("log_softmax", _log_softmax_fwd, _log_softmax_bwd)
+_LOG_SOFTMAX = OpDef("log_softmax", _log_softmax_fwd, _log_softmax_bwd,
+                     _log_softmax_out, bwd_uses=("out",), inplace={0: ()})
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
@@ -89,7 +107,8 @@ def _logsumexp_bwd(g, ins, out, ctx, attrs, needs):
     return (g * soft,)
 
 
-_LOGSUMEXP = OpDef("logsumexp", _logsumexp_fwd, _logsumexp_bwd)
+_LOGSUMEXP = OpDef("logsumexp", _logsumexp_fwd, _logsumexp_bwd,
+                   bwd_uses=("ins", "out"))
 
 
 def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
@@ -106,7 +125,7 @@ def _binarize_bwd(g, ins, out, ctx, attrs, needs):
     return (g,)
 
 
-_BINARIZE = OpDef("binarize_ste", _binarize_fwd, _binarize_bwd)
+_BINARIZE = OpDef("binarize_ste", _binarize_fwd, _binarize_bwd, bwd_uses=())
 
 
 def binarize_ste(x: Tensor, threshold: float = 0.5) -> Tensor:
@@ -134,7 +153,10 @@ def _dropout_bwd(g, ins, out, keep, attrs, needs):
     return (g * keep,)
 
 
-_DROPOUT = OpDef("dropout", _dropout_fwd, _dropout_bwd)
+# bwd reads the keep-mask from ctx, not the forward values.  The "rng"
+# attribute marks the op stateful: the graph optimizer must never
+# constant-fold it (every replay draws fresh masks in program order).
+_DROPOUT = OpDef("dropout", _dropout_fwd, _dropout_bwd, bwd_uses=())
 
 
 def dropout(x: Tensor, p: float, training: bool,

@@ -193,7 +193,8 @@ class ProxylessTrainer:
                  warmup_epochs: int = 3, max_search_epochs: int = 50,
                  search_patience: int = 5, finetune_epochs: int = 30,
                  finetune_patience: int = 10, verbose: bool = False,
-                 compile_step: Optional[bool] = None):
+                 compile_step: Optional[bool] = None,
+                 graph_opt: Optional[str] = None):
         if not proxyless_layers(supernet):
             raise ValueError("model contains no ProxylessDilatedConv1d layers")
         self.supernet = supernet
@@ -212,6 +213,7 @@ class ProxylessTrainer:
         # graph-capture executor cannot replay, so they always run eagerly
         # (the layers mark themselves capture-unsafe as a backstop).
         self.compile_step = compile_step
+        self.graph_opt = graph_opt
         self.derived: Optional[Module] = None
 
     def _split_params(self):
@@ -266,7 +268,8 @@ class ProxylessTrainer:
         result = train_plain(self.derived, self.loss_fn, train_loader, val_loader,
                              epochs=self.finetune_epochs, lr=self.lr,
                              patience=self.finetune_patience,
-                             compile_step=self.compile_step)
+                             compile_step=self.compile_step,
+                             graph_opt=self.graph_opt)
         dilations = tuple(layer.chosen_dilation()
                           for layer in proxyless_layers(self.supernet))
         if self.verbose:

@@ -53,7 +53,8 @@ def random_configurations(model: Module, count: int,
 def _train_configuration(seed_model: Module, config, loss_fn, train_loader,
                          val_loader, epochs: int, lr: float,
                          patience: int,
-                         compile_step: Optional[bool] = None) -> RandomSearchResult:
+                         compile_step: Optional[bool] = None,
+                         graph_opt: Optional[str] = None) -> RandomSearchResult:
     candidate = copy.deepcopy(seed_model)
     for layer, dilation in zip(pit_layers(candidate), config):
         layer.set_dilation(dilation)
@@ -61,7 +62,7 @@ def _train_configuration(seed_model: Module, config, loss_fn, train_loader,
     network = export_network(candidate)
     outcome = train_plain(network, loss_fn, train_loader, val_loader,
                           epochs=epochs, lr=lr, patience=patience,
-                          compile_step=compile_step)
+                          compile_step=compile_step, graph_opt=graph_opt)
     return RandomSearchResult(dilations=tuple(config),
                               best_val=outcome.best_val,
                               params=network.count_parameters())
@@ -71,7 +72,8 @@ def exhaustive_search(seed_model: Module, loss_fn: Callable, train_loader,
                       val_loader, epochs: int = 6, lr: float = 1e-3,
                       patience: int = 4,
                       max_configs: int = 64,
-                      compile_step: Optional[bool] = None) -> List[RandomSearchResult]:
+                      compile_step: Optional[bool] = None,
+                      graph_opt: Optional[str] = None) -> List[RandomSearchResult]:
     """Train *every* dilation assignment (ground truth for tiny spaces).
 
     This is the oracle PIT approximates in a single training run; the test
@@ -87,7 +89,7 @@ def exhaustive_search(seed_model: Module, loss_fn: Callable, train_loader,
                          f"search is capped at {max_configs}")
     return [_train_configuration(seed_model, config, loss_fn, train_loader,
                                  val_loader, epochs, lr, patience,
-                                 compile_step=compile_step)
+                                 compile_step=compile_step, graph_opt=graph_opt)
             for config in enumerate_configurations(seed_model)]
 
 
@@ -95,7 +97,8 @@ def random_search(seed_model: Module, loss_fn: Callable, train_loader, val_loade
                   count: int = 8, epochs: int = 10, lr: float = 1e-3,
                   patience: int = 5,
                   rng: Optional[np.random.Generator] = None,
-                  compile_step: Optional[bool] = None
+                  compile_step: Optional[bool] = None,
+                  graph_opt: Optional[str] = None
                   ) -> List[RandomSearchResult]:
     """Train ``count`` random fixed-dilation networks; return all results.
 
@@ -107,5 +110,6 @@ def random_search(seed_model: Module, loss_fn: Callable, train_loader, val_loade
     for config in random_configurations(seed_model, count, rng):
         results.append(_train_configuration(
             seed_model, config, loss_fn, train_loader, val_loader,
-            epochs, lr, patience, compile_step=compile_step))
+            epochs, lr, patience, compile_step=compile_step,
+            graph_opt=graph_opt))
     return results

@@ -30,6 +30,10 @@ The training commands (``train``, ``search``, ``sweep``) accept
 ``--compile``, which traces each training step once and replays it through
 the graph-capture executor (see README "Compiled training step"); the
 ``REPRO_COMPILE_STEP=1`` environment variable is the equivalent default.
+``--graph-opt {default,none}`` picks the optimization level the executor
+applies to each traced program (constant folding, dead-node elimination,
+op fusion, buffer-arena planning — bit-identical results either way;
+``REPRO_GRAPH_OPT`` is the environment equivalent).
 
 ``sweep`` additionally exposes the DSE engine knobs: ``--workers`` /
 ``--executor`` parallelize the grid, ``--cache`` memoizes completed
@@ -123,6 +127,11 @@ def _compile_flag(args: argparse.Namespace):
     return True if getattr(args, "compile", False) else None
 
 
+def _graph_opt_flag(args: argparse.Namespace):
+    # The chosen level, or None to let REPRO_GRAPH_OPT decide.
+    return getattr(args, "graph_opt", None)
+
+
 def cmd_train(args: argparse.Namespace) -> int:
     from .core import train_plain
     train_loader, val_loader, test_loader = _loaders(args.benchmark, args.seed)
@@ -131,7 +140,8 @@ def cmd_train(args: argparse.Namespace) -> int:
     result = train_plain(model, _loss(args.benchmark), train_loader, val_loader,
                          epochs=args.epochs, lr=args.lr,
                          patience=args.patience,
-                         compile_step=_compile_flag(args))
+                         compile_step=_compile_flag(args),
+                         graph_opt=_graph_opt_flag(args))
     from .core import evaluate
     test_loss = evaluate(model, _loss(args.benchmark), test_loader)
     print(f"network   : {args.benchmark} dilations={dilations or 'all-1'}")
@@ -159,7 +169,7 @@ def cmd_search(args: argparse.Namespace) -> int:
         warmup_epochs=args.warmup, max_prune_epochs=args.epochs,
         prune_patience=args.patience, finetune_epochs=args.finetune,
         finetune_patience=args.patience, verbose=not args.quiet,
-        compile_step=_compile_flag(args))
+        compile_step=_compile_flag(args), graph_opt=_graph_opt_flag(args))
     result = trainer.fit(train_loader, val_loader)
     print(f"dilations : {result.dilations}")
     print(f"val loss  : {result.best_val:.4f}")
@@ -205,6 +215,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                      cache_tag=f"{args.benchmark}|width={args.width}"
                                f"|seed={args.seed}",
                      compile_step=_compile_flag(args),
+                     graph_opt=_graph_opt_flag(args),
                      point_evaluators=evaluators)
     header = f"{'lambda':>10s} {'warmup':>6s} {'params':>8s} {'loss':>9s}"
     if args.hw:
@@ -294,6 +305,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="trace the training step once and replay it "
                             "through the graph executor (default: "
                             "REPRO_COMPILE_STEP)")
+        p.add_argument("--graph-opt", choices=("default", "none"),
+                       default=None, dest="graph_opt",
+                       help="optimization level for compiled steps: "
+                            "'default' runs the pass pipeline (fold/DCE/"
+                            "fusion/memory planning), 'none' replays the "
+                            "trace verbatim; results are bit-identical "
+                            "(default: REPRO_GRAPH_OPT)")
 
     p_train = sub.add_parser(
         "train", help="plain (no-NAS) training of a fixed-dilation network")

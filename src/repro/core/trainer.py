@@ -28,7 +28,12 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from ..autograd import Tensor
-from ..autograd.graph import CompiledStep, EagerStep, compile_step_default
+from ..autograd.graph import (
+    CompiledStep,
+    EagerStep,
+    compile_step_default,
+    resolve_graph_opt,
+)
 from ..nn.eval_utils import mean_loss_over_loader
 from ..nn.module import Module
 from ..optim import Adam, EarlyStopping, clip_grad_norm
@@ -61,7 +66,8 @@ def _step_function(model: Module, loss_fn: LossFn,
 
 def make_training_step(model: Module, loss_fn: LossFn,
                        extra_loss: Optional[Callable[[], Tensor]] = None,
-                       compile_step: Optional[bool] = None):
+                       compile_step: Optional[bool] = None,
+                       graph_opt: Optional[str] = None):
     """Build the per-batch step runner: ``step(x, y) -> (loss, task_loss)``.
 
     The runner computes the (optionally regularized) loss, backpropagates
@@ -70,11 +76,14 @@ def make_training_step(model: Module, loss_fn: LossFn,
     replayed through the :mod:`repro.autograd.graph` executor — bit-identical
     results, no per-batch graph construction; False runs eagerly; None
     defers to the ``REPRO_COMPILE_STEP`` environment default, like every
-    other compile knob.
+    other compile knob.  ``graph_opt`` picks the optimization level applied
+    to each traced program (``"default"`` passes / ``"none"`` verbatim
+    replay); None defers to ``REPRO_GRAPH_OPT``.  Optimized and unoptimized
+    replay are bit-identical, so the knob only affects speed.
     """
     step_fn = _step_function(model, loss_fn, extra_loss)
     if _resolve_compile(compile_step):
-        return CompiledStep(step_fn)
+        return CompiledStep(step_fn, optimize=graph_opt)
     return EagerStep(step_fn)
 
 
@@ -125,12 +134,15 @@ def train_plain(model: Module, loss_fn: LossFn, train_loader, val_loader,
                 epochs: int = 50, lr: float = 1e-3, patience: int = 10,
                 grad_clip: Optional[float] = None,
                 weight_decay: float = 0.0,
-                compile_step: Optional[bool] = None) -> TrainResult:
+                compile_step: Optional[bool] = None,
+                graph_opt: Optional[str] = None) -> TrainResult:
     """Standard training with early stopping and best-state restore.
 
     ``compile_step=True`` traces the training step once and replays it via
     the graph executor (bit-identical, faster); None defers to the
-    ``REPRO_COMPILE_STEP`` environment default.
+    ``REPRO_COMPILE_STEP`` environment default.  ``graph_opt`` picks the
+    optimization level for the traced program (None defers to
+    ``REPRO_GRAPH_OPT``).
     """
     optimizer = Adam(model.parameters(), lr=lr, weight_decay=weight_decay)
     stopper = EarlyStopping(patience=patience, mode="min")
@@ -138,7 +150,8 @@ def train_plain(model: Module, loss_fn: LossFn, train_loader, val_loader,
     history: List[Tuple[float, float]] = []
     ran = 0
     step = make_training_step(model, loss_fn,
-                              compile_step=_resolve_compile(compile_step))
+                              compile_step=_resolve_compile(compile_step),
+                              graph_opt=graph_opt)
     for _ in range(epochs):
         train_loss = _train_epoch(model, loss_fn, optimizer, train_loader,
                                   grad_clip=grad_clip, step=step)
@@ -203,6 +216,13 @@ class PITTrainer:
         phase compiles its own step (the pruning phase adds the
         regularizer; fine-tuning freezes the masks).  None defers to the
         ``REPRO_COMPILE_STEP`` environment default.
+    graph_opt:
+        Optimization level for compiled steps: ``"default"`` runs the pass
+        pipeline (constant folding — which collapses the frozen-mask
+        subgraphs of the fine-tuning phase — dead-node elimination, op
+        fusion, buffer-arena planning) on every traced program; ``"none"``
+        replays the trace verbatim.  None defers to ``REPRO_GRAPH_OPT``.
+        Results are bit-identical either way.
     """
 
     def __init__(self, model: Module, loss_fn: LossFn, lam: float,
@@ -212,7 +232,8 @@ class PITTrainer:
                  finetune_patience: int = 10, regularizer: str = "size",
                  channel_lam: float = 0.0,
                  grad_clip: Optional[float] = None, verbose: bool = False,
-                 compile_step: Optional[bool] = None):
+                 compile_step: Optional[bool] = None,
+                 graph_opt: Optional[str] = None):
         if regularizer not in ("size", "flops"):
             raise ValueError("regularizer must be 'size' or 'flops'")
         self.model = model
@@ -230,6 +251,7 @@ class PITTrainer:
         self.grad_clip = grad_clip
         self.verbose = verbose
         self.compile_step = _resolve_compile(compile_step)
+        self.graph_opt = resolve_graph_opt(graph_opt)
         if not self._searchable_layers():
             raise ValueError("model contains no searchable (PITConv1d / "
                              "PITChannelConv1d) layers")
@@ -274,7 +296,8 @@ class PITTrainer:
         if self.warmup_epochs > 0:
             optimizer = Adam(weight_params, lr=self.lr)
             step = make_training_step(self.model, self.loss_fn,
-                                      compile_step=self.compile_step)
+                                      compile_step=self.compile_step,
+                                      graph_opt=self.graph_opt)
             for _ in range(self.warmup_epochs):
                 _train_epoch(self.model, self.loss_fn, optimizer, train_loader,
                              grad_clip=self.grad_clip, step=step)
@@ -294,7 +317,8 @@ class PITTrainer:
         prune_ran = 0
         step = make_training_step(self.model, self.loss_fn,
                                   extra_loss=self._regularizer_term,
-                                  compile_step=self.compile_step)
+                                  compile_step=self.compile_step,
+                                  graph_opt=self.graph_opt)
         for _ in range(self.max_prune_epochs):
             _train_epoch(self.model, self.loss_fn, optimizer, train_loader,
                          extra_loss=self._regularizer_term,
@@ -317,9 +341,11 @@ class PITTrainer:
         optimizer = Adam(weight_params, lr=self.lr)
         stopper = EarlyStopping(patience=self.finetune_patience, mode="min")
         finetune_ran = 0
-        # Fresh step: freezing changed the graph (masks became constants).
+        # Fresh step: freezing changed the graph (masks became constants,
+        # which the graph optimizer folds away entirely).
         step = make_training_step(self.model, self.loss_fn,
-                                  compile_step=self.compile_step)
+                                  compile_step=self.compile_step,
+                                  graph_opt=self.graph_opt)
         for _ in range(self.finetune_epochs):
             _train_epoch(self.model, self.loss_fn, optimizer, train_loader,
                          grad_clip=self.grad_clip, step=step)

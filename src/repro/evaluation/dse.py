@@ -325,6 +325,7 @@ def _train_grid_point(seed_factory: Callable[[], Module], loss_fn: Callable,
                       train_loader, val_loader, lam: float, warmup: int,
                       trainer_kwargs: Dict, backend: str,
                       compile_step: Optional[bool] = None,
+                      graph_opt: Optional[str] = None,
                       point_evaluators: Optional[Sequence[Callable]] = None
                       ) -> DSEPoint:
     """Train one (λ, warmup) grid point from a fresh seed.
@@ -351,7 +352,8 @@ def _train_grid_point(seed_factory: Callable[[], Module], loss_fn: Callable,
     val_loader = _private_loader(val_loader)
     model = seed_factory()
     trainer = PITTrainer(model, loss_fn, lam=lam, warmup_epochs=warmup,
-                         compile_step=compile_step, **trainer_kwargs)
+                         compile_step=compile_step, graph_opt=graph_opt,
+                         **trainer_kwargs)
     with use_backend(backend):
         result = trainer.fit(train_loader, val_loader)
         point = DSEPoint(
@@ -448,6 +450,7 @@ class DSEEngine:
                  trainer_kwargs: Optional[Dict] = None,
                  verbose: bool = False,
                  compile_step: Optional[bool] = None,
+                 graph_opt: Optional[str] = None,
                  point_evaluators: Optional[Sequence[Callable]] = None):
         if executor not in ("thread", "process"):
             raise ValueError("executor must be 'thread' or 'process'")
@@ -467,6 +470,10 @@ class DSEEngine:
         self.trainer_kwargs.pop("warmup_epochs", None)
         kwargs_compile = self.trainer_kwargs.pop("compile_step", None)
         self.compile_step = compile_step if compile_step is not None else kwargs_compile
+        # Like compile_step: an execution-speed knob, bit-identical results,
+        # so it is stripped from trainer_kwargs and kept out of cache keys.
+        kwargs_opt = self.trainer_kwargs.pop("graph_opt", None)
+        self.graph_opt = graph_opt if graph_opt is not None else kwargs_opt
         self.point_evaluators = list(point_evaluators or [])
         self.verbose = verbose
 
@@ -484,7 +491,7 @@ class DSEEngine:
                                  self.train_loader, self.val_loader,
                                  lam, warmup, self.trainer_kwargs,
                                  self._run_backend, self.compile_step,
-                                 self.point_evaluators)
+                                 self.graph_opt, self.point_evaluators)
 
     def run(self, lambdas: Sequence[float],
             warmups: Sequence[int] = (5,)) -> DSEResult:
@@ -525,7 +532,7 @@ class DSEEngine:
                                     self.train_loader, self.val_loader,
                                     lam, warmup, self.trainer_kwargs,
                                     self._run_backend, self.compile_step,
-                                    self.point_evaluators): index
+                                    self.graph_opt, self.point_evaluators): index
                         for index, warmup, lam in pending}
                     # Consume in completion order; grid order is restored
                     # by index when assembling the result.  When a cache is
@@ -579,6 +586,7 @@ def run_dse(seed_factory: Callable[[], Module], loss_fn: Callable,
             cache_path: Optional[str] = None,
             cache_tag: str = "",
             compile_step: Optional[bool] = None,
+            graph_opt: Optional[str] = None,
             point_evaluators: Optional[Sequence[Callable]] = None
             ) -> DSEResult:
     """Sweep (λ, warmup); one full PIT search per grid point.
@@ -594,6 +602,7 @@ def run_dse(seed_factory: Callable[[], Module], loss_fn: Callable,
                        cache_path=cache_path, cache_tag=cache_tag,
                        trainer_kwargs=trainer_kwargs,
                        verbose=verbose, compile_step=compile_step,
+                       graph_opt=graph_opt,
                        point_evaluators=point_evaluators)
     return engine.run(lambdas, warmups=warmups)
 

@@ -35,13 +35,15 @@ def make(shape, requires_grad=True):
 
 class TestConstruction:
     def test_from_list(self):
+        from repro.autograd import get_default_dtype
         t = Tensor([1.0, 2.0, 3.0])
         assert t.shape == (3,)
-        assert t.dtype == np.float64
+        assert t.dtype == get_default_dtype()
 
     def test_from_int_array_upcasts(self):
+        from repro.autograd import get_default_dtype
         t = Tensor(np.array([1, 2, 3], dtype=np.int32))
-        assert t.dtype == np.float64
+        assert t.dtype == get_default_dtype()
 
     def test_scalar(self):
         t = Tensor(3.5)

@@ -34,6 +34,20 @@ N, C_IN, C_OUT, T = 2, 3, 4, 13
 
 GRID = [(d, s, k) for d in DILATIONS for s in STRIDES for k in KERNELS]
 
+# Every non-reference backend is held to the reference automatically;
+# registering a new backend adds it to the whole differential grid.
+FAST_BACKENDS = [name for name in available_backends() if name != "einsum"]
+
+# Comparison tolerance follows the substrate precision: under
+# REPRO_DTYPE=float32 every backend computes in single precision, so
+# last-ulp disagreements are ~1e-6 on O(10) values.
+from repro.autograd import get_default_dtype
+
+if np.dtype(get_default_dtype()) == np.float64:
+    TOL = dict(atol=1e-12)
+else:
+    TOL = dict(atol=1e-4, rtol=1e-4)
+
 
 def _inputs(kernel, requires_grad=False, seed=0):
     rng = np.random.default_rng(seed + 100 * kernel)
@@ -54,21 +68,23 @@ def _run(backend, dilation, stride, kernel):
 
 
 class TestForwardParity:
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
     @pytest.mark.parametrize("dilation,stride,kernel", GRID)
-    def test_im2col_matches_einsum(self, dilation, stride, kernel):
+    def test_matches_einsum(self, backend, dilation, stride, kernel):
         x, w, b = _inputs(kernel)
         ref = conv1d_causal(x, w, b, dilation=dilation, stride=stride,
                             backend="einsum")
         fast = conv1d_causal(x, w, b, dilation=dilation, stride=stride,
-                             backend="im2col")
+                             backend=backend)
         assert ref.shape == fast.shape
-        assert np.allclose(ref.data, fast.data, atol=1e-12)
+        assert np.allclose(ref.data, fast.data, **TOL)
 
-    def test_no_bias(self):
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
+    def test_no_bias(self, backend):
         x, w, _ = _inputs(3)
         ref = conv1d_causal(x, w, dilation=2, backend="einsum")
-        fast = conv1d_causal(x, w, dilation=2, backend="im2col")
-        assert np.allclose(ref.data, fast.data, atol=1e-12)
+        fast = conv1d_causal(x, w, dilation=2, backend=backend)
+        assert np.allclose(ref.data, fast.data, **TOL)
 
     def test_all_registered_backends_agree(self):
         """Future backends are automatically held to the same contract."""
@@ -77,27 +93,29 @@ class TestForwardParity:
                                   backend="einsum").data
         for name in available_backends():
             out = conv1d_causal(x, w, b, dilation=4, stride=2, backend=name)
-            assert np.allclose(out.data, reference, atol=1e-12), name
+            assert np.allclose(out.data, reference, **TOL), name
 
 
 class TestGradientParity:
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
     @pytest.mark.parametrize("dilation,stride,kernel", GRID)
-    def test_all_gradients_match(self, dilation, stride, kernel):
+    def test_all_gradients_match(self, backend, dilation, stride, kernel):
         _, gx_ref, gw_ref, gb_ref = _run("einsum", dilation, stride, kernel)
-        _, gx, gw, gb = _run("im2col", dilation, stride, kernel)
-        assert np.allclose(gx, gx_ref, atol=1e-12)
-        assert np.allclose(gw, gw_ref, atol=1e-12)
-        assert np.allclose(gb, gb_ref, atol=1e-12)
+        _, gx, gw, gb = _run(backend, dilation, stride, kernel)
+        assert np.allclose(gx, gx_ref, **TOL)
+        assert np.allclose(gw, gw_ref, **TOL)
+        assert np.allclose(gb, gb_ref, **TOL)
 
+    @pytest.mark.parametrize("backend", ["im2col", "fft"])
     @pytest.mark.parametrize("dilation,stride,kernel",
                              [(1, 1, 1), (2, 1, 3), (4, 2, 3), (8, 3, 9),
                               (1, 3, 9), (2, 2, 9)])
-    def test_im2col_gradcheck(self, dilation, stride, kernel):
-        """The fast path against finite differences, not just the reference."""
+    def test_fast_path_gradcheck(self, backend, dilation, stride, kernel):
+        """The fast paths against finite differences, not just the reference."""
         x, w, b = _inputs(kernel, requires_grad=True, seed=7)
         check_gradients(
             lambda x, w, b: conv1d_causal(x, w, b, dilation=dilation,
-                                          stride=stride, backend="im2col"),
+                                          stride=stride, backend=backend),
             [x, w, b])
 
 
@@ -183,18 +201,63 @@ class TestBackendSelection:
         assert np.allclose(b.grad, gb_ref, atol=1e-12)
 
 
+class TestLegacyBackendSignature:
+    def test_scratchless_backend_survives_compiled_replay(self):
+        """Backends written against the pre-scratch kernel interface must
+        keep working under the compiled step (they just allocate fresh
+        buffers like eager dispatch does)."""
+        from repro.autograd import register_backend
+        from repro.autograd.backends import _REGISTRY, EinsumBackend
+        from repro.core.trainer import make_training_step
+        from repro.nn import CausalConv1d, GlobalAvgPool1d, Linear, Sequential
+        from repro.nn.losses import mse_loss
+
+        class LegacyBackend(EinsumBackend):
+            name = "legacy-test"
+
+            def forward(self, xp, w, dilation, stride, t):
+                return super().forward(xp, w, dilation, stride, t)
+
+            def grad_input(self, grad, w, xp_shape, dilation, stride, t):
+                return super().grad_input(grad, w, xp_shape, dilation,
+                                          stride, t)
+
+            def grad_weight(self, grad, xp, w_shape, dilation, stride, t):
+                return super().grad_weight(grad, xp, w_shape, dilation,
+                                           stride, t)
+
+        register_backend(LegacyBackend())
+        try:
+            rng = np.random.default_rng(0)
+            model = Sequential(
+                CausalConv1d(2, 3, kernel_size=3, rng=rng,
+                             backend="legacy-test"),
+                GlobalAvgPool1d(), Linear(3, 1, rng=rng))
+            step = make_training_step(model, mse_loss, compile_step=True,
+                                      graph_opt="default")
+            x, y = rng.standard_normal((2, 2, 12)), rng.standard_normal((2, 1))
+            first = step(x, y)    # trace (eager kernels, no scratch)
+            second = step(x, y)   # replay goes through the scratch path
+            assert step.fallback_reason is None
+            # No parameter updates between calls: replay == trace exactly.
+            assert first == second
+        finally:
+            _REGISTRY.pop("legacy-test", None)
+
+
 class TestLayerIntegration:
     def test_causal_conv_layer_backend_parity(self):
         from repro.nn import CausalConv1d
         rng = np.random.default_rng(3)
         x = rng.standard_normal((2, C_IN, T))
         outs = {}
-        for name in ("einsum", "im2col"):
+        for name in available_backends():
             layer = CausalConv1d(C_IN, C_OUT, 5, dilation=2, stride=2,
                                  rng=np.random.default_rng(11), backend=name)
             assert layer.backend == name
             outs[name] = layer(Tensor(x)).data
-        assert np.allclose(outs["einsum"], outs["im2col"], atol=1e-12)
+        for name in available_backends():
+            assert np.allclose(outs["einsum"], outs[name], **TOL), name
 
     def test_pit_conv_layer_backend_parity(self):
         from repro.core import PITConv1d

@@ -203,6 +203,14 @@ class TestTrain:
         assert code == 0
         assert "val loss" in capsys.readouterr().out
 
+    def test_train_graph_opt_flag(self, capsys):
+        for level in ("default", "none"):
+            code = main(["train", "--benchmark", "ppg", "--width", "0.1",
+                         "--epochs", "1", "--patience", "1", "--quiet",
+                         "--compile", "--graph-opt", level])
+            assert code == 0
+            assert "val loss" in capsys.readouterr().out
+
     def test_train_saves_checkpoint(self, tmp_path):
         path = tmp_path / "plain.npz"
         main(["train", "--benchmark", "ppg", "--width", "0.1",
@@ -217,3 +225,13 @@ class TestTrain:
         assert args.compile is True
         args = build_parser().parse_args(["sweep", "--compile"])
         assert args.compile is True
+
+    def test_graph_opt_parse(self):
+        # None lets REPRO_GRAPH_OPT decide; explicit levels pass through.
+        for command in ("train", "search", "sweep"):
+            args = build_parser().parse_args([command])
+            assert args.graph_opt is None
+            args = build_parser().parse_args([command, "--graph-opt", "none"])
+            assert args.graph_opt == "none"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--graph-opt", "O3"])

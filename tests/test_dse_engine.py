@@ -59,11 +59,11 @@ def _loaders(shuffle=False, seed=0):
 
 
 def _sweep(workers, cache_path=None, shuffle=False, factory=Tiny,
-           compile_step=None):
+           compile_step=None, graph_opt=None):
     train, val = _loaders(shuffle=shuffle)
     engine = DSEEngine(factory, mse_loss, train, val, workers=workers,
                        cache_path=cache_path, trainer_kwargs=dict(SCHEDULE),
-                       compile_step=compile_step)
+                       compile_step=compile_step, graph_opt=graph_opt)
     return engine.run(LAMBDAS, warmups=WARMUPS)
 
 
@@ -116,6 +116,34 @@ class TestParallelDeterminism:
         assert "compile_step" not in engine.trainer_kwargs
         _assert_identical(_sweep(workers=0),
                           engine.run(LAMBDAS, warmups=WARMUPS))
+
+    def test_graph_opt_levels_bit_identical(self):
+        """The optimizer passes must not change sweep results either way."""
+        eager = _sweep(workers=0)
+        optimized = _sweep(workers=0, compile_step=True, graph_opt="default")
+        verbatim = _sweep(workers=0, compile_step=True, graph_opt="none")
+        _assert_identical(eager, optimized)
+        _assert_identical(eager, verbatim)
+
+    def test_graph_opt_stripped_from_trainer_kwargs_and_cache_keys(self,
+                                                                   tmp_path):
+        """graph_opt is a speed knob like compile_step: stripped from
+        trainer_kwargs (whose JSON forms the cache key) so optimized and
+        unoptimized sweeps share cache entries."""
+        train, val = _loaders()
+        engine = DSEEngine(Tiny, mse_loss, train, val,
+                           trainer_kwargs=dict(SCHEDULE, graph_opt="none"))
+        assert engine.graph_opt == "none"
+        assert "graph_opt" not in engine.trainer_kwargs
+
+        cache = str(tmp_path / "cache.json")
+        first = _sweep(workers=0, cache_path=cache, compile_step=True,
+                       graph_opt="none")
+        factory = CountingFactory()
+        resumed = _sweep(workers=0, cache_path=cache, factory=factory,
+                         compile_step=True, graph_opt="default")
+        assert factory.calls == 0  # every point came from the cache
+        _assert_identical(first, resumed)
 
     def test_process_executor_matches_serial(self):
         train, val = _loaders()

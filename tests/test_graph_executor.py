@@ -312,28 +312,41 @@ PERF_RESULT_PATH = os.path.join(os.path.dirname(__file__), "..",
                                 "BENCH_graph_executor.json")
 # TEMPONet at width 0.25, PPG input length, the PIT pruning-phase step
 # (task loss + size regularizer).  float32 + the im2col GEMM backend is
-# the fast configuration this PR targets; the assertion rides on it.
+# the fast configuration this PR targets; the assertions ride on the
+# graph-optimized replay.
+# Headline config first: it runs before sustained load heats the machine
+# into thermal throttling, which would otherwise skew its clock envelope.
 PERF_CONFIGS = [
-    ("float64", "einsum", 16),
-    ("float64", "im2col", 16),
-    ("float32", "im2col", 16),
     ("float32", "im2col", 4),
+    ("float32", "im2col", 16),
+    ("float64", "im2col", 16),
+    ("float64", "einsum", 16),
 ]
 PERF_ASSERT_CONFIG = ("float32", "im2col", 4)
-PERF_TARGET_SPEEDUP = 1.3
-REPS = 20
+PERF_TARGET_SPEEDUP = 1.3   # optimized replay on the headline config
+PERF_FLOOR_SPEEDUP = 1.0    # optimized replay on every config
+REPS = 25
 WARMUP = 3
 
 
-def _time_step(step, model, x, y):
-    best = float("inf")
+def _time_interleaved(steps, model, x, y):
+    """Min-of-reps per step, measured round-robin.
+
+    Interleaving is load-bearing: timing one variant to completion before
+    the next lets CPU frequency drift (turbo decay, thermal throttling)
+    masquerade as a speedup or regression of whichever ran later — the
+    seed benchmark's apparent float64/einsum "regression" was exactly
+    that.  Round-robin exposes every variant to the same clock envelope.
+    """
+    best = [float("inf")] * len(steps)
     for rep in range(WARMUP + REPS):
-        model.zero_grad()
-        start = time.perf_counter()
-        step(x, y)
-        elapsed = time.perf_counter() - start
-        if rep >= WARMUP:
-            best = min(best, elapsed)
+        for i, step in enumerate(steps):
+            model.zero_grad()
+            start = time.perf_counter()
+            step(x, y)
+            elapsed = time.perf_counter() - start
+            if rep >= WARMUP:
+                best[i] = min(best[i], elapsed)
     return best
 
 
@@ -355,33 +368,57 @@ def test_compiled_step_speedup():
                 return task + size_regularizer(model, 0.02), task
 
             with repro.use_backend(backend):
-                compiled = CompiledStep(step_fn)
-                compiled(x, y)
-                assert compiled.fallback_reason is None
-                eager_s = _time_step(EagerStep(step_fn), model, x, y)
-                compiled_s = _time_step(compiled, model, x, y)
+                plain = CompiledStep(step_fn, optimize="none")
+                optimized = CompiledStep(step_fn, optimize="default")
+                plain(x, y)
+                optimized(x, y)
+                assert plain.fallback_reason is None
+                assert optimized.fallback_reason is None
+                # Steady-state replay must not allocate: warm every lazy
+                # scratch buffer, snapshot, replay more, then re-read.
+                optimized(x, y)
+                optimized.alloc_stats
+                for _ in range(3):
+                    model.zero_grad()
+                    optimized(x, y)
+                alloc = optimized.alloc_stats
+                assert alloc["steady_state_growth"] == 0, alloc
+                eager_s, compiled_s, optimized_s = _time_interleaved(
+                    [EagerStep(step_fn), plain, optimized], model, x, y)
+            stats = next(iter(optimized.opt_stats.values()))
             rows.append({
                 "dtype": dtype, "backend": backend, "batch": batch,
                 "model": "temponet width=0.25 T=256",
                 "eager_seconds": eager_s,
                 "compiled_seconds": compiled_s,
+                "optimized_seconds": optimized_s,
                 "speedup": eager_s / compiled_s,
+                "optimized_speedup": eager_s / optimized_s,
+                "opt_stats": stats,
+                "alloc_stats": alloc,
             })
             print(f"\n{dtype} {backend} b{batch}: eager {eager_s * 1e3:.2f} ms  "
-                  f"compiled {compiled_s * 1e3:.2f} ms  "
-                  f"speedup {eager_s / compiled_s:.2f}x")
+                  f"compiled {compiled_s * 1e3:.2f} ms "
+                  f"({eager_s / compiled_s:.2f}x)  "
+                  f"optimized {optimized_s * 1e3:.2f} ms "
+                  f"({eager_s / optimized_s:.2f}x)")
     finally:
         set_default_dtype("float64")
 
-    payload = {"reps": REPS, "step": "PIT pruning step (task + size reg)",
-               "rows": rows}
+    payload = {"reps": REPS, "timing": "interleaved min-of-reps",
+               "step": "PIT pruning step (task + size reg)", "rows": rows}
     with open(os.path.abspath(PERF_RESULT_PATH), "w") as handle:
         json.dump(payload, handle, indent=2)
 
+    for row in rows:
+        assert row["optimized_speedup"] >= PERF_FLOOR_SPEEDUP, (
+            f"optimized replay slower than eager on "
+            f"{row['dtype']}/{row['backend']}/b{row['batch']}: "
+            f"{row['optimized_speedup']:.2f}x")
     headline = next(r for r in rows
                     if (r["dtype"], r["backend"], r["batch"]) == PERF_ASSERT_CONFIG)
-    assert headline["speedup"] >= PERF_TARGET_SPEEDUP, (
-        f"compiled step speedup regressed: {headline['speedup']:.2f}x "
-        f"< {PERF_TARGET_SPEEDUP}x "
+    assert headline["optimized_speedup"] >= PERF_TARGET_SPEEDUP, (
+        f"optimized step speedup regressed: "
+        f"{headline['optimized_speedup']:.2f}x < {PERF_TARGET_SPEEDUP}x "
         f"({headline['eager_seconds'] * 1e3:.2f} ms vs "
-        f"{headline['compiled_seconds'] * 1e3:.2f} ms)")
+        f"{headline['optimized_seconds'] * 1e3:.2f} ms)")
