@@ -44,6 +44,7 @@ from .core import (
     PITConv1d,
     PITTrainer,
     PITResult,
+    StackedPITTrainer,
     TimeMask,
     export_network,
     network_dilations,
@@ -70,6 +71,7 @@ __all__ = [
     "PITConv1d",
     "PITTrainer",
     "PITResult",
+    "StackedPITTrainer",
     "TimeMask",
     "export_network",
     "network_dilations",

@@ -87,6 +87,61 @@ class ConvBackend:
         """Adjoint w.r.t. the kernel; shape ``w_shape``."""
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Stacked-model kernels (vmap-style: a leading model axis M)
+    #
+    # The stacked DSE executor trains M clones of one network in lockstep
+    # with per-model weights; every conv then sees a padded input
+    # ``(M, N, C_in, L)`` and a kernel ``(M, C_out, C_in, K)``.  The base
+    # implementations below loop the per-model kernels — always correct,
+    # so externally registered backends work under stacking automatically —
+    # while the built-in backends override them with genuinely batched
+    # contractions (one big einsum / batched GEMM / batched FFT), which is
+    # where the M-fold amortization of per-call overhead comes from.
+    # ------------------------------------------------------------------
+
+    def forward_stacked(self, xp: np.ndarray, w: np.ndarray,
+                        dilation: int, stride: int, t: int,
+                        scratch: Optional[dict] = None) -> np.ndarray:
+        """Stacked forward: ``(M, N, C_in, L) x (M, C_out, C_in, K) ->
+        (M, N, C_out, ceil(T / stride))`` (no bias).  Default: per-model
+        loop over :meth:`forward`."""
+        out = None
+        for m in range(xp.shape[0]):
+            y = self.forward(xp[m], w[m], dilation, stride, t)
+            if out is None:
+                out = np.empty((xp.shape[0],) + y.shape, y.dtype)
+            out[m] = y
+        return out
+
+    def grad_input_stacked(self, grad: np.ndarray, w: np.ndarray,
+                           xp_shape: Tuple[int, int, int, int],
+                           dilation: int, stride: int, t: int,
+                           scratch: Optional[dict] = None) -> np.ndarray:
+        """Stacked adjoint w.r.t. the padded input; shape ``xp_shape``."""
+        gxp = None
+        for m in range(grad.shape[0]):
+            g = self.grad_input(grad[m], w[m], tuple(xp_shape[1:]),
+                                dilation, stride, t)
+            if gxp is None:
+                gxp = np.empty(tuple(xp_shape), g.dtype)
+            gxp[m] = g
+        return gxp
+
+    def grad_weight_stacked(self, grad: np.ndarray, xp: np.ndarray,
+                            w_shape: Tuple[int, int, int, int],
+                            dilation: int, stride: int, t: int,
+                            scratch: Optional[dict] = None) -> np.ndarray:
+        """Stacked adjoint w.r.t. the kernels; shape ``w_shape``."""
+        gw = None
+        for m in range(grad.shape[0]):
+            g = self.grad_weight(grad[m], xp[m], tuple(w_shape[1:]),
+                                 dilation, stride, t)
+            if gw is None:
+                gw = np.empty(tuple(w_shape), g.dtype)
+            gw[m] = g
+        return gw
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"
 

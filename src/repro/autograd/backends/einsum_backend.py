@@ -69,3 +69,51 @@ class EinsumBackend(ConvBackend):
             segment = xp[:, :, tap * dilation: tap * dilation + t: stride]
             gw[:, :, tap] = einsum_cached("not,nct->oc", grad, segment)
         return gw
+
+    # -- stacked (leading model axis M) kernels: same per-tap scheme, one
+    # contraction covering all M models at once --------------------------
+
+    def forward_stacked(self, xp: np.ndarray, w: np.ndarray,
+                        dilation: int, stride: int, t: int,
+                        scratch: Optional[dict] = None) -> np.ndarray:
+        m, n = xp.shape[0], xp.shape[1]
+        c_out, k = w.shape[1], w.shape[3]
+        shape = (m, n, c_out, conv_out_length(t, stride))
+        dtype = np.result_type(xp, w)
+        out, _ = scratch_buffer(scratch, "out", shape, dtype, zero=True)
+        if out is None:
+            out = np.zeros(shape, dtype)
+        for tap in range(k):
+            segment = xp[:, :, :, tap * dilation: tap * dilation + t: stride]
+            out += einsum_cached("moc,mnct->mnot", w[:, :, :, tap], segment)
+        return out
+
+    def grad_input_stacked(self, grad: np.ndarray, w: np.ndarray,
+                           xp_shape: Tuple[int, int, int, int],
+                           dilation: int, stride: int, t: int,
+                           scratch: Optional[dict] = None) -> np.ndarray:
+        k = w.shape[3]
+        dtype = np.result_type(grad, w)
+        gxp, _ = scratch_buffer(scratch, "gxp", tuple(xp_shape), dtype,
+                                zero=True)
+        if gxp is None:
+            gxp = np.zeros(xp_shape, dtype)
+        for tap in range(k):
+            gxp[:, :, :, tap * dilation: tap * dilation + t: stride] += \
+                einsum_cached("moc,mnot->mnct", w[:, :, :, tap], grad)
+        return gxp
+
+    def grad_weight_stacked(self, grad: np.ndarray, xp: np.ndarray,
+                            w_shape: Tuple[int, int, int, int],
+                            dilation: int, stride: int, t: int,
+                            scratch: Optional[dict] = None) -> np.ndarray:
+        k = w_shape[3]
+        dtype = np.result_type(grad, xp)
+        gw, _ = scratch_buffer(scratch, "gw", tuple(w_shape), dtype,
+                               zero=True)
+        if gw is None:
+            gw = np.zeros(w_shape, dtype)
+        for tap in range(k):
+            segment = xp[:, :, :, tap * dilation: tap * dilation + t: stride]
+            gw[:, :, :, tap] = einsum_cached("mnot,mnct->moc", grad, segment)
+        return gw

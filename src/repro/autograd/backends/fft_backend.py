@@ -56,6 +56,21 @@ def _upsampled_grad(grad: np.ndarray, stride: int, t: int) -> np.ndarray:
     return gu
 
 
+def _dilated_kernel_stacked(w: np.ndarray, dilation: int) -> np.ndarray:
+    """:func:`_dilated_kernel` over ``(M, O, C, K)``: both helpers only
+    touch the last axis, so the leading axes fold into one."""
+    m, c_out, c_in, k = w.shape
+    wd = _dilated_kernel(w.reshape(m * c_out, c_in, k), dilation)
+    return wd.reshape(m, c_out, c_in, wd.shape[-1])
+
+
+def _upsampled_grad_stacked(grad: np.ndarray, stride: int, t: int) -> np.ndarray:
+    """:func:`_upsampled_grad` over ``(M, N, O, T_out)`` (same folding)."""
+    m, n, c_out, t_out = grad.shape
+    gu = _upsampled_grad(grad.reshape(m * n, c_out, t_out), stride, t)
+    return gu.reshape(m, n, c_out, gu.shape[-1])
+
+
 class FFTBackend(ConvBackend):
     """``numpy.fft`` kernels for the causal dilated convolution."""
 
@@ -107,3 +122,43 @@ class FFTBackend(ConvBackend):
         cf = np.einsum("ncf,nof->ocf", xf, gf.conj())
         corr = np.fft.irfft(cf, n=length, axis=-1)
         return np.ascontiguousarray(corr[:, :, :(k - 1) * dilation + 1:dilation])
+
+    # -- stacked (leading model axis M) kernels: one batched FFT over all
+    # models, one frequency-domain contraction carrying the m index -------
+
+    def forward_stacked(self, xp: np.ndarray, w: np.ndarray,
+                        dilation: int, stride: int, t: int,
+                        scratch: Optional[dict] = None) -> np.ndarray:
+        length = xp.shape[3]
+        wd = _dilated_kernel_stacked(w, dilation)
+        xf = np.fft.rfft(xp, n=length, axis=-1)
+        wf = np.fft.rfft(wd, n=length, axis=-1)
+        yf = np.einsum("mncf,mocf->mnof", xf, wf.conj())
+        y = np.fft.irfft(yf, n=length, axis=-1)[:, :, :, :t:stride]
+        return np.ascontiguousarray(y)
+
+    def grad_input_stacked(self, grad: np.ndarray, w: np.ndarray,
+                           xp_shape: Tuple[int, int, int, int],
+                           dilation: int, stride: int, t: int,
+                           scratch: Optional[dict] = None) -> np.ndarray:
+        length = xp_shape[3]
+        wd = _dilated_kernel_stacked(w, dilation)
+        gu = _upsampled_grad_stacked(grad, stride, t)
+        gf = np.fft.rfft(gu, n=length, axis=-1)
+        wf = np.fft.rfft(wd, n=length, axis=-1)
+        cf = np.einsum("mnof,mocf->mncf", gf, wf)
+        return np.fft.irfft(cf, n=length, axis=-1)
+
+    def grad_weight_stacked(self, grad: np.ndarray, xp: np.ndarray,
+                            w_shape: Tuple[int, int, int, int],
+                            dilation: int, stride: int, t: int,
+                            scratch: Optional[dict] = None) -> np.ndarray:
+        k = w_shape[3]
+        length = xp.shape[3]
+        gu = _upsampled_grad_stacked(grad, stride, t)
+        xf = np.fft.rfft(xp, n=length, axis=-1)
+        gf = np.fft.rfft(gu, n=length, axis=-1)
+        cf = np.einsum("mncf,mnof->mocf", xf, gf.conj())
+        corr = np.fft.irfft(cf, n=length, axis=-1)
+        return np.ascontiguousarray(
+            corr[:, :, :, :(k - 1) * dilation + 1:dilation])

@@ -53,6 +53,20 @@ def _patch_view(xp: np.ndarray, k: int, dilation: int, stride: int,
     )
 
 
+def _patch_view_stacked(xp: np.ndarray, k: int, dilation: int, stride: int,
+                        t: int) -> np.ndarray:
+    """Zero-copy ``(M, N, C_in, K, T_out)`` window view of a stacked input."""
+    m, n, c_in, _ = xp.shape
+    t_out = conv_out_length(t, stride)
+    s_m, s_n, s_c, s_t = xp.strides
+    return as_strided(
+        xp,
+        shape=(m, n, c_in, k, t_out),
+        strides=(s_m, s_n, s_c, s_t * dilation, s_t * stride),
+        writeable=False,
+    )
+
+
 class Im2colBackend(ConvBackend):
     """Single-GEMM kernels via an ``as_strided`` im2col lowering."""
 
@@ -117,3 +131,59 @@ class Im2colBackend(ConvBackend):
         dtype = np.result_type(grad, patches)
         gw, _ = scratch_buffer(scratch, "gw", tuple(w_shape), dtype)
         return einsum_cached("not,ncit->oci", grad, patches, out=gw)
+
+    # -- stacked (leading model axis M) kernels: the same lowering, with
+    # the model axis folded into numpy's batched-matmul loop, so M small
+    # per-model GEMMs become one batched GEMM call ------------------------
+
+    def forward_stacked(self, xp: np.ndarray, w: np.ndarray,
+                        dilation: int, stride: int, t: int,
+                        scratch: Optional[dict] = None) -> np.ndarray:
+        m, n, c_in, _ = xp.shape
+        c_out, k = w.shape[1], w.shape[3]
+        patches = _patch_view_stacked(xp, k, dilation, stride, t)
+        t_out = patches.shape[-1]
+        # (M, 1, C_out, C_in*K) @ (M, N, C_in*K, T_out) -> (M, N, C_out, T_out)
+        wmat = w.reshape(m, 1, c_out, c_in * k)
+        pmat = patches.reshape(m, n, c_in * k, t_out)
+        dtype = np.result_type(wmat, pmat)
+        out, _ = scratch_buffer(scratch, "out", (m, n, c_out, t_out), dtype)
+        if out is None:
+            return np.matmul(wmat, pmat)
+        return np.matmul(wmat, pmat, out=out)
+
+    def grad_input_stacked(self, grad: np.ndarray, w: np.ndarray,
+                           xp_shape: Tuple[int, int, int, int],
+                           dilation: int, stride: int, t: int,
+                           scratch: Optional[dict] = None) -> np.ndarray:
+        m, n, c_in, length = xp_shape
+        c_out, k = w.shape[1], w.shape[3]
+        pad = (k - 1) * dilation
+        # Same correlation-with-flipped-kernel trick as the per-model
+        # adjoint, batched over M by matmul.
+        dtype = np.result_type(w, grad)
+        gpad, _ = scratch_buffer(scratch, "gpad", (m, n, c_out, t + 2 * pad),
+                                 dtype, zero=True)
+        if gpad is None:
+            gpad = np.zeros((m, n, c_out, t + 2 * pad), dtype)
+        gpad[:, :, :, pad: pad + t: stride] = grad
+        patches = _patch_view_stacked(gpad, k, dilation, 1, length)
+        wflip = (w[:, :, :, ::-1].transpose(0, 2, 1, 3)
+                 .reshape(m, 1, c_in, c_out * k))
+        pmat = patches.reshape(m, n, c_out * k, length)
+        gxp, _ = scratch_buffer(scratch, "gxp", tuple(xp_shape), dtype)
+        if gxp is None:
+            return np.matmul(wflip, pmat)
+        return np.matmul(wflip, pmat, out=gxp)
+
+    def grad_weight_stacked(self, grad: np.ndarray, xp: np.ndarray,
+                            w_shape: Tuple[int, int, int, int],
+                            dilation: int, stride: int, t: int,
+                            scratch: Optional[dict] = None) -> np.ndarray:
+        k = w_shape[3]
+        patches = _patch_view_stacked(xp, k, dilation, stride, t)
+        if scratch is None:
+            return einsum_cached("mnot,mncit->moci", grad, patches)
+        dtype = np.result_type(grad, patches)
+        gw, _ = scratch_buffer(scratch, "gw", tuple(w_shape), dtype)
+        return einsum_cached("mnot,mncit->moci", grad, patches, out=gw)

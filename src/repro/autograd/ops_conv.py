@@ -37,7 +37,8 @@ import numpy as np
 from .backends import get_backend
 from .tensor import OpDef, Tensor, apply_op
 
-__all__ = ["conv1d_causal", "avg_pool1d", "max_pool1d", "global_avg_pool1d"]
+__all__ = ["conv1d_causal", "conv1d_causal_stacked", "avg_pool1d",
+           "max_pool1d", "global_avg_pool1d"]
 
 
 def _conv_fwd(ins, attrs):
@@ -204,6 +205,125 @@ def conv1d_causal(x: Tensor, w: Tensor, b: Optional[Tensor] = None,
              "kernels": get_backend(backend)}
     inputs = (x, w) if b is None else (x, w, b)
     return apply_op(_CONV1D, inputs, attrs)
+
+
+# ----------------------------------------------------------------------
+# Stacked-model convolution (vmap-style leading model axis)
+# ----------------------------------------------------------------------
+
+def _conv_stacked_fwd(ins, attrs):
+    x, w = ins[0], ins[1]
+    dilation, stride = attrs["dilation"], attrs["stride"]
+    kernels = attrs["kernels"]
+    t = x.shape[3]
+    pad = (w.shape[3] - 1) * dilation
+    xp = np.pad(x, ((0, 0), (0, 0), (0, 0), (pad, 0)))
+    out = kernels.forward_stacked(xp, w, dilation, stride, t)
+    if len(ins) == 3:
+        out += ins[2][:, None, :, None]  # per-model bias (M, C_out)
+    return out, xp
+
+
+def _conv_stacked_bwd(g, ins, out, xp, attrs, needs):
+    x, w = ins[0], ins[1]
+    dilation, stride = attrs["dilation"], attrs["stride"]
+    kernels = attrs["kernels"]
+    t = x.shape[3]
+    pad = (w.shape[3] - 1) * dilation
+    gx = gw = gb = None
+    if needs[0]:
+        gxp = kernels.grad_input_stacked(g, w, xp.shape, dilation, stride, t)
+        gx = gxp[:, :, :, pad:]
+    if needs[1]:
+        gw = kernels.grad_weight_stacked(g, xp, w.shape, dilation, stride, t)
+    if len(ins) == 3 and needs[2]:
+        gb = g.sum(axis=(1, 3))
+    return (gx, gw) if len(ins) == 2 else (gx, gw, gb)
+
+
+def _conv_stacked_fwd_scratch(ins, attrs, scratch):
+    """Replay variant: the padded-input buffer and the backend's stacked
+    work buffers persist across replays (see :func:`_conv_fwd_scratch`)."""
+    x, w = ins[0], ins[1]
+    dilation, stride = attrs["dilation"], attrs["stride"]
+    kernels = attrs["kernels"]
+    t = x.shape[3]
+    pad = (w.shape[3] - 1) * dilation
+    shape = x.shape[:3] + (t + pad,)
+    xp = scratch.get("xp")
+    if xp is None or xp.shape != shape or xp.dtype != x.dtype:
+        xp = scratch["xp"] = np.zeros(shape, dtype=x.dtype)
+    xp[:, :, :, pad:] = x
+    out = kernels.forward_stacked(xp, w, dilation, stride, t, scratch=scratch)
+    if len(ins) == 3:
+        out += ins[2][:, None, :, None]
+    return out, xp
+
+
+def _conv_stacked_bwd_scratch(g, ins, out, xp, attrs, needs, scratch):
+    x, w = ins[0], ins[1]
+    dilation, stride = attrs["dilation"], attrs["stride"]
+    kernels = attrs["kernels"]
+    t = x.shape[3]
+    pad = (w.shape[3] - 1) * dilation
+    gx = gw = gb = None
+    if needs[0]:
+        gxp = kernels.grad_input_stacked(g, w, xp.shape, dilation, stride, t,
+                                         scratch=scratch)
+        gx = gxp[:, :, :, pad:]
+    if needs[1]:
+        gw = kernels.grad_weight_stacked(g, xp, w.shape, dilation, stride, t,
+                                         scratch=scratch)
+    if len(ins) == 3 and needs[2]:
+        gb = g.sum(axis=(1, 3))
+    return (gx, gw) if len(ins) == 2 else (gx, gw, gb)
+
+
+_CONV1D_STACKED = OpDef("conv1d_causal_stacked", _conv_stacked_fwd,
+                        _conv_stacked_bwd,
+                        fwd_scratch=_conv_stacked_fwd_scratch,
+                        bwd_scratch=_conv_stacked_bwd_scratch,
+                        bwd_uses=("ins",))
+
+
+def conv1d_causal_stacked(x: Tensor, w: Tensor, b: Optional[Tensor] = None,
+                          dilation: int = 1, stride: int = 1,
+                          backend: Optional[str] = None) -> Tensor:
+    """Causal dilated conv over a *stack* of M weight-sharing-free models.
+
+    The stacked executor (see :mod:`repro.nn.stacked`) trains M clones of
+    one network in lockstep, each with its own weights; this op is
+    :func:`conv1d_causal` with a leading model axis everywhere:
+
+    * input  ``x``: ``(M, N, C_in, T)`` — per-model batches;
+    * weight ``w``: ``(M, C_out, C_in, K)`` — per-model kernels;
+    * bias   ``b``: ``(M, C_out)`` or None;
+    * output:      ``(M, N, C_out, T_out)``.
+
+    Model slices never mix: output slice ``m`` depends only on ``x[m]`` /
+    ``w[m]`` / ``b[m]``, exactly as if M independent convs had run — but the
+    whole stack is a single dispatch into batched backend kernels
+    (``forward_stacked`` etc.), turning M small GEMMs into one large one.
+    """
+    if x.ndim != 4:
+        raise ValueError(f"expected input (M, N, C_in, T), got shape {x.shape}")
+    if w.ndim != 4:
+        raise ValueError(
+            f"expected weight (M, C_out, C_in, K), got shape {w.shape}")
+    if x.shape[0] != w.shape[0]:
+        raise ValueError(f"input stack {x.shape[0]} does not match "
+                         f"weight stack {w.shape[0]}")
+    if x.shape[2] != w.shape[2]:
+        raise ValueError(
+            f"input channels {x.shape[2]} do not match weight channels "
+            f"{w.shape[2]}")
+    if dilation < 1 or stride < 1:
+        raise ValueError("dilation and stride must be >= 1")
+
+    attrs = {"dilation": dilation, "stride": stride,
+             "kernels": get_backend(backend)}
+    inputs = (x, w) if b is None else (x, w, b)
+    return apply_op(_CONV1D_STACKED, inputs, attrs)
 
 
 def _avg_pool_fwd(ins, attrs):

@@ -25,6 +25,7 @@ __all__ = [
     "log_softmax",
     "binarize_ste",
     "dropout",
+    "dropout_stacked",
     "logsumexp",
 ]
 
@@ -173,3 +174,57 @@ def dropout(x: Tensor, p: float, training: bool,
         return x
     rng = rng or np.random.default_rng()
     return apply_op(_DROPOUT, (x,), {"p": p, "rng": rng})
+
+
+def _dropout_stacked_fwd(ins, attrs):
+    x = ins[0]                       # (M, N, ...): leading model axis
+    p = attrs["p"]
+    rngs = attrs["rng"]              # one generator per model slice
+    active = attrs["active"]         # live per-model flags (may be None)
+    scale = 1.0 / (1.0 - p)
+    keep = np.empty_like(x)
+    for m, rng in enumerate(rngs):
+        if active is None or active[m]:
+            # Identical draw shape and stream position as the sequential
+            # model would consume: per-model parity depends on it.
+            keep[m] = (rng.random(x.shape[1:]) >= p) * scale
+        else:
+            # A converged model rides along masked: no draw (its stream
+            # must not advance past its early-stop point), no scaling.
+            keep[m] = 1.0
+    return x * keep, keep
+
+
+def _dropout_stacked_bwd(g, ins, out, keep, attrs, needs):
+    return (g * keep,)
+
+
+# Like _DROPOUT, the "rng" attribute (here a tuple of per-model generators)
+# marks the op stateful so the graph optimizer never constant-folds it; the
+# "active" array is read live on every (re)play.
+_DROPOUT_STACKED = OpDef("dropout_stacked", _dropout_stacked_fwd,
+                         _dropout_stacked_bwd, bwd_uses=())
+
+
+def dropout_stacked(x: Tensor, p: float, training: bool,
+                    rngs, active=None) -> Tensor:
+    """Inverted dropout over a stacked ``(M, N, ...)`` activation.
+
+    Each model slice draws its keep-mask from its *own* generator
+    ``rngs[m]`` with the per-model shape ``x.shape[1:]`` — the exact stream
+    an unstacked model would consume, which is what keeps stacked training
+    trajectories aligned with sequential ones.  ``active`` is an optional
+    live array of per-model flags: inactive slices (early-stopped models
+    riding along in the stack) skip their draw entirely so their stream
+    position stays frozen at the stop point.
+    """
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    if not training or p == 0.0:
+        return x
+    rngs = tuple(rngs)
+    if len(rngs) != x.shape[0]:
+        raise ValueError(f"got {len(rngs)} generators for a stack of "
+                         f"{x.shape[0]} models")
+    return apply_op(_DROPOUT_STACKED, (x,),
+                    {"p": p, "rng": rngs, "active": active})

@@ -36,9 +36,13 @@ op fusion, buffer-arena planning — bit-identical results either way;
 ``REPRO_GRAPH_OPT`` is the environment equivalent).
 
 ``sweep`` additionally exposes the DSE engine knobs: ``--workers`` /
-``--executor`` parallelize the grid, ``--cache`` memoizes completed
-(λ, warmup) points — including ``--hw`` deployment metrics (cache format
-v2) — to a JSON file so interrupted sweeps resume where they left off.
+``--executor`` parallelize the grid, ``--stack N`` trains up to N
+same-warmup grid points as one weight-stacked model (vmap-style batched
+execution; ``REPRO_DSE_STACK`` is the environment equivalent), and
+``--cache`` memoizes completed (λ, warmup) points — including ``--hw``
+deployment metrics (cache format v2) — to a JSON file so interrupted
+sweeps resume where they left off.  Stack width, like ``--compile``,
+never enters cache keys: stacked and sequential sweeps share entries.
 """
 
 from __future__ import annotations
@@ -216,6 +220,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                                f"|seed={args.seed}",
                      compile_step=_compile_flag(args),
                      graph_opt=_graph_opt_flag(args),
+                     stack=args.stack,
                      point_evaluators=evaluators)
     header = f"{'lambda':>10s} {'warmup':>6s} {'params':>8s} {'loss':>9s}"
     if args.hw:
@@ -348,6 +353,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--cache", type=str, default=None,
                          help="JSON results cache; completed (lambda, warmup) "
                               "points are skipped on re-runs")
+    p_sweep.add_argument("--stack", type=int, default=None,
+                         help="stacked-model execution: train up to N "
+                              "same-warmup grid points as one weight-stacked "
+                              "model (1 = sequential; default: "
+                              "REPRO_DSE_STACK or 1).  A speed knob like "
+                              "--compile: results match sequential within "
+                              "fp tolerance and cache entries are shared")
     p_sweep.add_argument("--hw", action="store_true",
                          help="hardware-in-the-loop: after each grid point "
                               "trains, export + int8-quantize it and "

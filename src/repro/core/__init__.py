@@ -53,6 +53,15 @@ from .trainer import (
     TrainResult,
     make_training_step,
 )
+from .stacked import (
+    StackedPITConv1d,
+    StackedPITTrainer,
+    StackedTimeMask,
+    clip_grad_norm_stacked,
+    per_model_loss,
+    register_stacked_loss,
+    stacked_regularizer_vector,
+)
 from .channel_mask import (
     ChannelMask,
     PITChannelConv1d,
@@ -95,6 +104,13 @@ __all__ = [
     "evaluate",
     "TrainResult",
     "make_training_step",
+    "StackedPITConv1d",
+    "StackedPITTrainer",
+    "StackedTimeMask",
+    "clip_grad_norm_stacked",
+    "per_model_loss",
+    "register_stacked_loss",
+    "stacked_regularizer_vector",
     "ChannelMask",
     "PITChannelConv1d",
     "channel_regularizer",

@@ -1,0 +1,703 @@
+"""Stacked PIT search: M (λ, warmup) grid points trained in lockstep.
+
+The DSE sweep of paper Fig. 4 trains the *same* seed architecture once per
+λ value; only the loss scaling differs.  :class:`StackedPITTrainer` runs
+Algorithm 1 on a whole group of grid points at once through a
+:class:`repro.nn.StackedModel`: every parameter carries a leading model
+axis ``(M, ...)``, every batch is stacked to ``(M, N, ...)``, and the
+per-model losses are combined as::
+
+    L = Σ_m  active_m · (L_perf(W_m) + λ_m · L_R(γ_m))
+
+Model slices are mathematically independent, so the gradient of ``L``
+w.r.t. slice ``m`` equals the gradient the sequential trainer would
+compute for that grid point; the stack just executes all M of them per op
+dispatch.  The trainer reproduces sequential *semantics* exactly (up to
+floating-point reduction order — see ``tests/test_dse_stacked.py`` for the
+locked tolerance):
+
+* per-model early stopping: a converged model is masked out of the loss
+  (``active_m = 0``), its dropout streams stop advancing, its state is
+  snapshotted at the stop epoch and restored at the phase boundary — the
+  stack keeps training the rest at zero semantic cost to the finished one;
+* per-model data streams: each model consumes its *own* epoch sequence of
+  the training loader (via :class:`repro.data.EpochReplayLoader`), so a
+  model entering fine-tuning after an early prune stop sees exactly the
+  batches its sequential run would have;
+* per-model Adam / per-model gradient clipping / per-model BatchNorm
+  running statistics — all carried on the stacked axis.
+
+Stacking requires the model to be built from layers with registered
+stacked counterparts and plain :class:`repro.data.DataLoader` loaders;
+anything else raises :class:`repro.nn.StackingUnsupported` *before
+training starts* and the DSE engine falls back to the sequential path.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..autograd import (
+    CompiledStep,
+    EagerStep,
+    Tensor,
+    binarize_ste,
+    concatenate,
+    conv1d_causal_stacked,
+    get_default_dtype,
+    no_grad,
+    where,
+)
+from ..autograd.graph import resolve_graph_opt
+from ..data import EpochReplayLoader
+from ..nn.losses import (
+    bce_with_logits,
+    huber_loss,
+    mae_loss,
+    mse_loss,
+    polyphonic_nll,
+)
+from ..nn.module import Module, Parameter
+from ..nn.stacked import (
+    StackContext,
+    StackedModel,
+    StackingUnsupported,
+    register_slice_sync,
+    register_stacked,
+    stack_parameter,
+)
+from ..optim import Adam, EarlyStopping
+from .export import effective_parameters, network_dilations
+from .masks import TimeMask, lag_gamma_indices
+from .pit_conv import PITConv1d
+from .regularizer import gamma_size_coefficients
+from .trainer import PITResult, _resolve_compile
+
+__all__ = [
+    "StackedTimeMask",
+    "StackedPITConv1d",
+    "stacked_regularizer_vector",
+    "per_model_loss",
+    "register_stacked_loss",
+    "clip_grad_norm_stacked",
+    "StackedPITTrainer",
+]
+
+
+# ----------------------------------------------------------------------
+# Stacked searchable layers
+# ----------------------------------------------------------------------
+
+class StackedTimeMask(Module):
+    """M independent :class:`TimeMask` instances on one ``(M, L-1)`` γ̂.
+
+    ``forward`` returns the stacked lag mask ``(M, rf_max)``; binarization,
+    the reversed cumulative Γ products and the lag scatter all act
+    per-model along the leading axis.
+    """
+
+    def __init__(self, template: TimeMask, ctx: StackContext):
+        super().__init__()
+        self.m = ctx.m
+        self.rf_max = template.rf_max
+        self.length = template.length
+        self.threshold = template.threshold
+        self.gamma_hat = Parameter(
+            stack_parameter(template.gamma_hat.data, ctx.m),
+            name="stacked.pit.gamma_hat")
+        self.register_buffer(
+            "frozen_mask", stack_parameter(template.frozen_mask, ctx.m))
+        self._lag_indices = lag_gamma_indices(template.rf_max)
+        self.frozen = template.frozen
+
+    # -- training-time mask -------------------------------------------------
+    def forward(self) -> Tensor:
+        if self.frozen:
+            return Tensor(self.frozen_mask)
+        if self.length == 1:
+            return Tensor(np.ones((self.m, self.rf_max)))
+        gamma_bin = binarize_ste(self.gamma_hat, self.threshold)  # (M, L-1)
+        full_gamma = concatenate(
+            [Tensor(np.ones((self.m, 1))), gamma_bin], axis=1)    # (M, L)
+        cumulative = [full_gamma[:, 0:1]]
+        for k in range(1, self.length):
+            cumulative.append(cumulative[-1] * full_gamma[:, k:k + 1])
+        big_gamma = concatenate(list(reversed(cumulative)), axis=1)  # (M, L)
+        return big_gamma[:, self._lag_indices]                       # (M, rf)
+
+    # -- per-model bookkeeping ----------------------------------------------
+    def binary_gamma(self, index: int) -> np.ndarray:
+        if self.length == 1:
+            return np.ones(1)
+        bits = (self.gamma_hat.data[index] >= self.threshold).astype(np.float64)
+        return np.concatenate([[1.0], bits])
+
+    def current_mask(self, index: int) -> np.ndarray:
+        from .masks import mask_from_binary_gamma
+        if self.frozen and self.frozen_mask.shape[1]:
+            return self.frozen_mask[index].copy()
+        return mask_from_binary_gamma(self.binary_gamma(index), self.rf_max)
+
+    def current_dilation(self, index: int) -> int:
+        from .masks import effective_dilation
+        if self.frozen and self.frozen_mask.shape[1]:
+            # Mirror TimeMask.current_dilation: a frozen mask is the
+            # authority, even if γ̂ was restored out of sync with it.
+            alive = np.nonzero(self.frozen_mask[index] >= 0.5)[0]
+            gaps = np.diff(alive)
+            return int(gaps[0]) if gaps.size else self.rf_max
+        return effective_dilation(self.binary_gamma(index), self.rf_max)
+
+    def freeze(self) -> None:
+        """Fix all M masks at their current binary values."""
+        masks = np.stack([self.current_mask(i) for i in range(self.m)])
+        self.update_buffer("frozen_mask", masks)
+        self.frozen = True
+
+    def unfreeze(self) -> None:
+        self.frozen = False
+
+    def __repr__(self) -> str:
+        return (f"StackedTimeMask(M={self.m}, rf_max={self.rf_max}, "
+                f"L={self.length}, frozen={self.frozen})")
+
+
+class StackedPITConv1d(Module):
+    """M searchable PIT convolutions sharing one stacked dispatch."""
+
+    def __init__(self, template: PITConv1d, ctx: StackContext):
+        super().__init__()
+        self.m = ctx.m
+        self.in_channels = template.in_channels
+        self.out_channels = template.out_channels
+        self.rf_max = template.rf_max
+        self.stride = template.stride
+        self.backend = template.backend
+        self.weight = Parameter(stack_parameter(template.weight.data, ctx.m),
+                                name="stacked.pitconv.weight")
+        self.bias = (Parameter(stack_parameter(template.bias.data, ctx.m),
+                               name="stacked.pitconv.bias")
+                     if template.bias is not None else None)
+        self.mask = StackedTimeMask(template.mask, ctx)
+        self._flip_index = template._flip_index.copy()
+        self._last_t_out: Optional[int] = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        mask_lags = self.mask()                        # (M, rf_max), lag order
+        mask_kernel = mask_lags[:, self._flip_index]   # kernel order
+        masked_weight = self.weight * mask_kernel.reshape(
+            self.m, 1, 1, self.rf_max)
+        out = conv1d_causal_stacked(x, masked_weight, self.bias, dilation=1,
+                                    stride=self.stride, backend=self.backend)
+        self._last_t_out = out.shape[-1]
+        return out
+
+    def effective_params(self, index: int) -> int:
+        """Post-export parameter count of model slice ``index`` (mirrors
+        :meth:`PITConv1d.effective_params`)."""
+        kept = int(self.mask.current_mask(index).sum())
+        count = kept * self.in_channels * self.out_channels
+        if self.bias is not None:
+            count += self.out_channels
+        return count
+
+    def freeze(self) -> None:
+        self.mask.freeze()
+
+    def unfreeze(self) -> None:
+        self.mask.unfreeze()
+
+    def __repr__(self) -> str:
+        return (f"StackedPITConv1d(M={self.m}, {self.in_channels}, "
+                f"{self.out_channels}, rf_max={self.rf_max}, "
+                f"s={self.stride})")
+
+
+@register_stacked(PITConv1d)
+def _stack_pit_conv(template: PITConv1d, ctx: StackContext) -> StackedPITConv1d:
+    return StackedPITConv1d(template, ctx)
+
+
+def _sync_mask_flags(stacked_net: Module, template: Module) -> None:
+    """Mirror per-stack freeze flags onto the template's masks.
+
+    Parameters and the ``frozen_mask`` buffers travel through the generic
+    name-aligned slice sync; the boolean ``frozen`` flag is a plain
+    attribute and needs this hook so a synced template reports the right
+    dilations/params.
+    """
+    stacked_masks = [m for m in stacked_net.modules()
+                     if isinstance(m, StackedTimeMask)]
+    template_masks = [m for m in template.modules() if isinstance(m, TimeMask)]
+    for source, target in zip(stacked_masks, template_masks):
+        target.frozen = source.frozen
+
+
+register_slice_sync(_sync_mask_flags)
+
+
+# ----------------------------------------------------------------------
+# Stacked regularizer (Eq. 6 with a per-model axis, λ applied by caller)
+# ----------------------------------------------------------------------
+
+def stacked_regularizer_vector(stacked: StackedModel,
+                               kind: str = "size") -> Tensor:
+    """Per-model regularizer values ``(M,)`` — Eq. 6 *without* the λ factor.
+
+    ``kind="size"`` is the paper's model-size Lasso; ``"flops"`` multiplies
+    each layer's term by its last recorded output length, mirroring
+    :func:`repro.core.flops_regularizer`.  The caller applies its per-model
+    λ vector (``λ ⊙ reg``), which is exactly where stacked grid points
+    differ from each other.
+    """
+    terms: List[Tensor] = []
+    for layer in stacked.net.modules():
+        if not isinstance(layer, StackedPITConv1d):
+            continue
+        mask = layer.mask
+        if mask.frozen or mask.length <= 1:
+            continue
+        coeffs = Tensor(gamma_size_coefficients(layer.rf_max))     # (L-1,)
+        contribution = (coeffs * mask.gamma_hat.abs()).sum(axis=1)  # (M,)
+        factor = float(layer.in_channels * layer.out_channels)
+        if kind == "flops":
+            factor *= float(layer._last_t_out or 1)
+        terms.append(contribution * factor)
+    if not terms:
+        return Tensor(np.zeros(stacked.stack_size))
+    total = terms[0]
+    for term in terms[1:]:
+        total = total + term
+    return total
+
+
+# ----------------------------------------------------------------------
+# Per-model losses
+# ----------------------------------------------------------------------
+
+def _tail_axes(t: Tensor) -> tuple:
+    return tuple(range(1, t.ndim))
+
+
+def _stacked_mse(pred: Tensor, target: Tensor) -> Tensor:
+    diff = pred - target
+    return (diff * diff).mean(axis=_tail_axes(pred))
+
+
+def _stacked_mae(pred: Tensor, target: Tensor) -> Tensor:
+    return (pred - target).abs().mean(axis=_tail_axes(pred))
+
+
+def _stacked_bce(logits: Tensor, targets: Tensor) -> Tensor:
+    softplus = ((-logits.abs()).exp() + 1.0).log()
+    per_element = logits.relu() - logits * targets + softplus
+    return per_element.mean(axis=_tail_axes(logits))
+
+
+def _stacked_polyphonic_nll(logits: Tensor, targets: Tensor) -> Tensor:
+    softplus = ((-logits.abs()).exp() + 1.0).log()
+    per_element = logits.relu() - logits * targets + softplus  # (M, N, 88, T)
+    per_frame = per_element.sum(axis=2)                        # (M, N, T)
+    return per_frame.mean(axis=(1, 2))
+
+
+def _stacked_huber(pred: Tensor, target: Tensor, delta: float = 1.0) -> Tensor:
+    diff = (pred - target).abs()
+    quadratic = 0.5 * diff * diff
+    linear = delta * diff - 0.5 * delta * delta
+    return where(diff <= delta, quadratic, linear).mean(axis=_tail_axes(pred))
+
+
+#: loss_fn -> vectorized per-model variant returning an (M,) tensor.
+_STACKED_LOSSES: Dict[Callable, Callable] = {
+    mse_loss: _stacked_mse,
+    mae_loss: _stacked_mae,
+    bce_with_logits: _stacked_bce,
+    polyphonic_nll: _stacked_polyphonic_nll,
+    huber_loss: _stacked_huber,
+}
+
+
+def register_stacked_loss(loss_fn: Callable, stacked_fn: Callable) -> None:
+    """Register a vectorized per-model variant of ``loss_fn``.
+
+    ``stacked_fn(pred, target)`` receives stacked ``(M, N, ...)`` tensors
+    and must return the ``(M,)`` vector of per-model losses.  Unregistered
+    losses still work through a generic per-slice fallback — correct, just
+    M small graphs instead of one vectorized reduction.
+    """
+    _STACKED_LOSSES[loss_fn] = stacked_fn
+
+
+def per_model_loss(loss_fn: Callable, pred: Tensor, target: Tensor) -> Tensor:
+    """``(M,)`` tensor of per-model task losses for stacked predictions."""
+    fast = _STACKED_LOSSES.get(loss_fn)
+    if fast is not None:
+        return fast(pred, target)
+    parts = [loss_fn(pred[i], target[i]).reshape(1)
+             for i in range(pred.shape[0])]
+    return concatenate(parts, axis=0)
+
+
+def clip_grad_norm_stacked(params: Sequence[Parameter], max_norm: float
+                           ) -> np.ndarray:
+    """Per-model gradient clipping over stacked parameters.
+
+    The sequential trainer clips each model's *global* gradient norm; on a
+    stack that norm lives per slice: ``norm_m = ||(g_p[m])_p||_2``.  Slices
+    are scaled independently, so no model's clipping decision leaks into
+    another's — matching M separate :func:`repro.optim.clip_grad_norm`
+    calls.  Returns the per-model pre-clipping norms.
+    """
+    grads = [p.grad for p in params if p.grad is not None]
+    if not grads:
+        return np.zeros(0)
+    m = grads[0].shape[0]
+    total = np.zeros(m)
+    for g in grads:
+        total += (g * g).reshape(m, -1).sum(axis=1)
+    norms = np.sqrt(total)
+    scales = np.where(norms > max_norm, max_norm / np.maximum(norms, 1e-300),
+                      1.0)
+    if np.any(scales < 1.0):
+        for g in grads:
+            g *= scales.reshape((m,) + (1,) * (g.ndim - 1))
+    return norms
+
+
+# ----------------------------------------------------------------------
+# The lockstep trainer
+# ----------------------------------------------------------------------
+
+class StackedPITTrainer:
+    """Algorithm 1 over M grid points at once (same warmup, per-model λ).
+
+    Mirrors :class:`repro.core.PITTrainer`'s parameters with ``lams`` (a
+    sequence) replacing ``lam``; :meth:`fit` returns one
+    :class:`PITResult` per λ, index-aligned, semantically equivalent to M
+    sequential ``PITTrainer(model_i, lam=lams[i], ...)`` runs (up to
+    floating-point reduction order — batched kernels sum in different
+    orders than per-model ones).
+
+    Phase seconds in the results are the *stack's* wall clock (all models
+    share it); per-model epoch counts, histories and early-stop points are
+    exact.
+
+    Raises :class:`repro.nn.StackingUnsupported` before any training when
+    the model contains layers without stacked counterparts (channel masks,
+    recurrent baselines, Proxyless value-dependent supernets) — callers
+    fall back to the sequential path.
+    """
+
+    def __init__(self, model: Module, loss_fn, lams: Sequence[float],
+                 lr: float = 1e-3, gamma_lr: Optional[float] = None,
+                 warmup_epochs: int = 5, prune_patience: int = 5,
+                 max_prune_epochs: int = 50, finetune_epochs: int = 30,
+                 finetune_patience: int = 10, regularizer: str = "size",
+                 channel_lam: float = 0.0,
+                 grad_clip: Optional[float] = None, verbose: bool = False,
+                 compile_step: Optional[bool] = None,
+                 graph_opt: Optional[str] = None):
+        if regularizer not in ("size", "flops"):
+            raise ValueError("regularizer must be 'size' or 'flops'")
+        if len(lams) < 1:
+            raise ValueError("lams must name at least one grid point")
+        if channel_lam:
+            raise StackingUnsupported(
+                "channel-mask search (channel_lam != 0) has no stacked path")
+        self.model = model
+        self.loss_fn = loss_fn
+        self.lams = [float(lam) for lam in lams]
+        self.m = len(self.lams)
+        self.lr = lr
+        self.gamma_lr = gamma_lr if gamma_lr is not None else lr
+        self.warmup_epochs = warmup_epochs
+        self.prune_patience = prune_patience
+        self.max_prune_epochs = max_prune_epochs
+        self.finetune_epochs = finetune_epochs
+        self.finetune_patience = finetune_patience
+        self.regularizer = regularizer
+        self.grad_clip = grad_clip
+        self.verbose = verbose
+        self.compile_step = _resolve_compile(compile_step)
+        self.graph_opt = resolve_graph_opt(graph_opt)
+
+        self.stacked = StackedModel(model, self.m)  # may raise StackingUnsupported
+        self._pit_layers = [layer for layer in self.stacked.net.modules()
+                            if isinstance(layer, StackedPITConv1d)]
+        if not self._pit_layers:
+            raise ValueError("model contains no searchable (PITConv1d) layers")
+        # The non-searchable remainder of the effective-parameter count
+        # (everything except PIT-layer params) is mask-independent and
+        # identical across slices: count it once from the template.
+        searchable_param_ids = set()
+        for module in model.modules():
+            if isinstance(module, PITConv1d):
+                for _, p in module.named_parameters():
+                    searchable_param_ids.add(id(p))
+        self._fixed_param_count = sum(
+            p.data.size for _, p in model.named_parameters()
+            if id(p) not in searchable_param_ids)
+        dtype = get_default_dtype()
+        # Both live arrays are shared storage with their tensors: the λ
+        # vector is a per-stack constant, the active mask is flipped by the
+        # early-stopping bookkeeping and read by every (re)played step.
+        self._lam_t = Tensor(np.asarray(self.lams, dtype=dtype))
+        self._active_t = Tensor(self.stacked.active)
+
+    # ------------------------------------------------------------------
+    def _log(self, message: str) -> None:
+        if self.verbose:
+            print(f"[StackedPIT] {message}")
+
+    def _split_params(self):
+        gamma_params, weight_params = [], []
+        for name, p in self.stacked.net.named_parameters():
+            (gamma_params if name.endswith("gamma_hat")
+             else weight_params).append(p)
+        return weight_params, gamma_params
+
+    def _make_step(self, with_reg: bool):
+        stacked = self.stacked
+        lam_t = self._lam_t
+        active_t = self._active_t
+        loss_fn = self.loss_fn
+        regularizer = self.regularizer
+
+        def step_fn(x: Tensor, y: Tensor):
+            pred = stacked(x)
+            task_vec = per_model_loss(loss_fn, pred, y)        # (M,)
+            per_total = task_vec
+            if with_reg:
+                reg = stacked_regularizer_vector(stacked, regularizer)
+                per_total = task_vec + lam_t * reg
+            # Masked (early-stopped) models contribute zero gradient; their
+            # parameters only drift through optimizer momentum, which the
+            # phase-boundary snapshot restore discards.
+            loss = (per_total * active_t).sum()
+            return loss, task_vec
+
+        if self.compile_step:
+            return CompiledStep(step_fn, optimize=self.graph_opt)
+        return EagerStep(step_fn)
+
+    # ------------------------------------------------------------------
+    def _epoch_index(self, cursors: List[int], i: int, active: List[bool]) -> int:
+        # Masked models re-read their last epoch (results discarded) so the
+        # zip over per-model iterators stays rectangular without advancing
+        # their stream position.
+        return cursors[i] if active[i] else max(cursors[i] - 1, 0)
+
+    def _run_train_epoch(self, step, optimizer, train_view: EpochReplayLoader,
+                         cursors: List[int], active: List[bool]) -> np.ndarray:
+        iters = [train_view.epoch(self._epoch_index(cursors, i, active))
+                 for i in range(self.m)]
+        totals = np.zeros(self.m)
+        batches = 0
+        for parts in zip(*iters):
+            x = np.stack([part[0] for part in parts])
+            y = np.stack([part[1] for part in parts])
+            optimizer.zero_grad()
+            _, task_vec = step(x, y)
+            if self.grad_clip is not None:
+                clip_grad_norm_stacked(optimizer.params, self.grad_clip)
+            optimizer.step()
+            totals += np.asarray(task_vec)
+            batches += 1
+        if batches == 0:
+            raise ValueError("training loader produced no batches")
+        for i in range(self.m):
+            if active[i]:
+                cursors[i] += 1
+        return totals / batches
+
+    def _run_validation(self, val_view: EpochReplayLoader,
+                        cursors: List[int], active: List[bool]) -> np.ndarray:
+        stacked = self.stacked
+        was_training = stacked.net.training
+        stacked.eval()
+        iters = [val_view.epoch(self._epoch_index(cursors, i, active))
+                 for i in range(self.m)]
+        totals = np.zeros(self.m)
+        batches = 0
+        with no_grad():
+            for parts in zip(*iters):
+                x = np.stack([part[0] for part in parts])
+                y = np.stack([part[1] for part in parts])
+                vec = per_model_loss(self.loss_fn, stacked(Tensor(x)),
+                                     Tensor(y))
+                totals += np.asarray(vec.data, dtype=np.float64)
+                batches += 1
+        if was_training:
+            stacked.train()
+        if batches == 0:
+            raise ValueError("evaluation loader produced no batches")
+        for i in range(self.m):
+            if active[i]:
+                cursors[i] += 1
+        return totals / batches
+
+    def _effective_params(self, index: int) -> int:
+        """Per-slice equivalent of :func:`repro.core.effective_parameters`.
+
+        Counted from the stacked masks directly — per epoch per model this
+        runs on the hot path, and a full ``sync_template`` copy just to
+        count parameters would cost M state copies per pruning epoch.
+        PIT-layer counts depend only on the masks; everything else is the
+        constant non-searchable remainder, computed once.
+        """
+        return self._fixed_param_count + sum(
+            layer.effective_params(index) for layer in self._pit_layers)
+
+    def model_for(self, index: int) -> Module:
+        """The template materialized as trained model ``index``.
+
+        One shared template instance serves all slices — use the returned
+        model (export, deploy, evaluate) before asking for the next index.
+        """
+        return self.stacked.sync_template(index)
+
+    # ------------------------------------------------------------------
+    def fit(self, train_loader, val_loader) -> List[PITResult]:
+        """Run warmup → pruning → fine-tuning for all M grid points."""
+        try:
+            train_view = EpochReplayLoader(train_loader)
+            val_view = EpochReplayLoader(val_loader)
+        except TypeError as exc:
+            raise StackingUnsupported(str(exc)) from exc
+
+        m = self.m
+        stacked = self.stacked
+        histories = [
+            {"warmup_val": [], "prune_val": [], "finetune_val": [],
+             "prune_params": []}
+            for _ in range(m)]
+        train_cur = [0] * m
+        val_cur = [0] * m
+        weight_params, gamma_params = self._split_params()
+
+        # ---------------- Phase 1: warmup (weights only) ----------------
+        start = time.perf_counter()
+        warmup_ran = 0
+        if self.warmup_epochs > 0:
+            optimizer = Adam(weight_params, lr=self.lr)
+            step = self._make_step(with_reg=False)
+            active = [True] * m
+            for _ in range(self.warmup_epochs):
+                self._run_train_epoch(step, optimizer, train_view,
+                                      train_cur, active)
+                val = self._run_validation(val_view, val_cur, active)
+                for i in range(m):
+                    histories[i]["warmup_val"].append(float(val[i]))
+                warmup_ran += 1
+            self._log(f"warmup done, val={val}")
+        warmup_seconds = time.perf_counter() - start
+
+        # ---------------- Phase 2: pruning (weights + γ) ----------------
+        start = time.perf_counter()
+        groups = [{"params": weight_params, "lr": self.lr}]
+        if gamma_params:
+            groups.append({"params": gamma_params, "lr": self.gamma_lr,
+                           "weight_decay": 0.0})
+        optimizer = Adam(groups, lr=self.lr)
+        stoppers = [EarlyStopping(patience=self.prune_patience, mode="min")
+                    for _ in range(m)]
+        step = self._make_step(with_reg=True)
+        active = [True] * m
+        prune_ran = [0] * m
+        snapshots: List[Optional[Dict]] = [None] * m
+        stacked.set_all_active()
+        for _ in range(self.max_prune_epochs):
+            if not any(active):
+                break
+            self._run_train_epoch(step, optimizer, train_view,
+                                  train_cur, active)
+            val = self._run_validation(val_view, val_cur, active)
+            for i in range(m):
+                if not active[i]:
+                    continue
+                histories[i]["prune_val"].append(float(val[i]))
+                histories[i]["prune_params"].append(
+                    float(self._effective_params(i)))
+                prune_ran[i] += 1
+                stoppers[i].update(float(val[i]))
+                if stoppers[i].should_stop:
+                    # Freeze this grid point where its sequential run would
+                    # have stopped; the stack keeps going for the others.
+                    active[i] = False
+                    stacked.set_active(i, False)
+                    snapshots[i] = stacked.slice_state(i)
+        for i in range(m):
+            if snapshots[i] is None:          # ran to the epoch cap
+                snapshots[i] = stacked.slice_state(i)
+        for i in range(m):
+            stacked.load_slice_state(i, snapshots[i])
+        prune_seconds = time.perf_counter() - start
+        self._log(f"pruning converged after {prune_ran} epochs")
+
+        # ---------------- Phase 3: freeze + fine-tune --------------------
+        start = time.perf_counter()
+        stacked.set_all_active()
+        for layer in self._pit_layers:
+            layer.freeze()
+        optimizer = Adam(weight_params, lr=self.lr)
+        stoppers = [EarlyStopping(patience=self.finetune_patience, mode="min")
+                    for _ in range(m)]
+        # Fresh step: freezing changed the graph (per-model masks became
+        # constants the optimizer passes fold away).
+        step = self._make_step(with_reg=False)
+        active = [True] * m
+        finetune_ran = [0] * m
+        for _ in range(self.finetune_epochs):
+            if not any(active):
+                break
+            self._run_train_epoch(step, optimizer, train_view,
+                                  train_cur, active)
+            val = self._run_validation(val_view, val_cur, active)
+            for i in range(m):
+                if not active[i]:
+                    continue
+                histories[i]["finetune_val"].append(float(val[i]))
+                finetune_ran[i] += 1
+                stoppers[i].update(float(val[i]),
+                                   state=stacked.slice_state(i))
+                if stoppers[i].should_stop:
+                    active[i] = False
+                    stacked.set_active(i, False)
+        for i in range(m):
+            if stoppers[i].best_state is not None:
+                stacked.load_slice_state(i, stoppers[i].best_state)
+        stacked.set_all_active()
+        finetune_seconds = time.perf_counter() - start
+
+        best_vals = [None if stoppers[i].best is None else float(stoppers[i].best)
+                     for i in range(m)]
+        if any(v is None for v in best_vals):
+            # No fine-tune epoch ran (finetune_epochs=0): evaluate once,
+            # per model, like the sequential fallback path does.
+            needs = [best_vals[i] is None for i in range(m)]
+            val = self._run_validation(val_view, val_cur, needs)
+            for i in range(m):
+                if best_vals[i] is None:
+                    best_vals[i] = float(val[i])
+        self._log(f"fine-tuning done, best val={best_vals}")
+
+        results = []
+        for i in range(m):
+            template = self.stacked.sync_template(i)
+            results.append(PITResult(
+                dilations=network_dilations(template),
+                best_val=best_vals[i],
+                effective_params=effective_parameters(template),
+                warmup_seconds=warmup_seconds,
+                prune_seconds=prune_seconds,
+                finetune_seconds=finetune_seconds,
+                warmup_epochs=warmup_ran,
+                prune_epochs=prune_ran[i],
+                finetune_epochs=finetune_ran[i],
+                history=histories[i],
+            ))
+        return results

@@ -9,6 +9,7 @@ from .dataset import (
     Dataset,
     ArrayDataset,
     DataLoader,
+    EpochReplayLoader,
     clone_loader,
     train_val_test_split,
 )
@@ -41,6 +42,7 @@ __all__ = [
     "Dataset",
     "ArrayDataset",
     "DataLoader",
+    "EpochReplayLoader",
     "clone_loader",
     "train_val_test_split",
     "NottinghamConfig",

@@ -15,7 +15,7 @@ import numpy as np
 from ..autograd import get_default_dtype
 
 __all__ = ["Dataset", "ArrayDataset", "DataLoader", "clone_loader",
-           "train_val_test_split"]
+           "EpochReplayLoader", "train_val_test_split"]
 
 
 class Dataset:
@@ -82,6 +82,15 @@ class DataLoader:
         indices = np.arange(len(self.dataset))
         if self.shuffle:
             self.rng.shuffle(indices)
+        yield from self._iter_batches(indices)
+
+    def _iter_batches(self, indices: np.ndarray
+                      ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Emit batches for a fixed index order.
+
+        Shared with :class:`EpochReplayLoader`, whose bit-identical-replay
+        contract depends on using *this* assembly code, not a copy.
+        """
         for start in range(0, len(indices), self.batch_size):
             batch = indices[start:start + self.batch_size]
             if self.drop_last and len(batch) < self.batch_size:
@@ -108,6 +117,56 @@ def clone_loader(loader: DataLoader) -> DataLoader:
         if isinstance(array, np.ndarray):
             memo[id(array)] = array
     return copy.deepcopy(loader, memo)
+
+
+class EpochReplayLoader:
+    """Random-access view over a :class:`DataLoader`'s epoch sequence.
+
+    A plain ``DataLoader`` is a *stream*: epoch ``e``'s batch order depends
+    on the shuffle RNG having advanced through epochs ``0 .. e-1``.  The
+    stacked DSE trainer needs random access instead — models early-stop at
+    different epochs, so during fine-tuning model ``m`` must see exactly
+    the batches its sequential run would have seen at *its own* epoch
+    index, not the stack's.  This view replays the deterministic shuffle
+    sequence from a private clone of the loader and memoizes each epoch's
+    index order, so ``epoch(e)`` yields bit-identical batches to the
+    ``e``-th iteration of a fresh :func:`clone_loader` copy — in any order,
+    any number of times.
+
+    Only exact ``DataLoader`` instances are supported: a subclass may hold
+    additional per-batch mutable state (augmentation RNGs) that cannot be
+    replayed out of order.  Callers (the stacked trainer) catch the
+    ``TypeError`` and fall back to sequential training.
+    """
+
+    def __init__(self, loader: DataLoader):
+        if type(loader) is not DataLoader:
+            raise TypeError(
+                f"EpochReplayLoader requires a plain DataLoader, got "
+                f"{type(loader).__name__} (subclasses may carry per-batch "
+                f"state that cannot be replayed out of order)")
+        self._loader = clone_loader(loader)
+        self._orders: List[np.ndarray] = []
+
+    @property
+    def batch_size(self) -> int:
+        return self._loader.batch_size
+
+    def __len__(self) -> int:
+        """Batches per epoch (constant across epochs)."""
+        return len(self._loader)
+
+    def _order(self, epoch: int) -> np.ndarray:
+        while len(self._orders) <= epoch:
+            indices = np.arange(len(self._loader.dataset))
+            if self._loader.shuffle:
+                self._loader.rng.shuffle(indices)
+            self._orders.append(indices)
+        return self._orders[epoch]
+
+    def epoch(self, epoch: int) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield epoch ``epoch``'s batches, bit-identical to the stream."""
+        return self._loader._iter_batches(self._order(epoch))
 
 
 def train_val_test_split(dataset: ArrayDataset, val_fraction: float = 0.15,

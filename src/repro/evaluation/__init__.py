@@ -9,6 +9,7 @@ from .pareto import (
     hypervolume_2d,
 )
 from .dse import (
+    ENV_STACK,
     DSECache,
     DSEEngine,
     DSEPoint,
@@ -17,6 +18,7 @@ from .dse import (
     objective_value,
     run_dse,
     select_small_medium_large,
+    stack_width_default,
 )
 from .reporting import (
     format_table,
@@ -43,6 +45,8 @@ __all__ = [
     "objective_value",
     "run_dse",
     "select_small_medium_large",
+    "ENV_STACK",
+    "stack_width_default",
     "format_table",
     "format_markdown_table",
     "ExperimentRegistry",

@@ -10,9 +10,19 @@ Grid points are independent, so :class:`DSEEngine` dispatches them to a
 ``concurrent.futures`` worker pool (threads by default, processes on
 request) and reassembles the results in deterministic grid order — a
 parallel sweep returns exactly the same :class:`DSEResult` as a serial
-one.  To make that hold, every grid point trains against *private deep
-copies* of the data loaders: a shared shuffling loader would otherwise
-thread its RNG state through the points in submission order.
+one.  To make that hold, every grid point trains against *private* loader
+state (one pristine clone per worker, rewound per point): a shared
+shuffling loader would otherwise thread its RNG state through the points
+in submission order.
+
+On top of the worker pool, ``stack=N`` turns on *stacked-model execution*:
+up to N same-warmup grid points are grouped into one weight-stacked
+program (:class:`repro.core.StackedPITTrainer`) whose parameters carry a
+leading model axis, so the whole group trains through a single op graph
+with batched conv kernels and per-model λ/early-stopping — amortizing the
+per-op Python and BLAS-dispatch overhead N-fold.  Stack width is an
+execution knob like ``compile_step``: it stays out of cache keys, and
+unsupported models/loaders fall back to the sequential path per group.
 
 Completed points can be memoized to a JSON cache file (see
 :class:`DSECache`), making long sweeps resumable: a re-run with the same
@@ -33,10 +43,13 @@ other objective (latency, energy, …) via ``objective=``.
 
 from __future__ import annotations
 
+import copy
 import json
 import os
 import tempfile
 import threading
+import weakref
+from collections import OrderedDict
 from concurrent.futures import (
     ProcessPoolExecutor,
     ThreadPoolExecutor,
@@ -48,13 +61,32 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..autograd import current_backend, use_backend
+from ..core.stacked import StackedPITTrainer
 from ..core.trainer import PITResult, PITTrainer
-from ..data import clone_loader
+from ..data import DataLoader, clone_loader
 from ..nn import Module
+from ..nn.stacked import StackingUnsupported
 from .pareto import pareto_front
 
 __all__ = ["DSEPoint", "DSEResult", "DSECache", "DSEEngine", "run_dse",
-           "objective_value", "evaluator_name", "select_small_medium_large"]
+           "objective_value", "evaluator_name", "select_small_medium_large",
+           "ENV_STACK", "stack_width_default"]
+
+#: environment default for DSEEngine(stack=None), like REPRO_COMPILE_STEP
+#: for the compile knob.
+ENV_STACK = "REPRO_DSE_STACK"
+
+
+def stack_width_default() -> int:
+    """Stack width used when ``DSEEngine(stack=None)``: ``REPRO_DSE_STACK``
+    or 1 (sequential).  Read per call so tests can flip it."""
+    raw = os.environ.get(ENV_STACK, "").strip()
+    if not raw:
+        return 1
+    width = int(raw)
+    if width < 1:
+        raise ValueError(f"{ENV_STACK} must be >= 1, got {width}")
+    return width
 
 
 @dataclass
@@ -320,6 +352,67 @@ def _point_from_dict(entry: dict) -> DSEPoint:
 # lives in repro.data (deployment evaluators apply the same discipline).
 _private_loader = clone_loader
 
+# Per-worker (thread/process) loader cache for the sequential grid-point
+# path.  The engine's template loaders are never iterated, so every grid
+# point used to deep-copy them afresh just to start from the same pristine
+# RNG state; for plain DataLoaders the only mutable state *is* that RNG,
+# so one clone per worker rewound to its pristine bit-state per point is
+# bit-identical and skips the repeated deepcopy.  Thread-local so pooled
+# workers never share a clone; subclassed loaders (unknown extra state)
+# keep the old clone-per-point behaviour.  Entries hold the template by
+# *weak* reference: a clone pins the (shared) dataset arrays, so a strong
+# key would leak every dataset a long-lived process ever swept over.
+_LOADER_CACHE = threading.local()
+
+
+def _rng_states_equal(a, b) -> bool:
+    """Deep-compare bit-generator state trees.
+
+    MT19937/Philox/SFC64 states embed numpy arrays, on which plain dict
+    ``==`` raises ("truth value of an array is ambiguous"); PCG64 states
+    are int-only.  Handle both.
+    """
+    if isinstance(a, dict):
+        return (isinstance(b, dict) and a.keys() == b.keys()
+                and all(_rng_states_equal(a[k], b[k]) for k in a))
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.array_equal(a, b)
+    return a == b
+
+
+def _worker_loader(template, role: str = "train") -> "DataLoader":
+    """One pristine clone per (worker, template, role), rewound per point.
+
+    ``role`` keeps aliased loaders independent: a caller passing the *same*
+    loader object as both train and val must still get two distinct clones
+    (two independent RNG streams), exactly as clone-per-point produced.
+    """
+    if type(template) is not DataLoader:
+        return _private_loader(template)
+    cache = getattr(_LOADER_CACHE, "map", None)
+    if cache is None:
+        cache = _LOADER_CACHE.map = {}
+    # Evict entries whose template died: their clones would otherwise pin
+    # the dataset arrays for the life of the worker thread.
+    for key in [k for k, (ref, _, _) in cache.items() if ref() is None]:
+        del cache[key]
+    entry = cache.get((id(template), role))
+    state = template.rng.bit_generator.state
+    # Re-clone when the entry is missing, the id was reused by a different
+    # loader object, or the caller advanced the template's RNG since we
+    # snapshotted it — a fresh clone must start from the template's
+    # *current* state, exactly like clone-per-point did.
+    if (entry is None or entry[0]() is not template
+            or not _rng_states_equal(entry[2], state)):
+        clone = _private_loader(template)
+        cache[(id(template), role)] = (
+            weakref.ref(template), clone,
+            copy.deepcopy(clone.rng.bit_generator.state))
+        return clone
+    _, clone, pristine = entry
+    clone.rng.bit_generator.state = copy.deepcopy(pristine)
+    return clone
+
 
 def _train_grid_point(seed_factory: Callable[[], Module], loss_fn: Callable,
                       train_loader, val_loader, lam: float, warmup: int,
@@ -348,8 +441,8 @@ def _train_grid_point(seed_factory: Callable[[], Module], loss_fn: Callable,
     — still inside the backend scope, so evaluation forward passes use the
     same kernels the cache key records.
     """
-    train_loader = _private_loader(train_loader)
-    val_loader = _private_loader(val_loader)
+    train_loader = _worker_loader(train_loader, "train")
+    val_loader = _worker_loader(val_loader, "val")
     model = seed_factory()
     trainer = PITTrainer(model, loss_fn, lam=lam, warmup_epochs=warmup,
                          compile_step=compile_step, graph_opt=graph_opt,
@@ -365,6 +458,85 @@ def _train_grid_point(seed_factory: Callable[[], Module], loss_fn: Callable,
             if annotations:
                 point.metrics.update(annotations)
     return point
+
+
+def _train_grid_stack(seed_factory: Callable[[], Module], loss_fn: Callable,
+                      train_loader, val_loader, warmup: int,
+                      lams: Sequence[float], trainer_kwargs: Dict,
+                      backend: str,
+                      compile_step: Optional[bool] = None,
+                      graph_opt: Optional[str] = None,
+                      point_evaluators: Optional[Sequence[Callable]] = None
+                      ) -> List[DSEPoint]:
+    """Train a group of same-warmup grid points as one weight-stacked run.
+
+    The whole group shares one seed instantiation, one loader clone (the
+    :class:`repro.data.EpochReplayLoader` inside the stacked trainer) and
+    one op graph; per-model λ scaling and early stopping keep each point's
+    trajectory equivalent to its sequential run.  Models whose structure
+    cannot stack (channel masks, unsupported layers, non-plain loaders)
+    raise :class:`StackingUnsupported` *before any training*, and the
+    group falls back to the sequential per-point path — so stacking is
+    purely an execution-speed knob, never a correctness one.
+    """
+    lams = [float(lam) for lam in lams]
+    with use_backend(backend):
+        template = seed_factory()
+        try:
+            trainer = StackedPITTrainer(
+                template, loss_fn, lams=lams, warmup_epochs=warmup,
+                compile_step=compile_step, graph_opt=graph_opt,
+                **trainer_kwargs)
+            results = trainer.fit(train_loader, val_loader)
+        except StackingUnsupported:
+            return [_train_grid_point(seed_factory, loss_fn, train_loader,
+                                      val_loader, lam, warmup, trainer_kwargs,
+                                      backend, compile_step, graph_opt,
+                                      point_evaluators)
+                    for lam in lams]
+        points = []
+        for i, result in enumerate(results):
+            point = DSEPoint(
+                lam=lams[i], warmup_epochs=warmup, dilations=result.dilations,
+                params=result.effective_params, loss=result.best_val,
+                result=result)
+            if point_evaluators:
+                # Materialize this slice into the (sequential-shaped)
+                # template so evaluators see a normal trained model.
+                model = trainer.model_for(i)
+                for evaluator in point_evaluators:
+                    annotations = evaluator(model, point)
+                    if annotations:
+                        point.metrics.update(annotations)
+            points.append(point)
+    return points
+
+
+def _train_grid_chunk(seed_factory: Callable[[], Module], loss_fn: Callable,
+                      train_loader, val_loader,
+                      chunk: Sequence[Tuple[int, float]],
+                      trainer_kwargs: Dict, backend: str,
+                      compile_step: Optional[bool] = None,
+                      graph_opt: Optional[str] = None,
+                      point_evaluators: Optional[Sequence[Callable]] = None
+                      ) -> List[DSEPoint]:
+    """One worker task: a list of ``(warmup, lam)`` points, all same warmup.
+
+    Singleton chunks take the exact sequential ``_train_grid_point`` path —
+    which is why ``stack=1`` is bit-identical to the pre-stacking engine.
+    Module-level so a ``ProcessPoolExecutor`` can pickle it.
+    """
+    if len(chunk) == 1:
+        warmup, lam = chunk[0]
+        return [_train_grid_point(seed_factory, loss_fn, train_loader,
+                                  val_loader, lam, warmup, trainer_kwargs,
+                                  backend, compile_step, graph_opt,
+                                  point_evaluators)]
+    warmup = chunk[0][0]
+    return _train_grid_stack(seed_factory, loss_fn, train_loader, val_loader,
+                             warmup, [lam for _, lam in chunk],
+                             trainer_kwargs, backend, compile_step, graph_opt,
+                             point_evaluators)
 
 
 def evaluator_name(evaluator: Callable) -> str:
@@ -429,6 +601,18 @@ class DSEEngine:
         part of the cache key — compiled steps are bit-identical to eager,
         so points trained either way are interchangeable.  None defers to
         ``REPRO_COMPILE_STEP``.
+    stack:
+        Stacked-model execution width: up to ``stack`` same-warmup grid
+        points train as *one* weight-stacked model
+        (:class:`repro.core.StackedPITTrainer`) — one op graph, batched
+        conv kernels, per-model λ and early stopping.  ``1`` (the default)
+        is the exact sequential path; None defers to ``REPRO_DSE_STACK``.
+        Like ``compile_step``/``graph_opt`` this is an execution-speed
+        knob kept *out* of cache keys: stacked results match sequential
+        within floating-point reduction-order tolerance, so stacked and
+        sequential sweeps resume from and write to the same entries.
+        Models or loaders without a stacked path fall back to sequential
+        training automatically (per chunk).
     point_evaluators:
         Post-training hooks, each called as ``evaluator(model, point)``
         with the trained (still searchable) model; the returned
@@ -451,6 +635,7 @@ class DSEEngine:
                  verbose: bool = False,
                  compile_step: Optional[bool] = None,
                  graph_opt: Optional[str] = None,
+                 stack: Optional[int] = None,
                  point_evaluators: Optional[Sequence[Callable]] = None):
         if executor not in ("thread", "process"):
             raise ValueError("executor must be 'thread' or 'process'")
@@ -474,6 +659,18 @@ class DSEEngine:
         # so it is stripped from trainer_kwargs and kept out of cache keys.
         kwargs_opt = self.trainer_kwargs.pop("graph_opt", None)
         self.graph_opt = graph_opt if graph_opt is not None else kwargs_opt
+        # Stack width: how many same-warmup grid points train as one
+        # weight-stacked model (see repro.core.StackedPITTrainer).  An
+        # execution-speed knob like compile_step/graph_opt — results match
+        # sequential within fp tolerance and the width never enters cache
+        # keys, so stacked and sequential sweeps share entries.  None
+        # defers to REPRO_DSE_STACK; 1 is the exact sequential path.
+        kwargs_stack = self.trainer_kwargs.pop("stack", None)
+        if stack is None:
+            stack = kwargs_stack
+        self.stack = int(stack) if stack is not None else stack_width_default()
+        if self.stack < 1:
+            raise ValueError("stack width must be >= 1")
         self.point_evaluators = list(point_evaluators or [])
         self.verbose = verbose
 
@@ -492,6 +689,35 @@ class DSEEngine:
                                  lam, warmup, self.trainer_kwargs,
                                  self._run_backend, self.compile_step,
                                  self.graph_opt, self.point_evaluators)
+
+    def _train_chunk(self, chunk: Sequence[Tuple[int, float]]) -> List[DSEPoint]:
+        return _train_grid_chunk(self.seed_factory, self.loss_fn,
+                                 self.train_loader, self.val_loader,
+                                 chunk, self.trainer_kwargs,
+                                 self._run_backend, self.compile_step,
+                                 self.graph_opt, self.point_evaluators)
+
+    def _chunk_pending(self, pending: Sequence[Tuple[int, int, float]]
+                       ) -> List[List[Tuple[int, int, float]]]:
+        """Group pending grid points into stack-compatible chunks.
+
+        Compatibility means *same warmup*: every model in a stack must hit
+        its phase boundaries on the same epochs (λ is free to differ — it
+        only scales the per-model loss).  Within each warmup group, grid
+        order is preserved and split into runs of at most ``self.stack``
+        points; ``stack=1`` yields singleton chunks, i.e. exactly the
+        sequential per-point schedule.
+        """
+        if self.stack <= 1:
+            return [[entry] for entry in pending]
+        groups: "OrderedDict[int, List[Tuple[int, int, float]]]" = OrderedDict()
+        for entry in pending:
+            groups.setdefault(entry[1], []).append(entry)
+        chunks: List[List[Tuple[int, int, float]]] = []
+        for entries in groups.values():
+            for start in range(0, len(entries), self.stack):
+                chunks.append(entries[start:start + self.stack])
+        return chunks
 
     def run(self, lambdas: Sequence[float],
             warmups: Sequence[int] = (5,)) -> DSEResult:
@@ -522,21 +748,24 @@ class DSEEngine:
                 pending.append((index, warmup, lam))
 
         if pending:
+            chunks = self._chunk_pending(pending)
             if self.workers > 1:
                 pool_cls = (ThreadPoolExecutor if self.executor == "thread"
                             else ProcessPoolExecutor)
                 with pool_cls(max_workers=self.workers) as pool:
                     futures = {
-                        pool.submit(_train_grid_point,
+                        pool.submit(_train_grid_chunk,
                                     self.seed_factory, self.loss_fn,
                                     self.train_loader, self.val_loader,
-                                    lam, warmup, self.trainer_kwargs,
+                                    [(warmup, lam) for _, warmup, lam in chunk],
+                                    self.trainer_kwargs,
                                     self._run_backend, self.compile_step,
-                                    self.graph_opt, self.point_evaluators): index
-                        for index, warmup, lam in pending}
+                                    self.graph_opt, self.point_evaluators):
+                        [index for index, _, _ in chunk]
+                        for chunk in chunks}
                     # Consume in completion order; grid order is restored
                     # by index when assembling the result.  When a cache is
-                    # configured, a failing point must not discard the
+                    # configured, a failing chunk must not discard the
                     # others, so keep draining and record them before
                     # re-raising.  Without a cache the finished results
                     # have nowhere to go — cancel whatever has not started
@@ -544,8 +773,9 @@ class DSEEngine:
                     error: Optional[Exception] = None
                     for future in as_completed(futures):
                         try:
-                            points[futures[future]] = self._record(
-                                future.result())
+                            for index, point in zip(futures[future],
+                                                    future.result()):
+                                points[index] = self._record(point)
                         except Exception as exc:
                             if self.cache is None:
                                 for other in futures:
@@ -556,8 +786,11 @@ class DSEEngine:
                     if error is not None:
                         raise error
             else:
-                for index, warmup, lam in pending:
-                    points[index] = self._record(self._train_one(lam, warmup))
+                for chunk in chunks:
+                    trained = self._train_chunk(
+                        [(warmup, lam) for _, warmup, lam in chunk])
+                    for (index, _, _), point in zip(chunk, trained):
+                        points[index] = self._record(point)
 
         return DSEResult(points=list(points))
 
@@ -587,22 +820,23 @@ def run_dse(seed_factory: Callable[[], Module], loss_fn: Callable,
             cache_tag: str = "",
             compile_step: Optional[bool] = None,
             graph_opt: Optional[str] = None,
+            stack: Optional[int] = None,
             point_evaluators: Optional[Sequence[Callable]] = None
             ) -> DSEResult:
     """Sweep (λ, warmup); one full PIT search per grid point.
 
     Thin wrapper over :class:`DSEEngine` kept for API compatibility;
     ``workers`` / ``executor`` / ``cache_path`` / ``cache_tag`` /
-    ``compile_step`` / ``point_evaluators`` expose the engine's
-    parallelism, memoization, graph-compilation and hardware-in-the-loop
-    knobs.
+    ``compile_step`` / ``stack`` / ``point_evaluators`` expose the
+    engine's parallelism, memoization, graph-compilation, stacked-model
+    and hardware-in-the-loop knobs.
     """
     engine = DSEEngine(seed_factory, loss_fn, train_loader, val_loader,
                        workers=workers, executor=executor,
                        cache_path=cache_path, cache_tag=cache_tag,
                        trainer_kwargs=trainer_kwargs,
                        verbose=verbose, compile_step=compile_step,
-                       graph_opt=graph_opt,
+                       graph_opt=graph_opt, stack=stack,
                        point_evaluators=point_evaluators)
     return engine.run(lambdas, warmups=warmups)
 

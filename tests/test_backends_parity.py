@@ -119,6 +119,98 @@ class TestGradientParity:
             [x, w, b])
 
 
+class TestStackedKernelParity:
+    """The stacked (leading model axis) kernels against M per-model calls.
+
+    Auto-discovers every registered backend, like the unstacked harness: a
+    newly registered backend is covered by its inherited base-class loop
+    until it provides batched kernels, and by this grid either way.
+    """
+
+    M = 3
+    STACK_GRID = [(1, 1, 3), (2, 1, 9), (4, 2, 3), (2, 3, 9), (1, 2, 1)]
+
+    def _stacked_inputs(self, kernel, requires_grad=False, seed=0):
+        rng = np.random.default_rng(seed + 17 * kernel)
+        x = Tensor(rng.standard_normal((self.M, N, C_IN, T)),
+                   requires_grad=requires_grad)
+        w = Tensor(rng.standard_normal((self.M, C_OUT, C_IN, kernel)),
+                   requires_grad=requires_grad)
+        b = Tensor(rng.standard_normal((self.M, C_OUT)),
+                   requires_grad=requires_grad)
+        return x, w, b
+
+    @pytest.mark.parametrize("backend", available_backends())
+    @pytest.mark.parametrize("dilation,stride,kernel", STACK_GRID)
+    def test_stacked_matches_per_model(self, backend, dilation, stride,
+                                       kernel):
+        from repro.autograd import conv1d_causal_stacked
+        x, w, b = self._stacked_inputs(kernel, requires_grad=True)
+        out = conv1d_causal_stacked(x, w, b, dilation=dilation, stride=stride,
+                                    backend=backend)
+        rng = np.random.default_rng(99)
+        upstream = rng.standard_normal(out.shape)
+        out.backward(upstream)
+        for m in range(self.M):
+            xm = Tensor(x.data[m], requires_grad=True)
+            wm = Tensor(w.data[m], requires_grad=True)
+            bm = Tensor(b.data[m], requires_grad=True)
+            ref = conv1d_causal(xm, wm, bm, dilation=dilation, stride=stride,
+                                backend="einsum")
+            ref.backward(upstream[m])
+            assert np.allclose(out.data[m], ref.data, **TOL), (backend, m)
+            assert np.allclose(x.grad[m], xm.grad, **TOL), (backend, m)
+            assert np.allclose(w.grad[m], wm.grad, **TOL), (backend, m)
+            assert np.allclose(b.grad[m], bm.grad, **TOL), (backend, m)
+
+    def test_base_class_loop_covers_unbatched_backends(self):
+        """A backend that never heard of stacking still works: the
+        ConvBackend base supplies per-model loop kernels."""
+        from repro.autograd import conv1d_causal_stacked, register_backend
+        from repro.autograd.backends import _REGISTRY, ConvBackend, EinsumBackend
+
+        class MinimalBackend(ConvBackend):
+            name = "minimal-test"
+            _ref = EinsumBackend()
+
+            def forward(self, xp, w, dilation, stride, t, scratch=None):
+                return self._ref.forward(xp, w, dilation, stride, t)
+
+            def grad_input(self, grad, w, xp_shape, dilation, stride, t,
+                           scratch=None):
+                return self._ref.grad_input(grad, w, xp_shape, dilation,
+                                            stride, t)
+
+            def grad_weight(self, grad, xp, w_shape, dilation, stride, t,
+                            scratch=None):
+                return self._ref.grad_weight(grad, xp, w_shape, dilation,
+                                             stride, t)
+
+        register_backend(MinimalBackend())
+        try:
+            x, w, b = self._stacked_inputs(3, requires_grad=True)
+            out = conv1d_causal_stacked(x, w, b, dilation=2,
+                                        backend="minimal-test")
+            out.sum().backward()
+            ref = conv1d_causal_stacked(
+                Tensor(x.data, requires_grad=True),
+                Tensor(w.data, requires_grad=True),
+                Tensor(b.data, requires_grad=True), dilation=2,
+                backend="einsum")
+            assert np.allclose(out.data, ref.data, **TOL)
+        finally:
+            _REGISTRY.pop("minimal-test", None)
+
+    def test_stacked_validates_shapes(self):
+        from repro.autograd import conv1d_causal_stacked
+        x, w, _ = self._stacked_inputs(3)
+        with pytest.raises(ValueError, match="expected input"):
+            conv1d_causal_stacked(Tensor(np.zeros((2, 3, 5))), w)
+        with pytest.raises(ValueError, match="stack"):
+            conv1d_causal_stacked(
+                x, Tensor(np.zeros((self.M + 1, C_OUT, C_IN, 3))))
+
+
 class TestBackendSelection:
     def test_default_honours_environment(self):
         # CI runs the suite twice: bare (einsum default) and with

@@ -14,13 +14,30 @@ import pytest
 
 from repro.core import PITConv1d
 from repro.data import ArrayDataset, DataLoader
-from repro.evaluation import DSECache, DSEEngine, DSEPoint, run_dse
+from repro.evaluation import (
+    DSECache,
+    DSEEngine,
+    DSEPoint,
+    run_dse,
+    stack_width_default,
+)
 from repro.evaluation.dse import DSEResult
 from repro.nn import CausalConv1d, Module, ReLU, mse_loss
 
 LAMBDAS = [0.0, 2.0]
 WARMUPS = [0, 1]
 SCHEDULE = dict(gamma_lr=0.2, max_prune_epochs=2, finetune_epochs=1)
+
+
+def _expected_builds(lambdas, warmups):
+    """Seed instantiations an uncached sweep performs.
+
+    One per grid point sequentially; one per same-warmup chunk when the
+    suite runs under a REPRO_DSE_STACK width (the stacked CI leg).
+    """
+    width = stack_width_default()
+    per_group = -(-len(lambdas) // width)    # ceil division
+    return per_group * len(warmups)
 
 
 class Tiny(Module):
@@ -203,10 +220,11 @@ class TestCache:
         cache = str(tmp_path / "dse.json")
         factory = CountingFactory()
         first = _sweep(workers=0, cache_path=cache, factory=factory)
-        assert factory.calls == len(LAMBDAS) * len(WARMUPS)
+        builds = _expected_builds(LAMBDAS, WARMUPS)
+        assert factory.calls == builds
 
         resumed = _sweep(workers=0, cache_path=cache, factory=factory)
-        assert factory.calls == len(LAMBDAS) * len(WARMUPS)  # no retraining
+        assert factory.calls == builds  # no retraining
         _assert_identical(first, resumed)
 
     def test_parallel_resume_from_serial_cache(self, tmp_path):
@@ -299,8 +317,10 @@ class TestCache:
                         raise RuntimeError("diverged")
                 return Tiny()
 
+        # stack=1 pins the per-point schedule this test's failure
+        # accounting assumes (a stacked chunk fails as a unit).
         engine = DSEEngine(ExplodingFactory(), mse_loss, train, val,
-                           workers=2, cache_path=cache,
+                           workers=2, cache_path=cache, stack=1,
                            trainer_kwargs=dict(SCHEDULE))
         with pytest.raises(RuntimeError, match="diverged"):
             engine.run(LAMBDAS, warmups=[0])
@@ -312,7 +332,7 @@ class TestCache:
         # Resuming retrains only the failed point.
         factory = CountingFactory()
         resumed = DSEEngine(factory, mse_loss, train, val, workers=2,
-                            cache_path=cache,
+                            cache_path=cache, stack=1,
                             trainer_kwargs=dict(SCHEDULE)).run(LAMBDAS,
                                                                warmups=[0])
         assert factory.calls == 1
@@ -523,7 +543,8 @@ class TestPointEvaluators:
         factory = CountingFactory()
         result = self._sweep(cache_path=cache, factory=factory,
                              evaluators=[StubEvaluator()])
-        assert factory.calls == len(LAMBDAS)  # full retrain, with metrics
+        # Full retrain, with metrics (one build per chunk under stacking).
+        assert factory.calls == _expected_builds(LAMBDAS, [0])
         assert all(p.metrics for p in result.points)
 
     def test_annotated_cache_satisfies_plain_resume(self, tmp_path):
