@@ -88,6 +88,38 @@ class ConvBackend:
         raise NotImplementedError
 
     # ------------------------------------------------------------------
+    # Streaming kernel (one output sample per call)
+    # ------------------------------------------------------------------
+
+    def forward_step(self, window: np.ndarray, w: np.ndarray,
+                     scratch: Optional[dict] = None) -> np.ndarray:
+        """Advance the convolution by one tick: ``(N, C_in, K) x
+        (C_out, C_in, K) -> (N, C_out, 1)`` (no bias).
+
+        ``window`` holds the ``K`` dilated taps the newest output sample
+        reads — ``window[..., i] = x[t - (K-1-i)*dilation]`` — gathered by
+        the streaming executor from its per-layer ring buffer, so one new
+        sample costs O(K·C_in·C_out) MACs regardless of the receptive
+        field.  The base implementation fuses the whole step into one
+        ``(C_out, C_in*K) x (N, C_in*K, 1)`` GEMM: per-tick latency is
+        call-overhead-bound at serving batch sizes, so one BLAS dispatch
+        per layer (not one per tap) is what makes streaming beat
+        re-windowing.  BLAS may sum the contraction in a different order
+        than the full-window kernel of the same backend, so outputs agree
+        to the last ulp rather than bitwise — the streaming parity suite
+        pins the tolerance.
+        """
+        n = window.shape[0]
+        c_out, c_in, k = w.shape
+        wmat = w.reshape(c_out, c_in * k)
+        cols = np.ascontiguousarray(window).reshape(n, c_in * k, 1)
+        out, _ = scratch_buffer(scratch, "step_out", (n, c_out, 1),
+                                np.result_type(w, window))
+        if out is not None:
+            return np.matmul(wmat, cols, out=out)
+        return np.matmul(wmat, cols)
+
+    # ------------------------------------------------------------------
     # Stacked-model kernels (vmap-style: a leading model axis M)
     #
     # The stacked DSE executor trains M clones of one network in lockstep

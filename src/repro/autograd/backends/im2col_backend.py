@@ -88,6 +88,21 @@ class Im2colBackend(ConvBackend):
             return np.matmul(wmat, pmat)
         return np.matmul(wmat, pmat, out=out)
 
+    def forward_step(self, window: np.ndarray, w: np.ndarray,
+                     scratch: Optional[dict] = None) -> np.ndarray:
+        n, c_in, k = window.shape
+        c_out = w.shape[0]
+        # The one-tick analogue of the forward lowering: the gathered
+        # window *is* the single im2col column, so the tick is one GEMV
+        # per stream — (C_out, C_in*K) @ (N, C_in*K, 1).
+        wmat = w.reshape(c_out, c_in * k)
+        cmat = window.reshape(n, c_in * k, 1)
+        dtype = np.result_type(wmat, cmat)
+        out, _ = scratch_buffer(scratch, "step_out", (n, c_out, 1), dtype)
+        if out is None:
+            return np.matmul(wmat, cmat)
+        return np.matmul(wmat, cmat, out=out)
+
     def grad_input(self, grad: np.ndarray, w: np.ndarray,
                    xp_shape: Tuple[int, int, int],
                    dilation: int, stride: int, t: int,

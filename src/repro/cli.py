@@ -7,6 +7,7 @@ Subcommands::
     python -m repro.cli search --benchmark ppg --lam 0.02 --width 0.25
     python -m repro.cli sweep  --benchmark music --lambdas 0 1e-3 1e-2
     python -m repro.cli deploy --benchmark ppg --dilations 2 2 1 4 4 8 8
+    python -m repro.cli serve  --benchmark ppg --dilations 2 2 1 4 4 8 8 --port 7707
 
 * ``info``   — seed statistics: parameters, search-space size, layer budgets;
 * ``train``  — plain (no-NAS) training of a fixed-dilation network, the
@@ -18,7 +19,10 @@ Subcommands::
   metrics, printing the 3-D (params, latency, loss) Pareto front;
 * ``deploy`` — the full deployment flow on a fixed-dilation network
   (optionally loaded from a checkpoint): int8 quantization, quantized
-  accuracy, GAP8 latency/energy — rendered as a paper-style Table III row.
+  accuracy, GAP8 latency/energy — rendered as a paper-style Table III row;
+* ``serve``  — multi-tenant streaming inference server: converts the
+  network to O(K)-per-tick ring-buffer execution and serves concurrent
+  sample streams over TCP (see README "Streaming inference serving").
 
 Every command accepts ``--benchmark {music, ppg}`` selecting the
 ResTCN/Nottingham or TEMPONet/PPG-Dalia pairing, ``--width`` to scale the
@@ -270,6 +274,33 @@ def cmd_deploy(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    dilations = tuple(args.dilations) if args.dilations else None
+    network = _fixed_model(args.benchmark, dilations, args.width, args.seed)
+    if args.load:
+        from .nn.serialization import load_model
+        metadata = load_model(network, args.load) or {}
+        print(f"loaded    : {args.load} "
+              f"(val loss {metadata.get('val_loss', 'n/a')})")
+    if args.quantize:
+        from .hw import quantize_network
+        _, val_loader, _ = _loaders(args.benchmark, args.seed)
+        network = quantize_network(network, val_loader, bits=args.bits)
+        print(f"quantized : int{args.bits} "
+              "(activation ranges calibrated on validation data)")
+    from .serving import serve
+    try:
+        asyncio.run(serve(network, host=args.host, port=args.port,
+                          capacity=args.capacity,
+                          queue_size=args.queue_size,
+                          max_sessions=args.max_sessions))
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+    return 0
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -388,6 +419,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_deploy.add_argument("--layers", action="store_true",
                           help="print the per-layer breakdown")
     p_deploy.set_defaults(func=cmd_deploy)
+
+    p_serve = sub.add_parser(
+        "serve", help="multi-tenant streaming inference server (ring-buffer "
+                      "O(K)-per-tick execution over TCP)")
+    common(p_serve)
+    p_serve.add_argument("--dilations", type=int, nargs="+", default=None)
+    p_serve.add_argument("--load", type=str, default=None,
+                         help="npz checkpoint from `train --save` to load "
+                              "into the network before serving")
+    p_serve.add_argument("--quantize", action="store_true",
+                         help="serve the int8 fake-quantized network "
+                              "(activation ranges calibrated on the "
+                              "benchmark's validation split)")
+    p_serve.add_argument("--bits", type=int, default=8,
+                         help="quantization bit width for --quantize")
+    p_serve.add_argument("--host", type=str, default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="TCP port (0 = pick a free one, printed on "
+                              "startup)")
+    p_serve.add_argument("--capacity", type=int, default=8,
+                         help="batch rows = maximum concurrent clients")
+    p_serve.add_argument("--queue-size", type=int, default=64,
+                         help="per-client sample buffer (backpressure bound)")
+    p_serve.add_argument("--max-sessions", type=int, default=None,
+                         help="stop after this many sessions have detached "
+                              "(default: serve forever)")
+    p_serve.set_defaults(func=cmd_serve)
     return parser
 
 

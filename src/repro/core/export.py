@@ -29,7 +29,8 @@ from .masks import kept_lags
 from .pit_conv import PITConv1d
 
 __all__ = ["export_conv", "export_network", "deployable_network",
-           "network_dilations", "network_summary"]
+           "network_dilations", "network_receptive_field",
+           "network_total_stride", "network_summary"]
 
 
 def export_conv(layer: PITConv1d) -> CausalConv1d:
@@ -82,7 +83,10 @@ def network_dilations(model: Module) -> Tuple[int, ...]:
 
     Only *temporal* convolutions are reported: 1-tap convolutions
     (pointwise heads, residual downsamples) have no dilation to speak of
-    and are skipped, matching the layer lists of paper Table I.
+    and are skipped, matching the layer lists of paper Table I.  Note the
+    per-layer dilations do not compose into a network receptive field on
+    their own once any layer has ``stride > 1`` — use
+    :func:`network_receptive_field` for that.
     """
     from .channel_mask import PITChannelConv1d
 
@@ -93,6 +97,60 @@ def network_dilations(model: Module) -> Tuple[int, ...]:
         elif isinstance(module, CausalConv1d) and module.kernel_size > 1:
             dilations.append(module.dilation)
     return tuple(dilations)
+
+
+def _temporal_layers(model: Module):
+    """Yield ``(span, stride)`` for every temporal layer, declaration order.
+
+    ``span`` is the layer-local input extent one output sample reads
+    (``(K-1)*d + 1`` for convolutions, ``rf_max`` for still-searchable PIT
+    layers, the window size for pools); ``stride`` is its temporal output
+    stride.
+    """
+    from ..nn.layers import AvgPool1d, MaxPool1d
+    from .channel_mask import PITChannelConv1d
+
+    for module in model.modules():
+        if isinstance(module, (PITConv1d, PITChannelConv1d)):
+            yield module.rf_max, module.stride
+        elif isinstance(module, CausalConv1d):
+            yield module.receptive_field, module.stride
+        elif isinstance(module, (AvgPool1d, MaxPool1d)):
+            yield module.kernel_size, module.stride
+
+
+def network_receptive_field(model: Module) -> int:
+    """Composed temporal receptive field of one output sample.
+
+    Composes the per-layer spans with the classic jump recursion
+
+        rf   <- rf + (span_l - 1) * jump
+        jump <- jump * stride_l
+
+    so a strided layer correctly *multiplies* the reach of everything
+    after it instead of merely adding its own span — the quantity the
+    streaming executor sizes warm-up with (``CausalConv1d
+    .receptive_field`` alone is layer-local and stride-blind).  Layers are
+    composed in declaration order, which matches execution order for the
+    sequential seed architectures; parallel branches (e.g. a 1-tap
+    residual downsample) contribute 0 to ``rf`` and 1 to ``jump``, so
+    they are harmless.  Window layers whose extent depends on the input
+    length (``Flatten``/``GlobalAvgPool1d``) are not counted — the
+    streaming executor measures those by probing.
+    """
+    rf, jump = 1, 1
+    for span, stride in _temporal_layers(model):
+        rf += (span - 1) * jump
+        jump *= stride
+    return rf
+
+
+def network_total_stride(model: Module) -> int:
+    """Product of all temporal strides: input samples per output sample."""
+    total = 1
+    for _, stride in _temporal_layers(model):
+        total *= stride
+    return total
 
 
 def network_summary(model: Module) -> Dict[str, object]:

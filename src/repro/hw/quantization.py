@@ -17,6 +17,7 @@ of Table III is measured on).
 from __future__ import annotations
 
 import copy
+import warnings
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -52,9 +53,20 @@ def quantize_array(x: np.ndarray, bits: int = 8, symmetric: bool = True,
                    per_channel_axis: Optional[int] = None) -> QuantizedArray:
     """Quantize a float array to ``bits``-bit integers.
 
-    Symmetric mode maps ``[-max|x|, +max|x|]`` onto the signed integer range
-    (weights); affine mode maps ``[min, max]`` onto the unsigned range
-    (activations).
+    Symmetric mode maps ``[-max|x|, +max|x|]`` onto the signed integer
+    range (weights); affine mode maps ``[min, max]`` onto the unsigned
+    range (activations).
+
+    Level accounting (the int8 convention of NN-Tool / X-CUBE-AI, which
+    the unit tests pin):
+
+    * symmetric ``bits=8`` produces codes in ``[-127, 127]`` — 255 live
+      levels with an exact zero and ``scale = max|x| / 127``; code −128
+      exists in int8 but is never emitted, keeping the grid symmetric;
+    * affine ``bits=8`` produces codes in ``[0, 255]`` — all 256 levels —
+      with an *integer* zero-point ``round(-lo/scale)``, so a real 0.0
+      inside the range decodes exactly (what makes zero-padding and ReLU
+      cut-offs survive quantization).
     """
     if bits < 2 or bits > 16:
         raise ValueError(f"bits must be in [2, 16], got {bits}")
@@ -68,7 +80,9 @@ def quantize_array(x: np.ndarray, bits: int = 8, symmetric: bool = True,
         qmax = 2 ** (bits - 1) - 1
         amax = np.abs(x).max(axis=reduce_axes, keepdims=True)
         scale = np.where(amax > 0, amax / qmax, 1.0)
-        q = np.clip(np.round(x / scale), -qmax - 1, qmax).astype(np.int32)
+        # |x| <= amax means round(x/scale) already lands in [-qmax, qmax];
+        # the clip documents (and enforces) that -qmax-1 never appears.
+        q = np.clip(np.round(x / scale), -qmax, qmax).astype(np.int32)
         zero_point = np.zeros_like(scale)
     else:
         qmax = 2 ** bits - 1
@@ -95,7 +109,16 @@ class FakeQuant(Module):
     """Activation fake-quantizer with range calibration.
 
     In ``calibrating`` mode it records the running min/max of what passes
-    through; afterwards it clamps + quantize-dequantizes to ``bits`` levels.
+    through; afterwards it clamps + quantize-dequantizes onto the affine
+    ``2**bits``-level grid of :func:`quantize_array` (integer zero-point,
+    so an in-range 0.0 decodes exactly — ``bits=8`` is the 256-code uint8
+    activation grid that pairs with the 255-code symmetric int8 weights).
+
+    Using an *uncalibrated* quantizer raises: the old behaviour was a
+    silent float passthrough, which made a never-calibrated "quantized"
+    network indistinguishable from the float one.  A *degenerate* range
+    (``hi == lo``, e.g. a constant activation) collapses to that single
+    value — the one-level grid — rather than passing floats through.
 
     The calibrated range (``lo``/``hi``) and the mode flag are *registered
     buffers*, not plain attributes: a calibrated model checkpointed with
@@ -111,18 +134,38 @@ class FakeQuant(Module):
         self.register_buffer("lo", np.asarray(np.inf))
         self.register_buffer("hi", np.asarray(-np.inf))
 
+    @property
+    def calibrated(self) -> bool:
+        """True once a calibration pass has recorded a finite range."""
+        return bool(np.isfinite(self.lo) and np.isfinite(self.hi))
+
+    @property
+    def degenerate(self) -> bool:
+        """True when calibration saw only a single constant value."""
+        return self.calibrated and float(self.hi) <= float(self.lo)
+
     def forward(self, x: Tensor) -> Tensor:
         if self.calibrating:
-            self.lo = min(float(self.lo), float(x.data.min()))
-            self.hi = max(float(self.hi), float(x.data.max()))
+            if x.data.size:
+                self.lo = min(float(self.lo), float(x.data.min()))
+                self.hi = max(float(self.hi), float(x.data.max()))
             return x
+        if not self.calibrated:
+            raise RuntimeError(
+                "FakeQuant used without calibration: no data ever passed "
+                "through while `calibrating` was set, so the activation "
+                "range is unknown (lo=inf). Run calibration batches "
+                "through the network (see quantize_network) first.")
         lo, hi = float(self.lo), float(self.hi)
-        if not np.isfinite(lo) or hi <= lo:
-            return x
+        if hi <= lo:
+            # One-level grid: every input decodes to the single observed
+            # value (clip keeps the clamping semantics of the normal path).
+            return Tensor(np.clip(x.data, lo, lo))
         qmax = 2 ** self.bits - 1
         scale = (hi - lo) / qmax
-        q = np.clip(np.round((x.data - lo) / scale), 0, qmax)
-        return Tensor(q * scale + lo)
+        zero_point = np.round(-lo / scale)
+        q = np.clip(np.round(x.data / scale) + zero_point, 0, qmax)
+        return Tensor((q - zero_point) * scale)
 
     def __repr__(self) -> str:
         return (f"FakeQuant(bits={self.bits}, "
@@ -162,14 +205,32 @@ def quantize_network(model: Module, calibration_loader, bits: int = 8,
             if isinstance(child, (CausalConv1d, Linear)):
                 setattr(module, name, QuantWrapper(child, bits=bits))
     # Calibration pass.
+    batches = 0
     with no_grad():
-        for i, (x, _) in enumerate(calibration_loader):
+        for x, _ in calibration_loader:
             quantized(Tensor(x))
-            if i + 1 >= max_batches:
+            batches += 1
+            if batches >= max_batches:
                 break
-    for module in quantized.modules():
+    if batches == 0:
+        raise ValueError(
+            "quantize_network: the calibration loader yielded no batches, "
+            "so no activation range was observed. The result would be a "
+            "float network masquerading as quantized — pass a loader with "
+            "at least one batch of representative data.")
+    degenerate: List[str] = []
+    for name, module in quantized.named_modules():
         if isinstance(module, FakeQuant):
             module.calibrating = False
+            if module.degenerate:
+                degenerate.append(name or type(module).__name__)
+    if degenerate:
+        warnings.warn(
+            "quantize_network: degenerate activation range (constant "
+            f"calibration output) at {degenerate}; these activations "
+            "collapse to a single quantization level. Check that the "
+            "calibration data is representative.",
+            RuntimeWarning, stacklevel=2)
     return quantized
 
 

@@ -133,11 +133,6 @@ class ResTCN(Module):
 
     @property
     def receptive_field(self) -> int:
-        """Total temporal receptive field of the stack."""
-        total = 1
-        for module in self.modules():
-            if isinstance(module, PITConv1d):
-                total += module.rf_max - 1
-            elif isinstance(module, CausalConv1d) and module.kernel_size > 1:
-                total += module.receptive_field - 1
-        return total
+        """Total temporal receptive field of the stack (stride-aware)."""
+        from ..core.export import network_receptive_field
+        return network_receptive_field(self)

@@ -110,7 +110,16 @@ class CausalConv1d(Module):
 
     @property
     def receptive_field(self) -> int:
-        """Temporal span covered by one output sample."""
+        """Layer-local temporal span covered by one output sample,
+        ``(K - 1) * d + 1``.
+
+        This is the extent of *this layer's* window on its own input and
+        is independent of ``stride`` (stride decides which output
+        positions exist, not how far each one looks back).  When layers
+        are composed, an earlier stride multiplies the reach of every
+        later layer — use :func:`repro.core.export.network_receptive_field`
+        for the whole-network figure (what streaming warm-up is sized by).
+        """
         return (self.kernel_size - 1) * self.dilation + 1
 
     def forward(self, x: Tensor) -> Tensor:

@@ -1,0 +1,32 @@
+"""Streaming inference serving (ROADMAP item 4).
+
+* :mod:`repro.serving.streaming` — ring-buffer streaming executor:
+  O(K) MACs per new sample instead of re-running the receptive field;
+* :mod:`repro.serving.pool` — multi-tenant slot pool advancing many
+  client streams with one batched kernel call per tick;
+* :mod:`repro.serving.server` — asyncio TCP server (newline-JSON
+  protocol, per-client attach/detach, warm-up flags, backpressure);
+* :mod:`repro.serving.client` — matching test/smoke client.
+"""
+
+from .client import stream_samples
+from .pool import SlotOutput, StreamingPool
+from .server import StreamServer, serve
+from .streaming import (
+    StreamingExecutor,
+    StreamingUnsupported,
+    register_streaming,
+    stream_module,
+)
+
+__all__ = [
+    "SlotOutput",
+    "StreamServer",
+    "StreamingExecutor",
+    "StreamingPool",
+    "StreamingUnsupported",
+    "register_streaming",
+    "serve",
+    "stream_module",
+    "stream_samples",
+]

@@ -1,0 +1,64 @@
+"""Minimal asyncio client for :class:`repro.serving.StreamServer`.
+
+Speaks the newline-JSON protocol: reads the hello, streams samples with
+periodic drains (so server backpressure propagates), sends ``detach`` and
+collects every emitted frame until the server closes the connection.
+Used by the CLI smoke path and the serving tests; real deployments would
+keep the connection open and interleave reads/writes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["stream_samples"]
+
+
+async def stream_samples(host: str, port: int, samples,
+                         chunk: int = 8,
+                         timeout: Optional[float] = 30.0) -> Dict:
+    """Stream ``(T, channels)`` samples; return the session transcript.
+
+    Returns ``{"hello": ..., "frames": [...], "error": ...}`` where
+    ``frames`` are the emitted-frame messages in order.  Reading and
+    writing run concurrently so a bounded server queue never deadlocks
+    the client.
+    """
+    samples = np.atleast_2d(np.asarray(samples, dtype=np.float64))
+    reader, writer = await asyncio.open_connection(host, port)
+    result: Dict = {"hello": None, "frames": [], "error": None}
+
+    first = json.loads(await asyncio.wait_for(reader.readline(), timeout))
+    if first.get("type") == "error":
+        result["error"] = first.get("error")
+        writer.close()
+        return result
+    result["hello"] = first
+
+    async def produce() -> None:
+        for start in range(0, len(samples), chunk):
+            block = samples[start: start + chunk]
+            writer.write((json.dumps(block.tolist()) + "\n").encode())
+            await writer.drain()
+        writer.write((json.dumps({"type": "detach"}) + "\n").encode())
+        await writer.drain()
+
+    async def consume() -> None:
+        while True:
+            line = await asyncio.wait_for(reader.readline(), timeout)
+            if not line:
+                return
+            msg = json.loads(line)
+            if msg.get("type") == "frame":
+                result["frames"].append(msg)
+            elif msg.get("type") == "error":
+                result["error"] = msg.get("error")
+                return
+
+    await asyncio.gather(produce(), consume())
+    writer.close()
+    return result

@@ -235,3 +235,58 @@ class TestTrain:
             assert args.graph_opt == "none"
         with pytest.raises(SystemExit):
             build_parser().parse_args(["train", "--graph-opt", "O3"])
+
+
+class TestServe:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.capacity == 8
+        assert args.port == 0
+        assert args.queue_size == 64
+        assert args.max_sessions is None
+        assert not args.quantize
+
+    def test_serve_round_trip_over_tcp(self, capsys):
+        import asyncio
+        import socket
+        import threading
+        import time
+
+        from repro.models import restcn_fixed
+        from repro.serving import StreamingExecutor
+        from repro.serving.client import stream_samples
+
+        with socket.socket() as probe:  # reserve a free port
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+
+        argv = ["serve", "--benchmark", "music", "--width", "0.05",
+                "--seed", "0", "--port", str(port), "--capacity", "2",
+                "--max-sessions", "1"]
+        worker = threading.Thread(target=main, args=(argv,), daemon=True)
+        worker.start()
+
+        samples = np.random.default_rng(4).standard_normal((5, 88))
+
+        async def client():
+            deadline = time.monotonic() + 15
+            while True:
+                try:
+                    return await stream_samples("127.0.0.1", port, samples)
+                except OSError:
+                    if time.monotonic() > deadline:
+                        raise
+                    await asyncio.sleep(0.05)
+
+        result = asyncio.run(client())
+        worker.join(timeout=15)
+        assert not worker.is_alive()
+
+        assert result["error"] is None
+        assert len(result["frames"]) == 5
+        # The served frames are what a dedicated fresh stream produces for
+        # the same fixed model (same benchmark/width/seed).
+        model = restcn_fixed(None, width_mult=0.05, seed=0)
+        out = StreamingExecutor(model).push(samples.T[None])
+        for i, msg in enumerate(result["frames"]):
+            assert np.allclose(msg["data"], out[0, :, i], atol=1e-6)

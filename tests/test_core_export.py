@@ -102,3 +102,90 @@ class TestNetworkSummary:
         summary = network_summary(seed)
         assert set(summary) == {"dilations", "params", "pit_params_effective"}
         assert summary["params"] >= summary["pit_params_effective"]
+
+
+class TestNetworkReceptiveField:
+    """Composed receptive field / total stride vs brute-force probing.
+
+    Regression: composing per-layer receptive fields by summing
+    ``(rf_l - 1)`` is wrong once any earlier layer has ``stride > 1`` —
+    a downstream tap then reaches ``stride`` input samples further back.
+    The probe perturbs each input position and records which ones change
+    the *last* output frame; the span between the oldest and newest
+    affecting position is the ground-truth receptive field.
+    """
+
+    def _probe_span(self, net, channels, length, frame=-1):
+        from repro.autograd import no_grad
+        rng = np.random.default_rng(11)
+        x = rng.standard_normal((1, channels, length))
+        with no_grad():
+            base = net(Tensor(x)).data
+        affecting = []
+        for p in range(length):
+            bumped = x.copy()
+            bumped[0, :, p] += 100.0  # large: survives max-pools too
+            with no_grad():
+                out = net(Tensor(bumped)).data
+            if np.abs(out[0, :, frame] - base[0, :, frame]).max() > 0:
+                affecting.append(p)
+        assert affecting, "no input position reaches the probed output"
+        return affecting
+
+    def _nets(self):
+        from repro.core.export import (
+            network_receptive_field,
+            network_total_stride,
+        )
+        from repro.nn import AvgPool1d, MaxPool1d, ReLU, Sequential
+
+        rng = np.random.default_rng(3)
+        conv = lambda ci, co, k, **kw: CausalConv1d(ci, co, k, rng=rng, **kw)
+        return network_receptive_field, network_total_stride, [
+            Sequential(conv(2, 3, 3, dilation=2), conv(3, 2, 3, dilation=4)),
+            Sequential(conv(2, 3, 3, stride=2), conv(3, 2, 3, dilation=2)),
+            Sequential(conv(2, 3, 3, stride=2), ReLU(),
+                       conv(3, 3, 3, stride=2), conv(3, 2, 2, dilation=4)),
+            Sequential(conv(2, 4, 5, dilation=2), MaxPool1d(2, 2),
+                       conv(4, 3, 3), AvgPool1d(3, 2)),
+        ]
+
+    def test_composed_span_matches_brute_force(self):
+        rf_of, _, nets = self._nets()
+        for net in nets:
+            net.eval()
+            rf = rf_of(net)
+            affecting = self._probe_span(net, 2, rf + 7)
+            span = affecting[-1] - affecting[0] + 1
+            assert span == rf, f"{net!r}: probed {span}, composed {rf}"
+
+    def test_total_stride_shifts_consecutive_frames(self):
+        rf_of, stride_of, nets = self._nets()
+        for net in nets:
+            net.eval()
+            stride = stride_of(net)
+            length = rf_of(net) + 3 * stride + 7
+            last = self._probe_span(net, 2, length, frame=-1)
+            prev = self._probe_span(net, 2, length, frame=-2)
+            assert last[0] - prev[0] == stride
+            assert last[-1] - prev[-1] == stride
+
+    def test_layer_receptive_field_is_stride_independent(self):
+        # The layer-local property stays (K-1)*d + 1; stride only changes
+        # how spans compose across layers (network_receptive_field).
+        a = CausalConv1d(2, 2, 3, dilation=4, stride=1,
+                         rng=np.random.default_rng(0))
+        b = CausalConv1d(2, 2, 3, dilation=4, stride=2,
+                         rng=np.random.default_rng(0))
+        assert a.receptive_field == b.receptive_field == 9
+
+    def test_restcn_property_routes_through_composition(self):
+        from repro.core.export import network_receptive_field
+        model = ResTCN(width_mult=0.05, rng=np.random.default_rng(0))
+        assert model.receptive_field == network_receptive_field(model) == 121
+
+    def test_searchable_layers_use_rf_max(self):
+        from repro.core.export import network_receptive_field
+        from repro.nn import Sequential
+        layer = PITConv1d(2, 2, rf_max=9, rng=np.random.default_rng(0))
+        assert network_receptive_field(Sequential(layer)) == 9

@@ -1,5 +1,7 @@
 """Tests for int8 post-training quantization."""
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -28,6 +30,28 @@ class TestQuantizeArray:
         qa = quantize_array(RNG.standard_normal(1000), bits=8, symmetric=False)
         assert qa.q.min() >= 0
         assert qa.q.max() <= 255
+
+    def test_symmetric_never_emits_minus_128(self):
+        # 255 live levels: the symmetric grid is [-127, 127]; -128 exists
+        # in int8 but must never be produced, or the grid loses symmetry.
+        x = np.array([-1.0, -0.999999, 1.0, 0.5])
+        qa = quantize_array(x, bits=8, symmetric=True)
+        assert qa.q.min() == -127
+        assert qa.q.max() == 127
+
+    def test_symmetric_scale_uses_127_levels(self):
+        qa = quantize_array(np.array([-2.54, 2.54]), bits=8, symmetric=True)
+        assert np.allclose(qa.scale, 2.54 / 127)
+
+    def test_affine_zero_point_is_integer(self):
+        qa = quantize_array(RNG.standard_normal(100), bits=8, symmetric=False)
+        assert np.array_equal(qa.zero_point, np.round(qa.zero_point))
+
+    def test_affine_uses_all_256_levels(self):
+        # Full-scale ramp must hit both endpoint codes 0 and 255.
+        qa = quantize_array(np.linspace(-1, 1, 1000), bits=8, symmetric=False)
+        assert qa.q.min() == 0
+        assert qa.q.max() == 255
 
     def test_symmetric_zero_point_is_zero(self):
         qa = quantize_array(RNG.standard_normal(10), symmetric=True)
@@ -99,11 +123,63 @@ class TestFakeQuant:
         out = fq(Tensor(np.array([10.0])))
         assert out.data[0] <= 1.0
 
-    def test_uncalibrated_passthrough(self):
+    def test_uncalibrated_use_raises(self):
+        # Regression: used to silently pass floats through, making a
+        # never-calibrated "quantized" network indistinguishable from the
+        # float one.
         fq = FakeQuant()
         fq.calibrating = False
-        x = Tensor(np.array([1.0, 2.0]))
-        assert np.allclose(fq(x).data, x.data)
+        with pytest.raises(RuntimeError, match="without calibration"):
+            fq(Tensor(np.array([1.0, 2.0])))
+
+    def test_empty_calibration_batch_does_not_poison_range(self):
+        fq = FakeQuant()
+        fq(Tensor(np.zeros((0, 3))))  # empty batch: min/max undefined
+        assert not fq.calibrated
+        fq(Tensor(np.array([-1.0, 2.0])))
+        assert fq.lo == -1.0 and fq.hi == 2.0
+
+    def test_degenerate_range_collapses_to_constant(self):
+        fq = FakeQuant()
+        fq(Tensor(np.full(5, 3.0)))  # constant calibration -> hi == lo
+        fq.calibrating = False
+        assert fq.degenerate
+        out = fq(Tensor(np.array([-10.0, 0.0, 99.0])))
+        assert np.array_equal(out.data, np.full(3, 3.0))
+
+    def test_matches_quantize_array_affine_grid(self):
+        # FakeQuant's decode grid IS the affine quantize_array grid when
+        # the calibration range equals the data range.
+        x = RNG.standard_normal(200)
+        fq = FakeQuant(bits=8)
+        fq(Tensor(x))
+        fq.calibrating = False
+        expected = quantize_array(x, bits=8, symmetric=False).dequantize()
+        assert np.allclose(fq(Tensor(x)).data, expected, atol=1e-12)
+
+    def test_locked_affine_values(self):
+        # Pin the integer-zero-point scheme: range [-1, 1], bits=8 gives
+        # scale = 2/255 and zero_point = round(127.5) = 128, so 0.0 maps
+        # to code 128 and decodes to exactly 0.0 (not the 0.0039-off value
+        # the 256-level symmetric-midpoint variant would produce).  Forced
+        # to float64: the endpoint codes sit on a round-half boundary that
+        # float32 arithmetic resolves differently.
+        from repro.autograd import default_dtype_scope
+        with default_dtype_scope("float64"):
+            fq = FakeQuant(bits=8)
+            fq(Tensor(np.array([-1.0, 1.0])))
+            fq.calibrating = False
+            scale = 2.0 / 255.0
+            out = fq(Tensor(np.array([-1.0, 0.0, 1.0, -2.0, 2.0]))).data
+        assert out[1] == 0.0
+        assert np.allclose(out, [(0 - 128) * scale, 0.0, (255 - 128) * scale,
+                                 (0 - 128) * scale, (255 - 128) * scale])
+
+    def test_zero_in_range_decodes_exactly(self):
+        fq = FakeQuant(bits=8)
+        fq(Tensor(np.array([-0.37, 1.73])))
+        fq.calibrating = False
+        assert fq(Tensor(np.array([0.0]))).data[0] == 0.0
 
 
 class TestFakeQuantSerialization:
@@ -207,6 +283,29 @@ class TestQuantizeNetwork:
         data = ArrayDataset(RNG.standard_normal((6, 4)), RNG.standard_normal((6, 3)))
         quantized = quantize_network(net, DataLoader(data, 3))
         assert isinstance(quantized[0], QuantWrapper)
+
+    def test_empty_calibration_loader_raises(self):
+        # Regression: an empty loader used to yield a float network
+        # masquerading as quantized (every FakeQuant passed through).
+        net, _ = self.make_net_and_loader()
+        with pytest.raises(ValueError, match="no batches"):
+            quantize_network(net, [])
+
+    def test_degenerate_calibration_warns(self):
+        rng = np.random.default_rng(0)
+        net = Sequential(CausalConv1d(2, 4, 3, rng=rng))
+        net[0].weight.data[...] = 0.0  # constant (zero) output everywhere
+        net[0].bias.data[...] = 0.0
+        data = ArrayDataset(RNG.standard_normal((8, 2, 10)),
+                            RNG.standard_normal((8, 2, 10)))
+        with pytest.warns(RuntimeWarning, match="degenerate"):
+            quantize_network(net, DataLoader(data, 4))
+
+    def test_healthy_calibration_does_not_warn(self):
+        net, loader = self.make_net_and_loader()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            quantize_network(net, loader)
 
     def test_lower_bits_higher_error(self):
         net, loader = self.make_net_and_loader()

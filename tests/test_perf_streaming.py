@@ -1,0 +1,118 @@
+"""Perf smoke test: O(K)-per-tick streaming vs naive re-windowing.
+
+Marked ``perf`` and skipped in the tier-1 run; enable with::
+
+    REPRO_RUN_PERF=1 PYTHONPATH=src python -m pytest tests/test_perf_streaming.py -q -s
+
+Times per-tick inference of a dilated TCN with receptive field >= 64 two
+ways: the ring-buffer :class:`repro.serving.StreamingExecutor` (one O(K)
+kernel call per layer per tick) and the naive deployment loop that shifts
+a full receptive-field window and re-runs the whole network every sample.
+Asserts the streaming path is at least 5x faster per tick and records
+latency/tick plus the sustained streams-per-core budget at the paper's
+32 Hz PPG sample rate to ``BENCH_streaming.json``.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.core.export import network_receptive_field
+from repro.nn import CausalConv1d, ReLU, Sequential
+from repro.serving import StreamingExecutor
+
+pytestmark = [
+    pytest.mark.perf,
+    pytest.mark.skipif(not os.environ.get("REPRO_RUN_PERF"),
+                       reason="perf smoke test; set REPRO_RUN_PERF=1 to run"),
+]
+
+TICKS = 96
+REPS = 5
+WARMUP = 1
+MIN_SPEEDUP = 5.0
+SAMPLE_RATE_HZ = 32.0  # the paper's PPG streaming rate
+
+RESULT_PATH = os.path.join(os.path.dirname(__file__), "..",
+                           "BENCH_streaming.json")
+
+
+def make_net():
+    rng = np.random.default_rng(0)
+    net = Sequential(
+        CausalConv1d(4, 32, 5, rng=rng), ReLU(),
+        CausalConv1d(32, 32, 5, dilation=4, rng=rng), ReLU(),
+        CausalConv1d(32, 32, 5, dilation=16, rng=rng), ReLU(),
+        CausalConv1d(32, 8, 1, rng=rng))
+    net.eval()
+    return net
+
+
+def _time_streaming(net, samples) -> float:
+    executor = StreamingExecutor(net, batch=1)
+    best = float("inf")
+    for rep in range(WARMUP + REPS):
+        executor.reset()
+        executor.push(samples[:, :, :network_receptive_field(net)])  # warm
+        start = time.perf_counter()
+        for t in range(TICKS):
+            executor.push(samples[:, :, t: t + 1])
+        best = min(best, time.perf_counter() - start)
+    return best / TICKS
+
+
+def _time_naive(net, samples, rf) -> float:
+    """The deployment loop streaming replaces: shift a full window by one
+    sample and re-run the entire receptive field for every tick."""
+    best = float("inf")
+    for rep in range(WARMUP + REPS):
+        window = samples[:, :, :rf].copy()
+        start = time.perf_counter()
+        for t in range(TICKS):
+            window[:, :, :-1] = window[:, :, 1:]
+            window[:, :, -1] = samples[0, :, t]
+            with no_grad():
+                net(Tensor(window)).data[:, :, -1]
+        best = min(best, time.perf_counter() - start)
+    return best / TICKS
+
+
+def test_streaming_beats_rewindowing_by_5x():
+    net = make_net()
+    rf = network_receptive_field(net)
+    assert rf >= 64, "benchmark must cover a non-trivial receptive field"
+    rng = np.random.default_rng(1)
+    samples = rng.standard_normal((1, 4, rf + TICKS))
+
+    streaming_s = _time_streaming(net, samples)
+    naive_s = _time_naive(net, samples, rf)
+    speedup = naive_s / streaming_s
+
+    executor = StreamingExecutor(net, batch=1)
+    payload = {
+        "receptive_field": rf,
+        "ticks": TICKS,
+        "reps": REPS,
+        "streaming_seconds_per_tick": streaming_s,
+        "naive_seconds_per_tick": naive_s,
+        "speedup": speedup,
+        "state_bytes_per_stream": executor.state_bytes(),
+        "sample_rate_hz": SAMPLE_RATE_HZ,
+        # How many independent 32 Hz sensor streams one core sustains.
+        "streams_per_core_32hz": {
+            "streaming": 1.0 / (streaming_s * SAMPLE_RATE_HZ),
+            "naive": 1.0 / (naive_s * SAMPLE_RATE_HZ),
+        },
+    }
+    with open(os.path.abspath(RESULT_PATH), "w") as handle:
+        json.dump(payload, handle, indent=2)
+    print(f"\nstreaming {streaming_s * 1e6:.1f} us/tick  "
+          f"naive {naive_s * 1e6:.1f} us/tick  speedup {speedup:.1f}x")
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"streaming executor only {speedup:.2f}x faster than re-windowing "
+        f"(required {MIN_SPEEDUP}x at receptive field {rf})")

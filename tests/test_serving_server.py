@@ -1,0 +1,252 @@
+"""Multi-tenant pool semantics and the asyncio streaming server.
+
+The pool tests pin the attach/detach/alignment contract (a mid-stream
+attach is fresh-stream-equal only from a phase-aligned tick, pre-warm
+frames are flagged); the server tests run real TCP round-trips with the
+bundled client and check that concurrent tenants each get exactly the
+frames a dedicated single-stream executor would have produced.
+"""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.autograd import get_default_dtype
+from repro.nn import CausalConv1d, ReLU, Sequential
+from repro.serving import StreamServer, StreamingExecutor, StreamingPool
+from repro.serving.client import stream_samples
+
+RNG = np.random.default_rng(321)
+
+if np.dtype(get_default_dtype()) == np.float64:
+    TOL = dict(atol=1e-12)
+else:
+    TOL = dict(atol=1e-4, rtol=1e-4)
+
+
+def make_net(strided=False, seed=0):
+    rng = np.random.default_rng(seed)
+    if strided:
+        return Sequential(CausalConv1d(2, 5, 3, stride=2, rng=rng), ReLU(),
+                          CausalConv1d(5, 3, 3, stride=2, rng=rng)).eval()
+    return Sequential(CausalConv1d(2, 5, 3, dilation=2, rng=rng), ReLU(),
+                      CausalConv1d(5, 3, 3, dilation=4, rng=rng)).eval()
+
+
+def fresh_frames(net, samples):
+    """Per-tick frames a dedicated fresh stream would emit for (T, C)."""
+    executor = StreamingExecutor(net, batch=1)
+    out = executor.push(samples.T[None])
+    return [out[0, :, i] for i in range(out.shape[2])]
+
+
+class TestStreamingPool:
+    def test_attach_until_full(self):
+        pool = StreamingPool(make_net(), capacity=2)
+        assert pool.attach() == 0
+        assert pool.attach() == 1
+        with pytest.raises(RuntimeError, match="full"):
+            pool.attach()
+        pool.detach(0)
+        assert pool.free_slots == 1
+        assert pool.attach() == 0
+
+    def test_detach_unknown_slot(self):
+        pool = StreamingPool(make_net(), capacity=2)
+        with pytest.raises(KeyError):
+            pool.detach(1)
+
+    def test_barrier_missing_sample_raises(self):
+        pool = StreamingPool(make_net(), capacity=2)
+        a, b = pool.attach(), pool.attach()
+        pool.tick({a: np.ones(2), b: np.ones(2)})  # both activate
+        with pytest.raises(ValueError, match="missing"):
+            pool.tick({a: np.ones(2)})
+
+    def test_extra_sample_raises(self):
+        pool = StreamingPool(make_net(), capacity=2)
+        a = pool.attach()
+        pool.tick({a: np.ones(2)})
+        with pytest.raises(ValueError, match="not active"):
+            pool.tick({a: np.ones(2), 1: np.ones(2)})
+
+    def test_pending_waits_for_alignment(self):
+        pool = StreamingPool(make_net(strided=True), capacity=2)
+        stride = pool.executor.total_stride
+        assert stride == 4
+        a = pool.attach()
+        pool.tick({a: RNG.standard_normal(2)})  # ticks=1: now unaligned
+        b = pool.attach()
+        assert b in pool.pending_slots
+        with pytest.raises(ValueError, match="not active"):
+            pool.tick({a: np.ones(2), b: np.ones(2)})
+        while pool.ticks % stride:
+            pool.tick({a: RNG.standard_normal(2)})
+        pool.tick({a: RNG.standard_normal(2), b: RNG.standard_normal(2)})
+        assert b in pool.active_slots
+
+    def test_single_stream_matches_fresh_executor(self):
+        net = make_net()
+        pool = StreamingPool(net, capacity=3)
+        slot = pool.attach()
+        samples = RNG.standard_normal((9, 2))
+        want = fresh_frames(net, samples)
+        got = []
+        for sample in samples:
+            for out in pool.tick({slot: sample}):
+                assert out.slot == slot
+                got.append(out.frame)
+        assert len(got) == len(want)
+        for g, w in zip(got, want):
+            assert np.allclose(g, w, **TOL)
+
+    def test_midstream_attach_is_fresh_stream_equal_once_warm(self):
+        net = make_net(strided=True)
+        pool = StreamingPool(net, capacity=2)
+        stride = pool.executor.total_stride
+        warmup = pool.executor.warmup_ticks
+        a = pool.attach()
+        for _ in range(2 * stride):  # advance to an aligned tick
+            pool.tick({a: RNG.standard_normal(2)})
+        b = pool.attach()
+        samples_b = RNG.standard_normal((3 * stride, 2))
+        want = fresh_frames(net, samples_b)
+        got = []
+        for sample in samples_b:
+            outs = pool.tick({a: RNG.standard_normal(2), b: sample})
+            for out in outs:
+                if out.slot == b:
+                    got.append(out)
+        assert len(got) == len(want)
+        for out, w in zip(got, want):
+            assert np.allclose(out.frame, w, **TOL)
+            # warm iff the slot has seen warmup_ticks of its own samples
+            age = out.tick - 2 * stride
+            assert out.warm == (age >= warmup)
+
+    def test_outputs_only_for_active_slots(self):
+        pool = StreamingPool(make_net(), capacity=3)
+        a = pool.attach()
+        outs = pool.tick({a: np.ones(2)})
+        assert {o.slot for o in outs} <= {a}
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestStreamServer:
+    def test_single_client_round_trip(self):
+        net = make_net()
+        samples = RNG.standard_normal((10, 2))
+        want = fresh_frames(net, samples)
+
+        async def scenario():
+            server = StreamServer(net, capacity=2, max_sessions=1)
+            host, port = await server.start()
+            result = await stream_samples(host, port, samples)
+            await server.wait_closed()
+            return result
+
+        result = run(scenario())
+        assert result["error"] is None
+        hello = result["hello"]
+        assert hello["channels"] == 2
+        assert hello["out_channels"] == 3
+        assert hello["warmup_ticks"] == 1
+        assert hello["period"] == 1
+        frames = result["frames"]
+        assert len(frames) == len(want)
+        for msg, w in zip(frames, want):
+            assert np.allclose(msg["data"], w, **TOL)
+            assert msg["warm"] is True
+
+    def test_concurrent_clients_each_get_their_own_frames(self):
+        net = make_net()
+        xs = [RNG.standard_normal((12, 2)) for _ in range(3)]
+        wants = [fresh_frames(net, x) for x in xs]
+
+        async def scenario():
+            server = StreamServer(net, capacity=4, max_sessions=3)
+            host, port = await server.start()
+            results = await asyncio.gather(
+                *(stream_samples(host, port, x) for x in xs))
+            await server.wait_closed()
+            return results
+
+        results = run(scenario())
+        for result, want in zip(results, wants):
+            assert result["error"] is None
+            assert len(result["frames"]) == len(want)
+            for msg, w in zip(result["frames"], want):
+                assert np.allclose(msg["data"], w, **TOL)
+
+    def test_backpressure_bounded_queue_still_serves_everything(self):
+        net = make_net()
+        samples = RNG.standard_normal((50, 2))
+        want = fresh_frames(net, samples)
+
+        async def scenario():
+            server = StreamServer(net, capacity=1, queue_size=4,
+                                  max_sessions=1)
+            host, port = await server.start()
+            result = await stream_samples(host, port, samples, chunk=50)
+            await server.wait_closed()
+            return result
+
+        result = run(scenario())
+        assert len(result["frames"]) == len(want)
+        for msg, w in zip(result["frames"], want):
+            assert np.allclose(msg["data"], w, **TOL)
+
+    def test_server_full_refuses_with_error(self):
+        net = make_net()
+
+        async def scenario():
+            server = StreamServer(net, capacity=1, max_sessions=1)
+            host, port = await server.start()
+            # First client occupies the only slot and idles.
+            reader, writer = await asyncio.open_connection(host, port)
+            hello = json.loads(await reader.readline())
+            assert hello["type"] == "hello"
+            second = await stream_samples(host, port, np.ones((2, 2)))
+            writer.close()  # EOF -> first session detaches -> shutdown
+            await server.wait_closed()
+            return second
+
+        second = run(scenario())
+        assert second["error"] is not None
+        assert "full" in second["error"]
+        assert second["frames"] == []
+
+    def test_wrong_channel_count_errors(self):
+        net = make_net()
+
+        async def scenario():
+            server = StreamServer(net, capacity=1, max_sessions=1)
+            host, port = await server.start()
+            result = await stream_samples(host, port, np.ones((4, 3)))
+            await server.wait_closed()
+            return result
+
+        result = run(scenario())
+        assert "channels" in result["error"]
+
+    def test_strided_model_flags_prewarm_frames(self):
+        net = make_net(strided=True)
+        warmup = StreamingExecutor(net).warmup_ticks
+        samples = RNG.standard_normal((4 * warmup, 2))
+
+        async def scenario():
+            server = StreamServer(net, capacity=2, max_sessions=1)
+            host, port = await server.start()
+            result = await stream_samples(host, port, samples)
+            await server.wait_closed()
+            return result
+
+        result = run(scenario())
+        assert result["hello"]["warmup_ticks"] == warmup
+        for msg in result["frames"]:
+            assert msg["warm"] == (msg["tick"] >= warmup)
