@@ -28,9 +28,19 @@ environment defaults.
 from .capture import GraphCapture, capture
 from .executor import (
     ENV_COMPILE,
+    ENV_GRAPH_EXEC,
+    EXEC_MODES,
     CompiledStep,
     EagerStep,
     compile_step_default,
+    graph_exec_default,
+    resolve_graph_exec,
+)
+from .codegen import (
+    LoweringError,
+    SourceRunner,
+    codegen_cache_stats,
+    recorded_sources,
 )
 from .ir import GraphCaptureError, GraphProgram, build_program
 from .passes import (
@@ -48,14 +58,22 @@ __all__ = [
     "GraphProgram",
     "CompiledStep",
     "EagerStep",
+    "LoweringError",
+    "SourceRunner",
     "build_program",
     "capture",
     "compile_step_default",
+    "codegen_cache_stats",
+    "recorded_sources",
     "optimize_program",
     "graph_opt_default",
     "resolve_graph_opt",
+    "graph_exec_default",
+    "resolve_graph_exec",
     "OptStats",
     "ENV_COMPILE",
     "ENV_GRAPH_OPT",
+    "ENV_GRAPH_EXEC",
     "OPT_LEVELS",
+    "EXEC_MODES",
 ]

@@ -1,0 +1,499 @@
+"""Source-lowering executor backend: one generated function per program.
+
+The interpreter (:class:`~repro.autograd.graph.executor._ProgramRunner`)
+replays an optimized :class:`~repro.autograd.graph.ir.GraphProgram` as a
+Python loop over plan tuples — every node still pays loop machinery, tuple
+unpacking, an integer kind dispatch and slot-table indexing on every batch.
+This module removes that last interpreter layer the way Myia lowers its
+tapeless adjoint: the whole forward + backward step is **emitted as
+straight-line Python source** and compiled once.
+
+In the generated function
+
+* slots become local variables (``v17``), so there is no slot table;
+* op kernels become closure-bound callables (``f3``) called directly — no
+  dict dispatch, no per-node attribute lookups, no kind compare;
+* fused chains, arena buffers, scratch dicts and gradient buffers are
+  preallocated objects bound into the closure (``b3`` / ``s3`` / ``G12``),
+  so the zero-steady-state-allocation guarantee of the memory planner is
+  preserved bit for bit;
+* the precomputed backward schedule is unrolled in source order, with the
+  runner's adopt-or-copy gradient discipline emitted inline per route; and
+* side-effect nodes (BatchNorm running-stat updates) are emitted in place,
+  exactly where the schedule recorded them.
+
+Because the source invokes the *same* kernels, in the *same* order, with the
+same dtype coercions and the same gradient-accumulation routing as the
+interpreter, results are bit-identical to interpreted replay — and therefore
+to eager execution (``tests/test_graph_codegen.py`` locks all three legs).
+
+**Artifact reuse.**  The emitted source depends only on program *structure*
+(op kinds, slot wiring, accumulation routes) — every value-like thing
+(shapes, dtypes, weights, attrs, buffers) is bound through the closure.  Two
+structurally identical programs therefore emit identical source, and a
+process-wide code cache keyed by that source text means a per-shape re-trace
+(short final batch), a dtype flip, or the next same-architecture DSE point
+inside a worker compiles **once** and reuses the code object
+(:func:`codegen_cache_stats` counts the hits).
+
+Lowering never risks correctness: any failure to emit, compile or bind
+raises :class:`LoweringError` (or anything else), and
+:class:`~repro.autograd.graph.executor.CompiledStep` falls back to the
+interpreter for that program, recording the reason in
+``CompiledStep.exec_fallbacks``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .executor import (
+    _K_EFFECT,
+    _K_FWD,
+    _K_INPLACE,
+    _K_OUT,
+    _K_SCRATCH,
+    _ProgramRunner,
+)
+from .ir import GraphProgram
+from .passes import FusedOp
+
+__all__ = [
+    "LoweringError",
+    "SourceRunner",
+    "lower_program",
+    "codegen_cache_stats",
+    "clear_code_cache",
+    "recorded_sources",
+]
+
+
+class LoweringError(RuntimeError):
+    """An optimized program could not be lowered to generated source."""
+
+
+# Process-wide compiled-code cache.  Keyed by the generated source text —
+# which *is* the program's structural signature (shapes/dtypes/backends and
+# all other values live in the closure, never in the text) — so per-shape
+# re-traces and same-architecture DSE points within a worker compile once.
+_CODE_CACHE: Dict[str, object] = {}
+_CACHE_HITS = 0
+_CACHE_MISSES = 0
+
+# Recently generated sources, for post-hoc inspection from code that never
+# held the CompiledStep (CLI --dump-graph-source after a training run).
+_RECORDED_LIMIT = 64
+_RECORDED: "OrderedDict[str, str]" = OrderedDict()
+_RECORDED_COUNT = 0
+
+
+def codegen_cache_stats() -> Dict[str, int]:
+    """Process-wide code-cache accounting: entries / hits / misses.
+
+    A hit means a program reused an already-compiled code object — the
+    expected steady state for per-shape re-traces and for every DSE grid
+    point after the first within a worker.
+    """
+    return {"entries": len(_CODE_CACHE), "hits": _CACHE_HITS,
+            "misses": _CACHE_MISSES}
+
+
+def clear_code_cache() -> None:
+    """Drop cached code objects and counters (test isolation)."""
+    global _CACHE_HITS, _CACHE_MISSES, _RECORDED_COUNT
+    _CODE_CACHE.clear()
+    _RECORDED.clear()
+    _CACHE_HITS = 0
+    _CACHE_MISSES = 0
+    _RECORDED_COUNT = 0
+
+
+def recorded_sources() -> Dict[str, str]:
+    """Label → source of recently lowered programs in this process.
+
+    Labels carry a monotonic index, the program summary and its input
+    shapes.  Bounded to the most recent programs; meant for diagnostics
+    (``cli train --dump-graph-source``), not as an API contract.
+    """
+    return dict(_RECORDED)
+
+
+def _record_source(program: GraphProgram, source: str) -> None:
+    global _RECORDED_COUNT
+    shapes = tuple(program.slot_meta[s][0] for s in program.input_slots)
+    label = f"{_RECORDED_COUNT:03d} {program!r} inputs={shapes}"
+    _RECORDED_COUNT += 1
+    _RECORDED[label] = source
+    while len(_RECORDED) > _RECORDED_LIMIT:
+        _RECORDED.popitem(last=False)
+
+
+# ----------------------------------------------------------------------
+# Emission
+# ----------------------------------------------------------------------
+
+def _emit_fused_forward(i: int, op: FusedOp, ext, out_slot: int, dtype,
+                        bind, emit) -> None:
+    """Unroll one fused chain's forward into the body.
+
+    Mirrors :meth:`FusedOp.fwd_scratch` line for line — same sub-kernel
+    order, same per-sub dtype coercion — but with the gather indices
+    resolved into argument lists at lowering time and interior values held
+    in locals (``u{i}_{j}``) that the unrolled backward reads directly.
+    """
+    last = len(op._fwd_plan) - 1
+    for j, (skind, sfn, sattrs, gather, sextra) in enumerate(op._fwd_plan):
+        args = ", ".join(f"v{ext[k]}" if k >= 0 else f"u{i}_{~k}"
+                         for k in gather)
+        bind(f"k{i}_{j}", sfn)
+        bind(f"ka{i}_{j}", sattrs)
+        if skind == FusedOp._F_OUT:
+            bind(f"kb{i}_{j}", sextra)
+            emit(f"c{i}_{j} = k{i}_{j}([{args}], ka{i}_{j}, kb{i}_{j})")
+            emit(f"u{i}_{j} = kb{i}_{j}")
+        elif skind in (FusedOp._F_FWD, FusedOp._F_SCRATCH):
+            if skind == FusedOp._F_SCRATCH:
+                bind(f"ks{i}_{j}", sextra)
+                emit(f"o, c{i}_{j} = k{i}_{j}([{args}], ka{i}_{j}, "
+                     f"ks{i}_{j})")
+            else:
+                emit(f"o, c{i}_{j} = k{i}_{j}([{args}], ka{i}_{j})")
+            emit(f"if not _isinstance(o, _nd) or o.dtype != _dt:")
+            emit(f"    o = _asarray(o, _dt)")
+            emit(f"u{i}_{j} = o")
+        else:
+            raise LoweringError(f"unknown fused forward kind {skind}")
+    emit(f"v{out_slot} = u{i}_{last}")
+    # The runner's own post-call coercion is a no-op except when the chain
+    # ends in a preallocated out-buffer of a non-program dtype.
+    lkind, _lfn, _lattrs, _lgather, lextra = op._fwd_plan[last]
+    if lkind == FusedOp._F_OUT and lextra.dtype != dtype:
+        emit(f"v{out_slot} = _asarray(v{out_slot}, _dt)")
+
+
+def _emit_fused_backward(i: int, op: FusedOp, ext, gsrc: str, acc,
+                         slot_meta, route_grad, bind, emit) -> None:
+    """Unroll one fused chain's backward into the body.
+
+    Mirrors :meth:`FusedOp.bwd` with every plan constant folded into the
+    text: interior grads become locals (``h{i}_{p}``), the adopt-or-copy
+    buffers (lazy ``_igbufs`` / ``_xbufs`` dicts in the wrapper) become
+    preallocated closure arrays (``IB`` / ``XB``), and each external
+    gradient is routed into its slot immediately — sub-kernels never read
+    slot gradient buffers, so routing in place of the wrapper's deferred
+    flat list is value-identical.
+    """
+    last = len(op.sub) - 1
+    live = ({t for entry in op.bwd_plan for r in entry[5] for t in (r[1],)}
+            | {entry[0] for entry in op.bwd_plan if entry[0] != last})
+    for p in sorted(live):
+        emit(f"h{i}_{p} = None")
+    fidx = 0
+    for m, (pos, sfn, sattrs, gather, sneeds, int_routes, ext_routes,
+            sscratch) in enumerate(op.bwd_plan):
+        gname = gsrc if pos == last else f"h{i}_{pos}"
+        args = ", ".join(f"v{ext[k]}" if k >= 0 else f"u{i}_{~k}"
+                         for k in gather)
+        bind(f"qk{i}_{m}", sfn)
+        bind(f"qa{i}_{m}", sattrs)
+        bind(f"qn{i}_{m}", sneeds)
+        call = (f"qk{i}_{m}({gname}, [{args}], u{i}_{pos}, c{i}_{pos}, "
+                f"qa{i}_{m}, qn{i}_{m}")
+        if sscratch is not None:
+            bind(f"qz{i}_{m}", sscratch)
+            call += f", qz{i}_{m}"
+        emit(f"r = {call})")
+        # Interior gradients: the wrapper's adopt-or-copy with the
+        # first/sole flags and copy buffers resolved at lowering time.
+        for gidx, target, first, sole, rdtype, rshape in int_routes:
+            emit(f"t = r[{gidx}]")
+            hname = f"h{i}_{target}"
+            if not first:
+                emit(f"if t is not None:")
+                emit(f"    {hname} += t")
+                continue
+            ib = bind(f"IB{i}_{target}", np.empty(rshape, rdtype))
+            if sole:
+                dn = bind(f"di{i}_{target}", rdtype)
+                emit(f"if t is None:")
+                emit(f"    pass")
+                emit(f"elif t.base is None and t is not {gname} "
+                     f"and t.dtype == {dn}:")
+                emit(f"    {hname} = t")
+                emit(f"else:")
+                emit(f"    _add(t, 0.0, out={ib})")
+                emit(f"    {hname} = {ib}")
+            else:
+                emit(f"if t is not None:")
+                emit(f"    _add(t, 0.0, out={ib})")
+                emit(f"    {hname} = {ib}")
+        # External gradients: de-alias exactly like the wrapper (never hand
+        # one array to two accumulation targets, nor the sub-step's own
+        # gradient source), then route into the slot straight away.
+        single = len(ext_routes) == 1
+        if not single and ext_routes:
+            emit(f"p = None")
+        for gidx in ext_routes:
+            target = acc[fidx]
+            fidx += 1
+            k = gather[gidx]
+            if k < 0:
+                raise LoweringError(
+                    f"external grad route {m}/{gidx} reads interior slot")
+            shape, sdtype = slot_meta[ext[k]]
+            xb = bind(f"XB{i}_{m}_{gidx}", np.empty(shape, sdtype))
+            emit(f"t = r[{gidx}]")
+            emit(f"if t is not None:")
+            alias = (f"t is {gname}" if single
+                     else f"t is {gname} or t is p")
+            emit(f"    if {alias}:")
+            emit(f"        _copyto({xb}, t)")
+            emit(f"        t = {xb}")
+            if not single:
+                emit(f"    p = t")
+            route_grad(target, gsrc)
+    if fidx != len(acc):
+        raise LoweringError(
+            f"fused backward routed {fidx} external grads, expected "
+            f"{len(acc)}")
+
+
+def _emit(runner: _ProgramRunner) -> Tuple[str, Dict[str, object]]:
+    """Lower one runner's plans into (source text, closure environment).
+
+    The source defines ``_factory(C)`` which binds every ``C`` entry to a
+    closure cell and returns the specialized ``run(inputs)``.  Everything
+    value-like goes through ``C``; the text encodes structure only.
+    """
+    program = runner.program
+    env: Dict[str, object] = {}
+
+    def bind(name: str, value) -> str:
+        if name in env:
+            raise LoweringError(f"closure name collision: {name}")
+        env[name] = value
+        return name
+
+    # Fixed helpers.  Bound as closure cells so the generated body needs no
+    # globals and no builtins.
+    bind("_nd", np.ndarray)
+    bind("_isinstance", isinstance)
+    bind("_asarray", np.asarray)
+    bind("_add", np.add)
+    bind("_copyto", np.copyto)
+    bind("_float", float)
+    bind("_nparray", np.array)
+    bind("_dt", program.dtype)
+
+    body: List[str] = []
+    emit = body.append
+
+    # -- leaves: re-read by tensor reference every call (the optimizer
+    # swaps / mutates parameter storage between steps).
+    for j, (slot, t) in enumerate(program.leaves):
+        bind(f"L{j}", t)
+        emit(f"v{slot} = L{j}.data")
+
+    # -- batch inputs: rebound per call, coerced to the trace dtype.
+    for j, slot in enumerate(program.input_slots):
+        emit(f"t = inputs[{j}]")
+        emit(f"if t.dtype != _dt:")
+        emit(f"    t = t.astype(_dt)")
+        emit(f"v{slot} = t")
+
+    # -- forward sweep, effects interleaved in recorded order.  Fused
+    # chains are not called through their FusedOp wrapper: the wrapper's
+    # sub-op loop, gather indexing and kind dispatch are themselves
+    # interpreter machinery, so each chain is unrolled into the body with
+    # interior values as locals (`u3_1`) shared straight into the unrolled
+    # backward — no ctx tuples are ever built for a fused node.
+    ctx_name: Dict[int, str] = {}
+    fused_chain: Dict[int, int] = {}      # id(node) -> fwd plan index
+    for i, (kind, fn, attrs, in_slots, out_slot, node, extra) \
+            in enumerate(runner._fwd_plan):
+        ins = "[" + ", ".join(f"v{s}" for s in in_slots) + "]"
+        if kind == _K_EFFECT:
+            bind(f"e{i}", fn)
+            emit(f"e{i}({', '.join(f'v{s}' for s in in_slots)})")
+            continue
+        if kind == _K_SCRATCH and type(node.op) is FusedOp:
+            _emit_fused_forward(i, node.op, in_slots, out_slot,
+                                program.dtype, bind, emit)
+            fused_chain[id(node)] = i
+            continue
+        ctx_name[id(node)] = f"c{i}"
+        bind(f"f{i}", fn)
+        bind(f"a{i}", attrs)
+        if kind == _K_OUT:
+            bind(f"b{i}", extra)
+            emit(f"c{i} = f{i}({ins}, a{i}, b{i})")
+            emit(f"v{out_slot} = b{i}")
+        elif kind == _K_INPLACE:
+            # Planner-approved: overwrite the dying input in place.
+            buf = f"v{in_slots[extra]}"
+            emit(f"c{i} = f{i}({ins}, a{i}, {buf})")
+            emit(f"v{out_slot} = {buf}")
+        else:
+            if kind == _K_SCRATCH:
+                bind(f"s{i}", extra)
+                emit(f"o, c{i} = f{i}({ins}, a{i}, s{i})")
+            else:  # _K_FWD
+                emit(f"o, c{i} = f{i}({ins}, a{i})")
+            # Mirror the Tensor() dtype coercion of eager dispatch.
+            emit(f"if not _isinstance(o, _nd) or o.dtype != _dt:")
+            emit(f"    o = _asarray(o, _dt)")
+            emit(f"v{out_slot} = o")
+
+    # -- backward sweep: unrolled precomputed schedule.
+    # Bind every gradient local to its persistent buffer up front: a route
+    # whose kernel returns None leaves the previous binding in place,
+    # exactly like the interpreter's grad_bufs dict.
+    for slot in sorted(runner.grad_bufs):
+        bind(f"G{slot}", runner.grad_bufs[slot])
+        emit(f"g{slot} = G{slot}")
+    root = program.root_slot
+    emit(f"g{root}.fill(1.0)")
+
+    # Route one gradient (local ``t``) into its slot with the runner's
+    # adopt-or-copy discipline, the first/sole flags folded into the text.
+    adoption_dtypes: Dict[int, str] = {}
+
+    def bind_dtype(slot: int) -> str:
+        dname = adoption_dtypes.get(slot)
+        if dname is None:
+            dname = adoption_dtypes[slot] = bind(
+                f"d{slot}", runner.grad_bufs[slot].dtype)
+        return dname
+
+    def route_grad(target, gsrc: str) -> None:
+        slot, first, sole = target
+        if not first:
+            emit(f"if t is not None:")
+            emit(f"    g{slot} += t")
+        elif sole:
+            # Adopt a fresh kernel-owned array, else normalize into the
+            # persistent buffer — the interpreter's exact discipline.
+            dname = bind_dtype(slot)
+            emit(f"if t is None:")
+            emit(f"    pass")
+            emit(f"elif t.base is None and t is not {gsrc} "
+                 f"and t.dtype == {dname}:")
+            emit(f"    g{slot} = t")
+            emit(f"else:")
+            emit(f"    _add(t, 0.0, out=G{slot})")
+            emit(f"    g{slot} = G{slot}")
+        else:
+            emit(f"if t is not None:")
+            emit(f"    _add(t, 0.0, out=G{slot})")
+            emit(f"    g{slot} = G{slot}")
+
+    for i, (bwd, attrs, in_slots, out_slot, node, needs, acc, scratch) \
+            in enumerate(runner._bwd_plan):
+        gsrc = f"g{out_slot}"
+        if type(node.op) is FusedOp:
+            fi = fused_chain.get(id(node))
+            if fi is None:
+                raise LoweringError(
+                    f"fused backward step {i} has no inlined forward "
+                    f"(node {node!r})")
+            _emit_fused_backward(fi, node.op, in_slots, gsrc, acc,
+                                 program.slot_meta, route_grad, bind, emit)
+            continue
+        ctx = ctx_name.get(id(node))
+        if ctx is None:
+            raise LoweringError(
+                f"backward step {i} has no forward ctx (node {node!r})")
+        bind(f"q{i}", bwd)
+        bind(f"y{i}", attrs)
+        bind(f"n{i}", needs)
+        ins = "[" + ", ".join(f"v{s}" for s in in_slots) + "]"
+        if scratch is None:
+            emit(f"r = q{i}({gsrc}, {ins}, v{out_slot}, {ctx}, y{i}, n{i})")
+        else:
+            bind(f"z{i}", scratch)
+            emit(f"r = q{i}({gsrc}, {ins}, v{out_slot}, {ctx}, y{i}, n{i}, "
+                 f"z{i})")
+        for k, target in enumerate(acc):
+            if target is None:
+                continue
+            emit(f"t = r[{k}]")
+            route_grad(target, gsrc)
+
+    # -- publish leaf gradients.
+    for j, (slot, t) in enumerate(program.grad_leaves):
+        bind(f"T{j}", t)
+        emit(f"T{j}.grad = g{slot}")
+
+    # -- outputs: same scalarization as the interpreter.
+    outs = ", ".join(
+        f"_float(v{slot})" if scalar else f"_nparray(v{slot}, copy=True)"
+        for slot, scalar in runner._out_plan)
+    emit(f"return ({outs},)" if len(runner._out_plan) == 1
+         else f"return ({outs})")
+
+    lines = ["def _factory(C):"]
+    for name in env:
+        lines.append(f"    {name} = C[{name!r}]")
+    lines.append("    def run(inputs):")
+    for line in body:
+        lines.append("        " + line)
+    lines.append("    return run")
+    return "\n".join(lines) + "\n", env
+
+
+def lower_program(runner: _ProgramRunner):
+    """Compile a runner's plans into a specialized ``run(inputs)`` callable.
+
+    Returns ``(run, source)``.  The code object is served from the
+    process-wide cache when an identically structured program was lowered
+    before; only the closure binding (``_factory(C)``) runs per program.
+    """
+    global _CACHE_HITS, _CACHE_MISSES
+    source, env = _emit(runner)
+    code = _CODE_CACHE.get(source)
+    if code is None:
+        _CACHE_MISSES += 1
+        code = compile(source, "<repro-graph-codegen>", "exec")
+        _CODE_CACHE[source] = code
+    else:
+        _CACHE_HITS += 1
+    namespace: Dict[str, object] = {"__builtins__": {}}
+    exec(code, namespace)
+    run = namespace["_factory"](env)
+    # The inlined fused chains replace the wrapper's lazy copy-buffer dicts
+    # with preallocated closure arrays; expose the count so
+    # ``persistent_buffers`` / ``alloc_stats`` keep accounting for them.
+    runner._n_lowered_bufs = sum(
+        1 for name in env if name.startswith(("IB", "XB")))
+    _record_source(runner.program, source)
+    return run, source
+
+
+class SourceRunner(_ProgramRunner):
+    """A :class:`_ProgramRunner` whose replay is generated source.
+
+    Construction reuses the interpreter's plan building (buffer arena,
+    gradient buffers, scratch dicts — the exact same objects, so
+    ``persistent_buffers`` / ``alloc_stats`` keep working), then lowers the
+    plans to one specialized function.  ``run`` dispatches straight into it.
+    """
+
+    exec_mode = "source"
+    _n_lowered_bufs = 0
+
+    def __init__(self, program: GraphProgram):
+        super().__init__(program)
+        self._run, self.source = lower_program(self)
+        # Shadow the method with the generated function itself: replay
+        # dispatches straight into it, no wrapper frame.
+        self.run = self._run
+
+    def persistent_buffers(self) -> int:
+        return super().persistent_buffers() + self._n_lowered_bufs
+
+
+# The interpreter is the other executor; tag it for introspection.
+_ProgramRunner.exec_mode = "interp"

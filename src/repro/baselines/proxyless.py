@@ -194,7 +194,8 @@ class ProxylessTrainer:
                  search_patience: int = 5, finetune_epochs: int = 30,
                  finetune_patience: int = 10, verbose: bool = False,
                  compile_step: Optional[bool] = None,
-                 graph_opt: Optional[str] = None):
+                 graph_opt: Optional[str] = None,
+                 graph_exec: Optional[str] = None):
         if not proxyless_layers(supernet):
             raise ValueError("model contains no ProxylessDilatedConv1d layers")
         self.supernet = supernet
@@ -214,6 +215,7 @@ class ProxylessTrainer:
         # (the layers mark themselves capture-unsafe as a backstop).
         self.compile_step = compile_step
         self.graph_opt = graph_opt
+        self.graph_exec = graph_exec
         self.derived: Optional[Module] = None
 
     def _split_params(self):
@@ -269,7 +271,8 @@ class ProxylessTrainer:
                              epochs=self.finetune_epochs, lr=self.lr,
                              patience=self.finetune_patience,
                              compile_step=self.compile_step,
-                             graph_opt=self.graph_opt)
+                             graph_opt=self.graph_opt,
+                             graph_exec=self.graph_exec)
         dilations = tuple(layer.chosen_dilation()
                           for layer in proxyless_layers(self.supernet))
         if self.verbose:

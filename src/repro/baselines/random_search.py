@@ -54,7 +54,8 @@ def _train_configuration(seed_model: Module, config, loss_fn, train_loader,
                          val_loader, epochs: int, lr: float,
                          patience: int,
                          compile_step: Optional[bool] = None,
-                         graph_opt: Optional[str] = None) -> RandomSearchResult:
+                         graph_opt: Optional[str] = None,
+                         graph_exec: Optional[str] = None) -> RandomSearchResult:
     candidate = copy.deepcopy(seed_model)
     for layer, dilation in zip(pit_layers(candidate), config):
         layer.set_dilation(dilation)
@@ -62,7 +63,8 @@ def _train_configuration(seed_model: Module, config, loss_fn, train_loader,
     network = export_network(candidate)
     outcome = train_plain(network, loss_fn, train_loader, val_loader,
                           epochs=epochs, lr=lr, patience=patience,
-                          compile_step=compile_step, graph_opt=graph_opt)
+                          compile_step=compile_step, graph_opt=graph_opt,
+                          graph_exec=graph_exec)
     return RandomSearchResult(dilations=tuple(config),
                               best_val=outcome.best_val,
                               params=network.count_parameters())
@@ -73,7 +75,8 @@ def exhaustive_search(seed_model: Module, loss_fn: Callable, train_loader,
                       patience: int = 4,
                       max_configs: int = 64,
                       compile_step: Optional[bool] = None,
-                      graph_opt: Optional[str] = None) -> List[RandomSearchResult]:
+                      graph_opt: Optional[str] = None,
+                      graph_exec: Optional[str] = None) -> List[RandomSearchResult]:
     """Train *every* dilation assignment (ground truth for tiny spaces).
 
     This is the oracle PIT approximates in a single training run; the test
@@ -89,7 +92,8 @@ def exhaustive_search(seed_model: Module, loss_fn: Callable, train_loader,
                          f"search is capped at {max_configs}")
     return [_train_configuration(seed_model, config, loss_fn, train_loader,
                                  val_loader, epochs, lr, patience,
-                                 compile_step=compile_step, graph_opt=graph_opt)
+                                 compile_step=compile_step, graph_opt=graph_opt,
+                                 graph_exec=graph_exec)
             for config in enumerate_configurations(seed_model)]
 
 
@@ -98,7 +102,8 @@ def random_search(seed_model: Module, loss_fn: Callable, train_loader, val_loade
                   patience: int = 5,
                   rng: Optional[np.random.Generator] = None,
                   compile_step: Optional[bool] = None,
-                  graph_opt: Optional[str] = None
+                  graph_opt: Optional[str] = None,
+                  graph_exec: Optional[str] = None
                   ) -> List[RandomSearchResult]:
     """Train ``count`` random fixed-dilation networks; return all results.
 
@@ -111,5 +116,5 @@ def random_search(seed_model: Module, loss_fn: Callable, train_loader, val_loade
         results.append(_train_configuration(
             seed_model, config, loss_fn, train_loader, val_loader,
             epochs, lr, patience, compile_step=compile_step,
-            graph_opt=graph_opt))
+            graph_opt=graph_opt, graph_exec=graph_exec))
     return results

@@ -38,6 +38,13 @@ the graph-capture executor (see README "Compiled training step"); the
 applies to each traced program (constant folding, dead-node elimination,
 op fusion, buffer-arena planning — bit-identical results either way;
 ``REPRO_GRAPH_OPT`` is the environment equivalent).
+``--graph-exec {interp,source}`` picks the replay executor: ``interp``
+walks the precomputed plan, ``source`` runs specialized generated code
+(see README "Codegen executor"; ``REPRO_GRAPH_EXEC`` is the environment
+equivalent).  ``--dump-graph-source PATH`` writes the generated programs
+out for inspection and ``--verbose`` prints the compile diagnostics
+(executor selection, pass statistics, allocation accounting, codegen
+cache hits).
 
 ``sweep`` additionally exposes the DSE engine knobs: ``--workers`` /
 ``--executor`` parallelize the grid, ``--stack N`` trains up to N
@@ -140,6 +147,59 @@ def _graph_opt_flag(args: argparse.Namespace):
     return getattr(args, "graph_opt", None)
 
 
+def _graph_exec_flag(args: argparse.Namespace):
+    # The chosen replay executor, or None to let REPRO_GRAPH_EXEC decide.
+    return getattr(args, "graph_exec", None)
+
+
+def _dump_graph_source(args: argparse.Namespace) -> None:
+    """Write every generated program of this run to --dump-graph-source."""
+    path = getattr(args, "dump_graph_source", None)
+    if not path:
+        return
+    from .autograd.graph import recorded_sources
+    sources = recorded_sources()
+    with open(path, "w") as handle:
+        if not sources:
+            handle.write("# no graph programs were lowered to source in "
+                         "this run (use --compile --graph-exec source)\n")
+        for label, source in sources.items():
+            handle.write(f"# === program {label} ===\n{source}\n\n")
+    print(f"graph source: {path} ({len(sources)} program(s))")
+
+
+def _print_compile_stats(stats, phase: Optional[str] = None) -> None:
+    """Render one CompiledStep.diagnostics() dict (cli --verbose)."""
+    prefix = f"[compile{':' + phase if phase else ''}]"
+    if stats is None:
+        print(f"{prefix} step ran eagerly (pass --compile or set "
+              "REPRO_COMPILE_STEP=1)")
+        return
+    if stats.get("fallback_reason"):
+        print(f"{prefix} eager fallback: {stats['fallback_reason']}")
+        return
+    print(f"{prefix} graph_opt={stats['optimize']} "
+          f"graph_exec={stats['graph_exec']}")
+    for key, mode in stats.get("executors", {}).items():
+        line = f"{prefix}   program {key}: executor={mode}"
+        reason = stats.get("exec_fallbacks", {}).get(key)
+        if reason:
+            line += f" (lowering fell back: {reason})"
+        print(line)
+    for key, opt in stats.get("opt_stats", {}).items():
+        rendered = " ".join(f"{name}={value}" for name, value in opt.items())
+        print(f"{prefix}   opt {key}: {rendered}")
+    alloc = stats.get("alloc_stats", {})
+    if alloc:
+        rendered = " ".join(f"{name}={value}"
+                            for name, value in alloc.items())
+        print(f"{prefix}   alloc: {rendered}")
+    cache = stats.get("codegen_cache", {})
+    if cache:
+        print(f"{prefix}   codegen cache: entries={cache.get('entries', 0)} "
+              f"hits={cache.get('hits', 0)} misses={cache.get('misses', 0)}")
+
+
 def cmd_train(args: argparse.Namespace) -> int:
     from .core import train_plain
     train_loader, val_loader, test_loader = _loaders(args.benchmark, args.seed)
@@ -149,7 +209,8 @@ def cmd_train(args: argparse.Namespace) -> int:
                          epochs=args.epochs, lr=args.lr,
                          patience=args.patience,
                          compile_step=_compile_flag(args),
-                         graph_opt=_graph_opt_flag(args))
+                         graph_opt=_graph_opt_flag(args),
+                         graph_exec=_graph_exec_flag(args))
     from .core import evaluate
     test_loss = evaluate(model, _loss(args.benchmark), test_loader)
     print(f"network   : {args.benchmark} dilations={dilations or 'all-1'}")
@@ -158,6 +219,9 @@ def cmd_train(args: argparse.Namespace) -> int:
     print(f"val loss  : {result.best_val:.4f}")
     print(f"test loss : {test_loss:.4f}")
     print(f"time      : {result.seconds:.1f} s")
+    if args.verbose:
+        _print_compile_stats(result.compile_stats)
+    _dump_graph_source(args)
     if args.save:
         from .nn.serialization import save_model
         save_model(model, args.save, metadata={
@@ -177,12 +241,17 @@ def cmd_search(args: argparse.Namespace) -> int:
         warmup_epochs=args.warmup, max_prune_epochs=args.epochs,
         prune_patience=args.patience, finetune_epochs=args.finetune,
         finetune_patience=args.patience, verbose=not args.quiet,
-        compile_step=_compile_flag(args), graph_opt=_graph_opt_flag(args))
+        compile_step=_compile_flag(args), graph_opt=_graph_opt_flag(args),
+        graph_exec=_graph_exec_flag(args))
     result = trainer.fit(train_loader, val_loader)
     print(f"dilations : {result.dilations}")
     print(f"val loss  : {result.best_val:.4f}")
     print(f"params    : {result.effective_params}")
     print(f"time      : {result.total_seconds:.1f} s")
+    if args.verbose:
+        for phase in ("warmup", "prune", "finetune"):
+            _print_compile_stats(result.compile_stats.get(phase), phase=phase)
+    _dump_graph_source(args)
     if args.save:
         from .nn.serialization import save_model
         save_model(model, args.save, metadata={
@@ -224,6 +293,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                                f"|seed={args.seed}",
                      compile_step=_compile_flag(args),
                      graph_opt=_graph_opt_flag(args),
+                     graph_exec=_graph_exec_flag(args),
                      stack=args.stack,
                      point_evaluators=evaluators)
     header = f"{'lambda':>10s} {'warmup':>6s} {'params':>8s} {'loss':>9s}"
@@ -239,6 +309,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                      f"{p.metrics.get('latency_ms', nan):>8.1f} "
                      f"{p.metrics.get('energy_mj', nan):>7.2f}")
         print(line + f"  {p.dilations}")
+    _dump_graph_source(args)
     front = result.pareto()
     print(f"pareto front: {[(p.params, round(p.loss, 4)) for p in front]}")
     if args.hw:
@@ -348,6 +419,22 @@ def build_parser() -> argparse.ArgumentParser:
                             "fusion/memory planning), 'none' replays the "
                             "trace verbatim; results are bit-identical "
                             "(default: REPRO_GRAPH_OPT)")
+        p.add_argument("--graph-exec", choices=("interp", "source"),
+                       default=None, dest="graph_exec",
+                       help="replay executor for compiled steps: 'interp' "
+                            "walks the precomputed plan, 'source' runs "
+                            "specialized generated code (automatic interp "
+                            "fallback on lowering failure); results are "
+                            "bit-identical (default: REPRO_GRAPH_EXEC)")
+        p.add_argument("--dump-graph-source", type=str, default=None,
+                       dest="dump_graph_source", metavar="PATH",
+                       help="after the run, write every program the source "
+                            "executor generated to PATH (inspectable/"
+                            "diffable Python)")
+        p.add_argument("--verbose", action="store_true",
+                       help="print compile diagnostics after training: "
+                            "executor per program, pass statistics, "
+                            "allocation accounting, codegen cache hits")
 
     p_train = sub.add_parser(
         "train", help="plain (no-NAS) training of a fixed-dilation network")

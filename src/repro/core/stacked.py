@@ -51,7 +51,7 @@ from ..autograd import (
     no_grad,
     where,
 )
-from ..autograd.graph import resolve_graph_opt
+from ..autograd.graph import resolve_graph_exec, resolve_graph_opt
 from ..data import EpochReplayLoader
 from ..nn.losses import (
     bce_with_logits,
@@ -400,7 +400,8 @@ class StackedPITTrainer:
                  channel_lam: float = 0.0,
                  grad_clip: Optional[float] = None, verbose: bool = False,
                  compile_step: Optional[bool] = None,
-                 graph_opt: Optional[str] = None):
+                 graph_opt: Optional[str] = None,
+                 graph_exec: Optional[str] = None):
         if regularizer not in ("size", "flops"):
             raise ValueError("regularizer must be 'size' or 'flops'")
         if len(lams) < 1:
@@ -424,6 +425,7 @@ class StackedPITTrainer:
         self.verbose = verbose
         self.compile_step = _resolve_compile(compile_step)
         self.graph_opt = resolve_graph_opt(graph_opt)
+        self.graph_exec = resolve_graph_exec(graph_exec)
 
         self.stacked = StackedModel(model, self.m)  # may raise StackingUnsupported
         self._pit_layers = [layer for layer in self.stacked.net.modules()
@@ -481,7 +483,8 @@ class StackedPITTrainer:
             return loss, task_vec
 
         if self.compile_step:
-            return CompiledStep(step_fn, optimize=self.graph_opt)
+            return CompiledStep(step_fn, optimize=self.graph_opt,
+                                graph_exec=self.graph_exec)
         return EagerStep(step_fn)
 
     # ------------------------------------------------------------------

@@ -32,6 +32,7 @@ from ..autograd.graph import (
     CompiledStep,
     EagerStep,
     compile_step_default,
+    resolve_graph_exec,
     resolve_graph_opt,
 )
 from ..nn.eval_utils import mean_loss_over_loader
@@ -67,7 +68,8 @@ def _step_function(model: Module, loss_fn: LossFn,
 def make_training_step(model: Module, loss_fn: LossFn,
                        extra_loss: Optional[Callable[[], Tensor]] = None,
                        compile_step: Optional[bool] = None,
-                       graph_opt: Optional[str] = None):
+                       graph_opt: Optional[str] = None,
+                       graph_exec: Optional[str] = None):
     """Build the per-batch step runner: ``step(x, y) -> (loss, task_loss)``.
 
     The runner computes the (optionally regularized) loss, backpropagates
@@ -78,12 +80,15 @@ def make_training_step(model: Module, loss_fn: LossFn,
     defers to the ``REPRO_COMPILE_STEP`` environment default, like every
     other compile knob.  ``graph_opt`` picks the optimization level applied
     to each traced program (``"default"`` passes / ``"none"`` verbatim
-    replay); None defers to ``REPRO_GRAPH_OPT``.  Optimized and unoptimized
-    replay are bit-identical, so the knob only affects speed.
+    replay); None defers to ``REPRO_GRAPH_OPT``.  ``graph_exec`` picks the
+    replay executor for compiled steps (``"interp"`` walks the plan,
+    ``"source"`` runs specialized generated code); None defers to
+    ``REPRO_GRAPH_EXEC``.  All combinations are bit-identical, so these
+    knobs only affect speed.
     """
     step_fn = _step_function(model, loss_fn, extra_loss)
     if _resolve_compile(compile_step):
-        return CompiledStep(step_fn, optimize=graph_opt)
+        return CompiledStep(step_fn, optimize=graph_opt, graph_exec=graph_exec)
     return EagerStep(step_fn)
 
 
@@ -123,11 +128,17 @@ def _train_epoch(model: Module, loss_fn: LossFn, optimizer, loader,
 
 @dataclass
 class TrainResult:
-    """Outcome of a plain (no-NAS) training run."""
+    """Outcome of a plain (no-NAS) training run.
+
+    ``compile_stats`` holds :meth:`CompiledStep.diagnostics` for the run's
+    step when the step was compiled (None for eager runs) — a plain dict so
+    results stay picklable across DSE worker processes.
+    """
     best_val: float
     epochs: int
     seconds: float
     history: List[Tuple[float, float]] = field(default_factory=list)
+    compile_stats: Optional[Dict] = None
 
 
 def train_plain(model: Module, loss_fn: LossFn, train_loader, val_loader,
@@ -135,14 +146,16 @@ def train_plain(model: Module, loss_fn: LossFn, train_loader, val_loader,
                 grad_clip: Optional[float] = None,
                 weight_decay: float = 0.0,
                 compile_step: Optional[bool] = None,
-                graph_opt: Optional[str] = None) -> TrainResult:
+                graph_opt: Optional[str] = None,
+                graph_exec: Optional[str] = None) -> TrainResult:
     """Standard training with early stopping and best-state restore.
 
     ``compile_step=True`` traces the training step once and replays it via
     the graph executor (bit-identical, faster); None defers to the
     ``REPRO_COMPILE_STEP`` environment default.  ``graph_opt`` picks the
     optimization level for the traced program (None defers to
-    ``REPRO_GRAPH_OPT``).
+    ``REPRO_GRAPH_OPT``); ``graph_exec`` picks the replay executor
+    (None defers to ``REPRO_GRAPH_EXEC``).
     """
     optimizer = Adam(model.parameters(), lr=lr, weight_decay=weight_decay)
     stopper = EarlyStopping(patience=patience, mode="min")
@@ -151,7 +164,7 @@ def train_plain(model: Module, loss_fn: LossFn, train_loader, val_loader,
     ran = 0
     step = make_training_step(model, loss_fn,
                               compile_step=_resolve_compile(compile_step),
-                              graph_opt=graph_opt)
+                              graph_opt=graph_opt, graph_exec=graph_exec)
     for _ in range(epochs):
         train_loss = _train_epoch(model, loss_fn, optimizer, train_loader,
                                   grad_clip=grad_clip, step=step)
@@ -166,7 +179,15 @@ def train_plain(model: Module, loss_fn: LossFn, train_loader, val_loader,
     best = (float(stopper.best) if stopper.best is not None
             else evaluate(model, loss_fn, val_loader))
     return TrainResult(best_val=best, epochs=ran,
-                       seconds=time.perf_counter() - start, history=history)
+                       seconds=time.perf_counter() - start, history=history,
+                       compile_stats=_compile_stats(step))
+
+
+def _compile_stats(step) -> Optional[Dict]:
+    """Diagnostics dict for a compiled step, None otherwise (picklable)."""
+    if isinstance(step, CompiledStep):
+        return step.diagnostics()
+    return None
 
 
 @dataclass
@@ -182,6 +203,7 @@ class PITResult:
     prune_epochs: int
     finetune_epochs: int
     history: Dict[str, List[float]] = field(default_factory=dict)
+    compile_stats: Dict[str, Dict] = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -223,6 +245,12 @@ class PITTrainer:
         fusion, buffer-arena planning) on every traced program; ``"none"``
         replays the trace verbatim.  None defers to ``REPRO_GRAPH_OPT``.
         Results are bit-identical either way.
+    graph_exec:
+        Replay executor for compiled steps: ``"interp"`` walks the
+        precomputed plan, ``"source"`` runs specialized generated code
+        (:mod:`repro.autograd.graph.codegen`) with an automatic interp
+        fallback on lowering failure.  None defers to
+        ``REPRO_GRAPH_EXEC``.  Bit-identical either way.
     """
 
     def __init__(self, model: Module, loss_fn: LossFn, lam: float,
@@ -233,7 +261,8 @@ class PITTrainer:
                  channel_lam: float = 0.0,
                  grad_clip: Optional[float] = None, verbose: bool = False,
                  compile_step: Optional[bool] = None,
-                 graph_opt: Optional[str] = None):
+                 graph_opt: Optional[str] = None,
+                 graph_exec: Optional[str] = None):
         if regularizer not in ("size", "flops"):
             raise ValueError("regularizer must be 'size' or 'flops'")
         self.model = model
@@ -252,6 +281,7 @@ class PITTrainer:
         self.verbose = verbose
         self.compile_step = _resolve_compile(compile_step)
         self.graph_opt = resolve_graph_opt(graph_opt)
+        self.graph_exec = resolve_graph_exec(graph_exec)
         if not self._searchable_layers():
             raise ValueError("model contains no searchable (PITConv1d / "
                              "PITChannelConv1d) layers")
@@ -288,6 +318,7 @@ class PITTrainer:
             "warmup_val": [], "prune_val": [], "finetune_val": [],
             "prune_params": [],
         }
+        compile_stats: Dict[str, Dict] = {}
         weight_params, gamma_params = self._split_params()
 
         # ---------------- Phase 1: warmup (weights only) ----------------
@@ -297,12 +328,16 @@ class PITTrainer:
             optimizer = Adam(weight_params, lr=self.lr)
             step = make_training_step(self.model, self.loss_fn,
                                       compile_step=self.compile_step,
-                                      graph_opt=self.graph_opt)
+                                      graph_opt=self.graph_opt,
+                                      graph_exec=self.graph_exec)
             for _ in range(self.warmup_epochs):
                 _train_epoch(self.model, self.loss_fn, optimizer, train_loader,
                              grad_clip=self.grad_clip, step=step)
                 history["warmup_val"].append(evaluate(self.model, self.loss_fn, val_loader))
                 warmup_ran += 1
+            stats = _compile_stats(step)
+            if stats is not None:
+                compile_stats["warmup"] = stats
             self._log(f"warmup done, val={history['warmup_val'][-1]:.4f}")
         warmup_seconds = time.perf_counter() - start
 
@@ -318,7 +353,8 @@ class PITTrainer:
         step = make_training_step(self.model, self.loss_fn,
                                   extra_loss=self._regularizer_term,
                                   compile_step=self.compile_step,
-                                  graph_opt=self.graph_opt)
+                                  graph_opt=self.graph_opt,
+                                  graph_exec=self.graph_exec)
         for _ in range(self.max_prune_epochs):
             _train_epoch(self.model, self.loss_fn, optimizer, train_loader,
                          extra_loss=self._regularizer_term,
@@ -330,6 +366,9 @@ class PITTrainer:
             stopper.update(val_loss)
             if stopper.should_stop:
                 break
+        stats = _compile_stats(step)
+        if stats is not None:
+            compile_stats["prune"] = stats
         prune_seconds = time.perf_counter() - start
         self._log(f"pruning converged after {prune_ran} epochs, "
                   f"dilations={network_dilations(self.model)}")
@@ -345,7 +384,8 @@ class PITTrainer:
         # which the graph optimizer folds away entirely).
         step = make_training_step(self.model, self.loss_fn,
                                   compile_step=self.compile_step,
-                                  graph_opt=self.graph_opt)
+                                  graph_opt=self.graph_opt,
+                                  graph_exec=self.graph_exec)
         for _ in range(self.finetune_epochs):
             _train_epoch(self.model, self.loss_fn, optimizer, train_loader,
                          grad_clip=self.grad_clip, step=step)
@@ -355,6 +395,9 @@ class PITTrainer:
             stopper.update(val_loss, state=self.model.state_dict())
             if stopper.should_stop:
                 break
+        stats = _compile_stats(step)
+        if stats is not None:
+            compile_stats["finetune"] = stats
         if stopper.best_state is not None:
             self.model.load_state_dict(stopper.best_state)
         finetune_seconds = time.perf_counter() - start
@@ -374,4 +417,5 @@ class PITTrainer:
             prune_epochs=prune_ran,
             finetune_epochs=finetune_ran,
             history=history,
+            compile_stats=compile_stats,
         )

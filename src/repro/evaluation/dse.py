@@ -419,6 +419,7 @@ def _train_grid_point(seed_factory: Callable[[], Module], loss_fn: Callable,
                       trainer_kwargs: Dict, backend: str,
                       compile_step: Optional[bool] = None,
                       graph_opt: Optional[str] = None,
+                      graph_exec: Optional[str] = None,
                       point_evaluators: Optional[Sequence[Callable]] = None
                       ) -> DSEPoint:
     """Train one (λ, warmup) grid point from a fresh seed.
@@ -446,7 +447,7 @@ def _train_grid_point(seed_factory: Callable[[], Module], loss_fn: Callable,
     model = seed_factory()
     trainer = PITTrainer(model, loss_fn, lam=lam, warmup_epochs=warmup,
                          compile_step=compile_step, graph_opt=graph_opt,
-                         **trainer_kwargs)
+                         graph_exec=graph_exec, **trainer_kwargs)
     with use_backend(backend):
         result = trainer.fit(train_loader, val_loader)
         point = DSEPoint(
@@ -466,6 +467,7 @@ def _train_grid_stack(seed_factory: Callable[[], Module], loss_fn: Callable,
                       backend: str,
                       compile_step: Optional[bool] = None,
                       graph_opt: Optional[str] = None,
+                      graph_exec: Optional[str] = None,
                       point_evaluators: Optional[Sequence[Callable]] = None
                       ) -> List[DSEPoint]:
     """Train a group of same-warmup grid points as one weight-stacked run.
@@ -486,13 +488,13 @@ def _train_grid_stack(seed_factory: Callable[[], Module], loss_fn: Callable,
             trainer = StackedPITTrainer(
                 template, loss_fn, lams=lams, warmup_epochs=warmup,
                 compile_step=compile_step, graph_opt=graph_opt,
-                **trainer_kwargs)
+                graph_exec=graph_exec, **trainer_kwargs)
             results = trainer.fit(train_loader, val_loader)
         except StackingUnsupported:
             return [_train_grid_point(seed_factory, loss_fn, train_loader,
                                       val_loader, lam, warmup, trainer_kwargs,
                                       backend, compile_step, graph_opt,
-                                      point_evaluators)
+                                      graph_exec, point_evaluators)
                     for lam in lams]
         points = []
         for i, result in enumerate(results):
@@ -518,6 +520,7 @@ def _train_grid_chunk(seed_factory: Callable[[], Module], loss_fn: Callable,
                       trainer_kwargs: Dict, backend: str,
                       compile_step: Optional[bool] = None,
                       graph_opt: Optional[str] = None,
+                      graph_exec: Optional[str] = None,
                       point_evaluators: Optional[Sequence[Callable]] = None
                       ) -> List[DSEPoint]:
     """One worker task: a list of ``(warmup, lam)`` points, all same warmup.
@@ -531,12 +534,12 @@ def _train_grid_chunk(seed_factory: Callable[[], Module], loss_fn: Callable,
         return [_train_grid_point(seed_factory, loss_fn, train_loader,
                                   val_loader, lam, warmup, trainer_kwargs,
                                   backend, compile_step, graph_opt,
-                                  point_evaluators)]
+                                  graph_exec, point_evaluators)]
     warmup = chunk[0][0]
     return _train_grid_stack(seed_factory, loss_fn, train_loader, val_loader,
                              warmup, [lam for _, lam in chunk],
                              trainer_kwargs, backend, compile_step, graph_opt,
-                             point_evaluators)
+                             graph_exec, point_evaluators)
 
 
 def evaluator_name(evaluator: Callable) -> str:
@@ -635,6 +638,7 @@ class DSEEngine:
                  verbose: bool = False,
                  compile_step: Optional[bool] = None,
                  graph_opt: Optional[str] = None,
+                 graph_exec: Optional[str] = None,
                  stack: Optional[int] = None,
                  point_evaluators: Optional[Sequence[Callable]] = None):
         if executor not in ("thread", "process"):
@@ -659,6 +663,11 @@ class DSEEngine:
         # so it is stripped from trainer_kwargs and kept out of cache keys.
         kwargs_opt = self.trainer_kwargs.pop("graph_opt", None)
         self.graph_opt = graph_opt if graph_opt is not None else kwargs_opt
+        # Same discipline for the replay-executor selector: source-mode
+        # replay is bit-identical to the interpreter, so the knob stays
+        # out of cache keys too.
+        kwargs_exec = self.trainer_kwargs.pop("graph_exec", None)
+        self.graph_exec = graph_exec if graph_exec is not None else kwargs_exec
         # Stack width: how many same-warmup grid points train as one
         # weight-stacked model (see repro.core.StackedPITTrainer).  An
         # execution-speed knob like compile_step/graph_opt — results match
@@ -688,14 +697,16 @@ class DSEEngine:
                                  self.train_loader, self.val_loader,
                                  lam, warmup, self.trainer_kwargs,
                                  self._run_backend, self.compile_step,
-                                 self.graph_opt, self.point_evaluators)
+                                 self.graph_opt, self.graph_exec,
+                                 self.point_evaluators)
 
     def _train_chunk(self, chunk: Sequence[Tuple[int, float]]) -> List[DSEPoint]:
         return _train_grid_chunk(self.seed_factory, self.loss_fn,
                                  self.train_loader, self.val_loader,
                                  chunk, self.trainer_kwargs,
                                  self._run_backend, self.compile_step,
-                                 self.graph_opt, self.point_evaluators)
+                                 self.graph_opt, self.graph_exec,
+                                 self.point_evaluators)
 
     def _chunk_pending(self, pending: Sequence[Tuple[int, int, float]]
                        ) -> List[List[Tuple[int, int, float]]]:
@@ -760,7 +771,8 @@ class DSEEngine:
                                     [(warmup, lam) for _, warmup, lam in chunk],
                                     self.trainer_kwargs,
                                     self._run_backend, self.compile_step,
-                                    self.graph_opt, self.point_evaluators):
+                                    self.graph_opt, self.graph_exec,
+                                    self.point_evaluators):
                         [index for index, _, _ in chunk]
                         for chunk in chunks}
                     # Consume in completion order; grid order is restored
@@ -820,6 +832,7 @@ def run_dse(seed_factory: Callable[[], Module], loss_fn: Callable,
             cache_tag: str = "",
             compile_step: Optional[bool] = None,
             graph_opt: Optional[str] = None,
+            graph_exec: Optional[str] = None,
             stack: Optional[int] = None,
             point_evaluators: Optional[Sequence[Callable]] = None
             ) -> DSEResult:
@@ -836,7 +849,8 @@ def run_dse(seed_factory: Callable[[], Module], loss_fn: Callable,
                        cache_path=cache_path, cache_tag=cache_tag,
                        trainer_kwargs=trainer_kwargs,
                        verbose=verbose, compile_step=compile_step,
-                       graph_opt=graph_opt, stack=stack,
+                       graph_opt=graph_opt, graph_exec=graph_exec,
+                       stack=stack,
                        point_evaluators=point_evaluators)
     return engine.run(lambdas, warmups=warmups)
 

@@ -236,6 +236,66 @@ class TestTrain:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["train", "--graph-opt", "O3"])
 
+    def test_graph_exec_parse(self):
+        # None lets REPRO_GRAPH_EXEC decide; explicit modes pass through.
+        for command in ("train", "search", "sweep"):
+            args = build_parser().parse_args([command])
+            assert args.graph_exec is None
+            assert args.dump_graph_source is None
+            assert args.verbose is False
+            args = build_parser().parse_args(
+                [command, "--graph-exec", "source"])
+            assert args.graph_exec == "source"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--graph-exec", "cython"])
+
+    def test_train_graph_exec_verbose_and_dump(self, capsys, tmp_path):
+        dump = tmp_path / "program.py"
+        code = main(["train", "--benchmark", "ppg", "--width", "0.1",
+                     "--epochs", "1", "--patience", "1", "--quiet",
+                     "--compile", "--graph-exec", "source", "--verbose",
+                     "--dump-graph-source", str(dump)])
+        assert code == 0
+        out = capsys.readouterr().out
+        # --verbose surfaces the compile diagnostics...
+        assert "graph_exec=source" in out
+        assert "executor=source" in out
+        assert "codegen cache" in out
+        assert "alloc:" in out
+        # ...and the dump holds compilable generated source.
+        assert dump.exists()
+        text = dump.read_text()
+        assert "def _factory(C):" in text
+        compile(text, str(dump), "exec")
+
+    def test_train_verbose_without_compile_explains(self, capsys, monkeypatch):
+        # An eager step has no diagnostics; --verbose must say why.
+        monkeypatch.delenv("REPRO_COMPILE_STEP", raising=False)
+        code = main(["train", "--benchmark", "ppg", "--width", "0.1",
+                     "--epochs", "1", "--patience", "1", "--quiet",
+                     "--verbose"])
+        assert code == 0
+        assert "step ran eagerly" in capsys.readouterr().out
+
+    def test_search_graph_exec_flag(self, capsys):
+        code = main(["search", "--benchmark", "ppg", "--width", "0.1",
+                     "--lam", "0.0", "--warmup", "1", "--epochs", "1",
+                     "--finetune", "1", "--quiet", "--compile",
+                     "--graph-exec", "source", "--verbose"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dilations :" in out
+        for phase in ("warmup", "prune", "finetune"):
+            assert f"[compile:{phase}]" in out
+
+    def test_sweep_graph_exec_flag(self, capsys):
+        code = main(["sweep", "--benchmark", "ppg", "--width", "0.1",
+                     "--lambdas", "0.5", "--gamma-lr", "0.1",
+                     "--warmup", "0", "--epochs", "1", "--finetune", "0",
+                     "--quiet", "--compile", "--graph-exec", "source"])
+        assert code == 0
+        assert "pareto front" in capsys.readouterr().out
+
 
 class TestServe:
     def test_parser_defaults(self):

@@ -103,20 +103,24 @@ def _loaders(seed=0, shuffle=True):
     return train, val
 
 
-def _sequential_results(schedule=SCHEDULE, compile_step=None, lams=LAMS):
+def _sequential_results(schedule=SCHEDULE, compile_step=None, lams=LAMS,
+                        graph_exec=None):
     train, val = _loaders()
     results = []
     for lam in lams:
         trainer = PITTrainer(StackSeed(), mse_loss, lam=lam,
-                             compile_step=compile_step, **schedule)
+                             compile_step=compile_step,
+                             graph_exec=graph_exec, **schedule)
         results.append(trainer.fit(clone_loader(train), clone_loader(val)))
     return results
 
 
-def _stacked_results(schedule=SCHEDULE, compile_step=None, lams=LAMS):
+def _stacked_results(schedule=SCHEDULE, compile_step=None, lams=LAMS,
+                     graph_exec=None):
     train, val = _loaders()
     trainer = StackedPITTrainer(StackSeed(), mse_loss, lams=lams,
-                                compile_step=compile_step, **schedule)
+                                compile_step=compile_step,
+                                graph_exec=graph_exec, **schedule)
     return trainer.fit(train, val)
 
 
@@ -151,10 +155,13 @@ class TestTrainerParity:
         assert len(prune_epochs) > 1, \
             f"schedule no longer diverges: {prune_epochs}"
 
-    def test_compiled_stacked_parity(self):
-        """Stacked training through the graph-capture executor."""
-        sequential = _sequential_results(compile_step=True)
-        stacked = _stacked_results(compile_step=True)
+    @pytest.mark.parametrize("graph_exec", ["interp", "source"])
+    def test_compiled_stacked_parity(self, graph_exec):
+        """Stacked training through the graph-capture executor — under
+        both the interpreted replay and the codegen (source) executor."""
+        sequential = _sequential_results(compile_step=True,
+                                         graph_exec=graph_exec)
+        stacked = _stacked_results(compile_step=True, graph_exec=graph_exec)
         _assert_result_parity(sequential, stacked)
 
     @pytest.mark.parametrize("backend", available_backends())

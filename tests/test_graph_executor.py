@@ -44,6 +44,19 @@ from repro.nn import (
 from repro.optim import Adam
 
 
+@pytest.fixture(params=["interp", "source"], autouse=True)
+def graph_exec_leg(request, monkeypatch):
+    """Route the whole parity surface through both replay executors.
+
+    Every test in this module runs twice: once with the interpreted replay
+    and once with the codegen (generated-source) executor, selected via
+    the same REPRO_GRAPH_EXEC default the CI leg uses.  Source-mode replay
+    must be bit-identical, so no assertion changes — only the executor.
+    """
+    monkeypatch.setenv("REPRO_GRAPH_EXEC", request.param)
+    return request.param
+
+
 def batches_of(xshape, yshape, count=3, seed=0):
     rng = np.random.default_rng(seed)
     return [(rng.standard_normal(xshape), rng.standard_normal(yshape))
@@ -98,6 +111,11 @@ def run_parity(make_model, batches, loss_fn, extra_loss_fn=None, lr=1e-3,
     if expect_compiled:
         assert compiled_step.fallback_reason is None, compiled_step.fallback_reason
         assert compiled_step.compiled_shapes
+        # Lowering must actually be in effect on the source leg — a silent
+        # interp fallback would make the parity assertions vacuous.
+        assert not compiled_step.exec_fallbacks, compiled_step.exec_fallbacks
+        assert all(mode == compiled_step.graph_exec
+                   for mode in compiled_step.executors.values())
     assert_same_grads(eager_model, compiled_model, context)
     assert_same_state(eager_model, compiled_model, context)
     return compiled_step
@@ -353,7 +371,10 @@ def _time_interleaved(steps, model, x, y):
 @pytest.mark.perf
 @pytest.mark.skipif(not os.environ.get("REPRO_RUN_PERF"),
                     reason="perf smoke test; set REPRO_RUN_PERF=1 to run")
-def test_compiled_step_speedup():
+def test_compiled_step_speedup(graph_exec_leg):
+    if graph_exec_leg != "interp":
+        pytest.skip("this bench measures the interpreted replay; the "
+                    "codegen executor has its own (BENCH_codegen.json)")
     rows = []
     try:
         for dtype, backend, batch in PERF_CONFIGS:

@@ -371,11 +371,13 @@ class TestMemoryPlan:
 # Whole-pipeline differential: optimized == unoptimized, bit for bit
 # ----------------------------------------------------------------------
 
-def run_training(make_model, batches, loss_fn, extra_loss_fn, graph_opt):
+def run_training(make_model, batches, loss_fn, extra_loss_fn, graph_opt,
+                 graph_exec="interp"):
     model = make_model()
     extra = (lambda: extra_loss_fn(model)) if extra_loss_fn else None
     step = make_training_step(model, loss_fn, extra_loss=extra,
-                              compile_step=True, graph_opt=graph_opt)
+                              compile_step=True, graph_opt=graph_opt,
+                              graph_exec=graph_exec)
     optimizer = Adam(model.parameters(), lr=1e-3)
     losses = []
     for x, y in batches:
@@ -384,6 +386,8 @@ def run_training(make_model, batches, loss_fn, extra_loss_fn, graph_opt):
         losses.append(step(x, y))
         optimizer.step()
     assert step.fallback_reason is None, step.fallback_reason
+    assert not step.exec_fallbacks, step.exec_fallbacks
+    assert all(mode == graph_exec for mode in step.executors.values())
     return losses, model.state_dict(), step
 
 
@@ -393,20 +397,22 @@ class TestPipelineParity:
         return [(rng.standard_normal(xshape), rng.standard_normal(yshape))
                 for _ in range(count)]
 
+    @pytest.mark.parametrize("graph_exec", ["interp", "source"])
     @pytest.mark.parametrize("seed_fn,xshape,yshape,loss_fn", [
         (lambda: temponet_seed(width_mult=0.125, seed=3), (8, 4, 256),
          (8, 1), mae_loss),
         (lambda: restcn_seed(width_mult=0.05, seed=1), (4, 88, 48),
          (4, 88, 48), polyphonic_nll),
     ])
-    def test_tcn_seeds_bit_identical(self, seed_fn, xshape, yshape, loss_fn):
+    def test_tcn_seeds_bit_identical(self, seed_fn, xshape, yshape, loss_fn,
+                                     graph_exec):
         batches = self._batches(xshape, yshape)
         base, state_a, _ = run_training(
             seed_fn, batches, loss_fn,
             lambda m: size_regularizer(m, 0.02), "none")
         opt, state_b, step = run_training(
             seed_fn, batches, loss_fn,
-            lambda m: size_regularizer(m, 0.02), "default")
+            lambda m: size_regularizer(m, 0.02), "default", graph_exec)
         assert base == opt
         for key in state_a:
             assert np.array_equal(state_a[key], state_b[key]), key
@@ -415,7 +421,9 @@ class TestPipelineParity:
 
     def test_three_phase_pit_bit_identical(self):
         outcomes = {}
-        for graph_opt in ("none", "default"):
+        configs = [("none", "interp"), ("default", "interp"),
+                   ("default", "source")]
+        for graph_opt, graph_exec in configs:
             rng = np.random.default_rng(0)
             data = ArrayDataset(rng.standard_normal((24, 4, 256)),
                                 rng.standard_normal((24, 1)))
@@ -427,15 +435,17 @@ class TestPipelineParity:
                                  warmup_epochs=1, max_prune_epochs=2,
                                  prune_patience=2, finetune_epochs=1,
                                  finetune_patience=1, compile_step=True,
-                                 graph_opt=graph_opt)
-            outcomes[graph_opt] = (trainer.fit(train, val),
-                                   model.state_dict())
-        base, opt = outcomes["none"], outcomes["default"]
-        assert base[0].dilations == opt[0].dilations
-        assert base[0].best_val == opt[0].best_val
-        assert base[0].history == opt[0].history
-        for key in base[1]:
-            assert np.array_equal(base[1][key], opt[1][key]), key
+                                 graph_opt=graph_opt, graph_exec=graph_exec)
+            outcomes[(graph_opt, graph_exec)] = (trainer.fit(train, val),
+                                                 model.state_dict())
+        base = outcomes[configs[0]]
+        for config in configs[1:]:
+            opt = outcomes[config]
+            assert base[0].dilations == opt[0].dilations, config
+            assert base[0].best_val == opt[0].best_val, config
+            assert base[0].history == opt[0].history, config
+            for key in base[1]:
+                assert np.array_equal(base[1][key], opt[1][key]), (config, key)
 
     def test_shape_polymorphism_optimizes_each_program(self):
         rng = np.random.default_rng(5)
