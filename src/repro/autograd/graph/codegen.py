@@ -64,7 +64,9 @@ from .passes import FusedOp
 __all__ = [
     "LoweringError",
     "SourceRunner",
+    "SourceEpochRunner",
     "lower_program",
+    "lower_epoch",
     "codegen_cache_stats",
     "clear_code_cache",
     "recorded_sources",
@@ -497,3 +499,143 @@ class SourceRunner(_ProgramRunner):
 
 # The interpreter is the other executor; tag it for introspection.
 _ProgramRunner.exec_mode = "interp"
+
+
+# ----------------------------------------------------------------------
+# Epoch lowering: a LoopNode as a real `for` loop in generated source
+# ----------------------------------------------------------------------
+
+def _emit_epoch(runner) -> Tuple[str, Dict[str, object]]:
+    """Lower one epoch loop runner into (source text, closure environment).
+
+    The generated function is the whole-epoch hot path: a real ``for``
+    loop over the batch pairs calling the (already lowered) body function,
+    with the clip kernel and every optimizer update kernel emitted inline
+    after it — no trainer Python between batches.  As with per-step
+    lowering, the text encodes structure only (spec count, state arity,
+    group wiring, clip membership, tail presence); params, kernels, state
+    arrays and the body callables all bind through the closure, so
+    structurally identical phases share one code object.
+    """
+    env: Dict[str, object] = {}
+
+    def bind(name: str, value) -> str:
+        if name in env:
+            raise LoweringError(f"closure name collision: {name}")
+        env[name] = value
+        return name
+
+    bind("_body", runner.body_runner.run)
+    has_tail = runner.tail_runner is not None
+    if has_tail:
+        bind("_tail", runner.tail_runner.run)
+
+    # Hyperparameter groups, deduplicated by identity: hoisted once per
+    # epoch so between-epoch scheduler set_lr calls stay visible.
+    group_idx: Dict[int, int] = {}
+    prologue: List[str] = []
+    for spec in runner.specs:
+        gid = id(spec.group)
+        if gid not in group_idx:
+            g = group_idx[gid] = len(group_idx)
+            bind(f"_grp{g}", spec.group)
+            bind(f"_hy{g}", spec.hyper)
+            prologue.append(f"h{g} = _hy{g}(_grp{g})")
+
+    # The per-batch update block, emitted twice (loop body + tail).
+    updates: List[str] = []
+    if runner.grad_clip is not None:
+        bind("_clip", runner.clip_kernel)
+        bind("_mn", runner.grad_clip)
+        grads = ", ".join(
+            bind(f"_c{j}", p) + ".grad"
+            for j, p in enumerate(runner.clip_params))
+        updates.append(f"_clip([{grads}], _mn)")
+    for i, spec in enumerate(runner.specs):
+        bind(f"_k{i}", spec.kernel)
+        bind(f"_p{i}", spec.param)
+        if hasattr(spec.param, "resync"):
+            # Flat-packed param: re-adopt any member storage rebound
+            # between epochs before replaying against the pack.
+            prologue.append(f"_p{i}.resync()")
+        state = "".join(
+            bind(f"_s{i}_{j}", a) + ", "
+            for j, a in enumerate(spec.state))
+        g = group_idx[id(spec.group)]
+        updates.append(f"_k{i}(_p{i}.data, _p{i}.grad, {state}*h{g})")
+
+    acc = runner.acc_index
+    if runner.vector_m is None:
+        init_total = "total = 0.0"
+        accumulate = f"total += o[{acc}]"
+    else:
+        bind("_npz", np.zeros)
+        bind("_m", runner.vector_m)
+        bind("_asarray", np.asarray)
+        init_total = "total = _npz(_m)"
+        accumulate = f"total += _asarray(o[{acc}])"
+
+    body: List[str] = list(prologue)
+    body.append(init_total)
+    body.append("n = 0")
+    body.append("for pair in bodies:")
+    body.append("    o = _body(pair)")
+    for line in updates:
+        body.append("    " + line)
+    body.append("    " + accumulate)
+    body.append("    n += 1")
+    if has_tail:
+        body.append("o = _tail(tail)")
+        for line in updates:
+            body.append(line)
+        body.append(accumulate)
+        body.append("n += 1")
+    body.append("return (total, n)")
+
+    lines = ["def _factory(C):"]
+    for name in env:
+        lines.append(f"    {name} = C[{name!r}]")
+    lines.append("    def run(bodies, tail):")
+    for line in body:
+        lines.append("        " + line)
+    lines.append("    return run")
+    return "\n".join(lines) + "\n", env
+
+
+def lower_epoch(runner):
+    """Compile an epoch loop runner into a ``run(bodies, tail)`` callable.
+
+    Returns ``(run, source)``; the code object is served from the same
+    process-wide cache as per-step programs (the epoch text is its own
+    structural signature).
+    """
+    global _CACHE_HITS, _CACHE_MISSES
+    source, env = _emit_epoch(runner)
+    code = _CODE_CACHE.get(source)
+    if code is None:
+        _CACHE_MISSES += 1
+        code = compile(source, "<repro-graph-codegen-epoch>", "exec")
+        _CODE_CACHE[source] = code
+    else:
+        _CACHE_HITS += 1
+    namespace: Dict[str, object] = {"__builtins__": {}}
+    exec(code, namespace)
+    run = namespace["_factory"](env)
+    _record_source(runner.program, source)
+    return run, source
+
+
+from .loop import _LoopRunner  # noqa: E402  (epoch runner base)
+
+
+class SourceEpochRunner(_LoopRunner):
+    """A :class:`~repro.autograd.graph.loop._LoopRunner` whose epoch loop
+    is generated source: one compiled function per epoch/phase signature.
+    """
+
+    exec_mode = "source"
+
+    def __init__(self, *args):
+        super().__init__(*args)
+        self._run, self.source = lower_epoch(self)
+        self.run = self._run

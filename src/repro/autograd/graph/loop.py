@@ -1,0 +1,366 @@
+"""Whole-loop capture: replay a full training epoch as one program.
+
+:class:`CompiledStep` (PRs 2/4/7) removed per-batch graph construction but
+still returns to Python between batches — optimizer stepping, gradient
+clipping and loss accounting run eagerly around every replay, capping the
+codegen executor's wins at per-batch dispatch.  :class:`CompiledEpoch`
+closes that loop: it records the step's compiled batch body, the
+optimizer's update kernels (:meth:`~repro.optim.optimizers.Optimizer.
+capture_updates`) and the clip kernel into a
+:class:`~repro.autograd.graph.ir.LoopNode` over the epoch's preloaded
+batch arrays, wraps it as a single-node epoch
+:class:`~repro.autograd.graph.ir.GraphProgram`, and replays the whole
+epoch through one call — interpreted, or (``graph_exec="source"``) as one
+generated function whose body is a real ``for`` loop
+(:func:`repro.autograd.graph.codegen.lower_epoch`).
+
+State crosses iterations as data: parameter storage, Adam moments, the
+0-d step counters, BN running stats and the stacked trainer's ``active``
+mask are loop-carried arrays mutated in place, exactly as the eager path
+mutates them — so a replayed epoch is bit-identical to driving the same
+step per batch, which is itself bit-identical to eager execution.
+
+**Fallback ladder** (never worse than the level below):
+
+1. *loop* — every condition met: compiled step, shape-uniform batches
+   (one ragged tail allowed — it gets its own shape-specialized epilogue
+   body), a capture-aware optimizer, loop-carried-safe memory plans.
+2. *step* — any loop-level failure (:attr:`CompiledEpoch.
+   loop_fallback_reason`) degrades to driving the compiled step per
+   batch.  Loop problems never poison the step.
+3. *eager* — only a capture failure inside the step itself
+   (``mark_capture_unsafe``, foreign graph tensors) reaches eager, via
+   ``CompiledStep.fallback_reason`` as before.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..tensor import get_default_dtype
+from .executor import CompiledStep, resolve_graph_exec
+from .ir import GraphProgram, LoopNode, epoch_program
+from .passes import loop_carried_safety
+
+__all__ = ["CompiledEpoch"]
+
+
+class _LoopRunner:
+    """Interpreted replay of one :class:`LoopNode`: the epoch loop itself.
+
+    ``run(bodies, tail)`` replays the body once per batch pair, then the
+    post-batch updates — clip kernel over the grad-leaf gradients (read
+    fresh each batch: replay may *adopt* a new gradient array) and the
+    optimizer's update kernels in eager ``step()`` order — and accumulates
+    the task loss.  Hyperparameters are hoisted once per epoch, so
+    between-epoch scheduler ``set_lr`` calls stay visible.
+    """
+
+    exec_mode = "interp"
+
+    def __init__(self, loop: LoopNode, program: GraphProgram,
+                 body_runner, tail_runner, specs, clip_params,
+                 grad_clip: Optional[float], clip_kernel,
+                 vector_m: Optional[int], acc_index: int):
+        self.loop = loop
+        self.program = program
+        self.body_runner = body_runner
+        self.tail_runner = tail_runner
+        self.specs = specs
+        self.clip_params = clip_params
+        self.grad_clip = grad_clip
+        self.clip_kernel = clip_kernel
+        self.vector_m = vector_m
+        self.acc_index = acc_index
+
+    def run(self, bodies: Sequence[Tuple], tail: Optional[Tuple]):
+        specs = self.specs
+        for s in specs:
+            sync = getattr(s.param, "resync", None)
+            if sync is not None:
+                sync()
+        updates = [(s.kernel, s.param, s.state, s.hyper(s.group))
+                   for s in specs]
+        clip_params = self.clip_params
+        grad_clip = self.grad_clip
+        clip_kernel = self.clip_kernel
+        acc = self.acc_index
+        total = 0.0 if self.vector_m is None else np.zeros(self.vector_m)
+        n = 0
+        body = self.body_runner.run
+        for pair in bodies:
+            o = body(pair)
+            if grad_clip is not None:
+                clip_kernel([p.grad for p in clip_params], grad_clip)
+            for kernel, p, state, hyper in updates:
+                kernel(p.data, p.grad, *state, *hyper)
+            total += o[acc] if self.vector_m is None else np.asarray(o[acc])
+            n += 1
+        if tail is not None:
+            o = self.tail_runner.run(tail)
+            if grad_clip is not None:
+                clip_kernel([p.grad for p in clip_params], grad_clip)
+            for kernel, p, state, hyper in updates:
+                kernel(p.data, p.grad, *state, *hyper)
+            total += o[acc] if self.vector_m is None else np.asarray(o[acc])
+            n += 1
+        return total, n
+
+
+class CompiledEpoch:
+    """Drive a training phase's epochs, replaying each as one loop program.
+
+    Parameters
+    ----------
+    step:
+        The phase's batch runner (:class:`CompiledStep` or
+        :class:`~repro.autograd.graph.executor.EagerStep`) with the usual
+        ``step(x, y) -> (loss, task, ...)`` contract.
+    optimizer:
+        The phase's optimizer.  Loop replay requires
+        ``optimizer.capture_updates`` (duck-typed so this module never
+        imports :mod:`repro.optim`); anything else drives per step.
+    grad_clip / clip_fn / clip_kernel:
+        Max gradient norm (None disables clipping), the eager clip callable
+        ``clip_fn(params, max_norm)`` used while driving, and the
+        array-level kernel ``clip_kernel(grads, max_norm)`` recorded into
+        the loop (:func:`repro.optim.kernels.clip_grads` or its stacked
+        variant).
+    vector_m:
+        None for scalar task losses; the stack width M when the step's
+        task output is a per-model vector (stacked trainer) — accumulation
+        then matches the eager ``np.zeros(M)`` + ``+=`` exactly.
+    graph_exec:
+        ``"interp"`` or ``"source"`` for the *epoch* program; defaults to
+        the step's own executor mode.  Epoch lowering failures fall back
+        to the interpreted loop (:attr:`exec_fallbacks`), never to
+        per-step driving.
+
+    ``run_batches(batches)`` returns the epoch's mean task loss, exactly
+    like the eager per-batch loop it replaces.  The first epoch per batch
+    signature always drives (tracing the body — and the ragged tail —
+    through the step's own cache); later epochs replay.
+    """
+
+    def __init__(self, step, optimizer, grad_clip: Optional[float] = None,
+                 clip_fn: Optional[Callable] = None,
+                 clip_kernel: Optional[Callable] = None,
+                 vector_m: Optional[int] = None,
+                 graph_exec: Optional[str] = None,
+                 acc_index: int = 1):
+        self.step = step
+        self.optimizer = optimizer
+        self.grad_clip = grad_clip
+        self.clip_fn = clip_fn
+        self.clip_kernel = clip_kernel
+        self.vector_m = vector_m
+        self.acc_index = acc_index
+        if graph_exec is None:
+            graph_exec = getattr(step, "graph_exec", None)
+        self.graph_exec = resolve_graph_exec(graph_exec) \
+            if graph_exec is not None else "interp"
+        self.loop_fallback_reason: Optional[str] = None
+        self._disabled = False
+        self.exec_fallbacks: Dict[Tuple, str] = {}
+        self._runners: Dict[Tuple, _LoopRunner] = {}
+        self.replayed_epochs = 0
+        self.driven_epochs = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def loop_nodes(self) -> Dict[Tuple, LoopNode]:
+        """Built loop nodes per (body, tail) signature (introspection)."""
+        return {key: runner.loop for key, runner in self._runners.items()}
+
+    @property
+    def epoch_programs(self) -> Dict[Tuple, GraphProgram]:
+        """The single-node epoch programs actually replayed."""
+        return {key: runner.program for key, runner in self._runners.items()}
+
+    @property
+    def executors(self) -> Dict[Tuple, str]:
+        return {key: runner.exec_mode for key, runner in self._runners.items()}
+
+    def dump_source(self) -> Dict[Tuple, str]:
+        """Generated epoch source per signature (source executor only)."""
+        return {key: runner.source for key, runner in self._runners.items()
+                if getattr(runner, "source", None) is not None}
+
+    def diagnostics(self) -> Dict[str, object]:
+        """JSON-able report of what whole-loop capture did (picklable)."""
+        return {
+            "graph_exec": self.graph_exec,
+            "replayed_epochs": self.replayed_epochs,
+            "driven_epochs": self.driven_epochs,
+            "loop_fallback_reason": self.loop_fallback_reason,
+            "executors": {str(key): mode
+                          for key, mode in self.executors.items()},
+            "exec_fallbacks": {str(key): reason
+                               for key, reason in self.exec_fallbacks.items()},
+            "loops": {str(key): repr(node)
+                      for key, node in self.loop_nodes.items()},
+        }
+
+    # ------------------------------------------------------------------
+    def run_epoch(self, loader):
+        """One epoch over a loader; materializes the batch list first.
+
+        ``list(loader)`` consumes exactly one loader iteration, so the
+        shuffling RNG stream is identical to the eager ``for x, y in
+        loader`` loop.
+        """
+        return self.run_batches(list(loader))
+
+    def run_batches(self, batches: List[Tuple]):
+        if not batches:
+            raise ValueError("training loader produced no batches")
+        runner_and_split = self._loop_runner(batches)
+        if runner_and_split is None:
+            self.driven_epochs += 1
+            return self._drive(batches)
+        runner, bodies, tail = runner_and_split
+        # One zero_grad per *epoch*, not per batch: replay republishes
+        # every grad-leaf gradient before anything reads it, and clearing
+        # here keeps optimizer params outside the program at grad=None —
+        # the exact membership the eager per-batch zero_grad produces.
+        self.optimizer.zero_grad()
+        self.replayed_epochs += 1
+        total, n = runner.run(bodies, tail)
+        return total / n
+
+    # ------------------------------------------------------------------
+    def _drive(self, batches: List[Tuple]):
+        """The per-step ladder rung: replica of the eager epoch loop."""
+        step = self.step
+        optimizer = self.optimizer
+        grad_clip = self.grad_clip
+        clip_fn = self.clip_fn
+        acc = self.acc_index
+        total = 0.0 if self.vector_m is None else np.zeros(self.vector_m)
+        for x, y in batches:
+            optimizer.zero_grad()
+            outs = step(x, y)
+            if grad_clip is not None:
+                clip_fn(optimizer.params, grad_clip)
+            optimizer.step()
+            total += outs[acc] if self.vector_m is None \
+                else np.asarray(outs[acc])
+        return total / len(batches)
+
+    # ------------------------------------------------------------------
+    def _reject(self, reason: str, permanent: bool) -> None:
+        self.loop_fallback_reason = reason
+        if permanent:
+            self._disabled = True
+
+    def _loop_runner(self, batches: List[Tuple]):
+        """The loop runner for this epoch's batch signature, or None.
+
+        None means "drive this epoch per step" — either permanently
+        (:attr:`loop_fallback_reason`, ladder rung 2) or because the body
+        programs are not traced yet (the drive itself traces them).
+        """
+        if self._disabled:
+            return None
+        step = self.step
+        if not isinstance(step, CompiledStep):
+            self._reject("step is not compiled", permanent=True)
+            return None
+        if step.fallback_reason is not None:
+            # The step itself cannot capture (e.g. mark_capture_unsafe):
+            # rung 3 is the step's own business; the loop layer just
+            # stops trying.
+            self._reject(f"step fell back to eager: {step.fallback_reason}",
+                         permanent=True)
+            return None
+        if getattr(self.optimizer, "capture_updates", None) is None:
+            self._reject(
+                f"optimizer {type(self.optimizer).__name__} has no "
+                "capture_updates", permanent=True)
+            return None
+        if self.grad_clip is not None and self.clip_kernel is None:
+            self._reject("grad clipping requested without a clip kernel",
+                         permanent=True)
+            return None
+
+        dtype = get_default_dtype()
+        shapes = [(np.asarray(x).shape, np.asarray(y).shape)
+                  for x, y in batches]
+        body_shape = shapes[0]
+        if any(s != body_shape for s in shapes[:-1]):
+            self._reject("interior batches are not shape-uniform",
+                         permanent=False)
+            return None
+        has_tail = len(batches) > 1 and shapes[-1] != body_shape
+        body_key = body_shape + (dtype,)
+        tail_key = shapes[-1] + (dtype,) if has_tail else None
+        key = (body_key, tail_key)
+        runner = self._runners.get(key)
+        if runner is None:
+            runner = self._build_runner(key, body_key, tail_key)
+            if runner is None:
+                return None
+            self._runners[key] = runner
+        bodies = batches[:-1] if has_tail else batches
+        tail = batches[-1] if has_tail else None
+        return runner, bodies, tail
+
+    def _build_runner(self, key, body_key, tail_key) -> Optional[_LoopRunner]:
+        step = self.step
+        body_runner = step._runners.get(body_key)
+        if body_runner is None:
+            return None  # not traced yet: this epoch's drive traces it
+        tail_runner = step._runners.get(tail_key) if tail_key else None
+        if tail_key is not None and tail_runner is None:
+            return None
+        body_prog = body_runner.program
+        tail_prog = tail_runner.program if tail_runner is not None else None
+
+        for prog, name in ((body_prog, "body"), (tail_prog, "epilogue")):
+            if prog is None:
+                continue
+            reason = loop_carried_safety(prog)
+            if reason is not None:
+                self._reject(f"{name} program: {reason}", permanent=True)
+                return None
+        leaf_ids = {id(t) for _, t in body_prog.grad_leaves}
+        if tail_prog is not None and \
+                {id(t) for _, t in tail_prog.grad_leaves} != leaf_ids:
+            self._reject("epilogue grad leaves differ from body grad leaves",
+                         permanent=True)
+            return None
+
+        specs = self.optimizer.capture_updates(leaf_ids)
+        # Loop-carried state can be repacked: the update set is fixed for
+        # the whole phase, so the optimizer may coalesce same-group params
+        # into flat buffers — one update kernel call per group per batch.
+        flatten = getattr(self.optimizer, "flatten_updates", None)
+        if flatten is not None:
+            specs = flatten(specs)
+        clip_params = [p for p in self.optimizer.params if id(p) in leaf_ids]
+
+        carried: Dict[str, List[np.ndarray]] = {
+            "params": [s.param.data for s in specs],
+            "opt_state": [a for s in specs for a in s.state
+                          if a is not None],
+            "leaves": [t.data for slot, t in body_prog.leaves
+                       if id(t) not in leaf_ids],
+        }
+        loop = LoopNode(body=body_prog, epilogue=tail_prog, updates=specs,
+                        carried=carried)
+        program = epoch_program(loop, body_prog.dtype)
+
+        if self.graph_exec == "source":
+            from .codegen import SourceEpochRunner
+            try:
+                return SourceEpochRunner(
+                    loop, program, body_runner, tail_runner, specs,
+                    clip_params, self.grad_clip, self.clip_kernel,
+                    self.vector_m, self.acc_index)
+            except Exception as exc:  # lowering must never break training
+                self.exec_fallbacks[key] = f"{type(exc).__name__}: {exc}"
+        return _LoopRunner(loop, program, body_runner, tail_runner, specs,
+                           clip_params, self.grad_clip, self.clip_kernel,
+                           self.vector_m, self.acc_index)

@@ -68,6 +68,7 @@ __all__ = [
     "eliminate_dead_nodes",
     "fuse_chains",
     "plan_memory",
+    "loop_carried_safety",
 ]
 
 ENV_GRAPH_OPT = "REPRO_GRAPH_OPT"
@@ -736,6 +737,46 @@ def plan_memory(program: GraphProgram) -> MemoryPlan:
         int(np.prod(shape, dtype=np.int64)) * np.dtype(dt).itemsize
         for shape, dt in plan.buffers)
     return plan
+
+
+# ----------------------------------------------------------------------
+# Loop-carried liveness
+# ----------------------------------------------------------------------
+
+def loop_carried_safety(program: GraphProgram) -> Optional[str]:
+    """Why this body cannot replay under a :class:`~.ir.LoopNode`, or None.
+
+    A loop body's leaf slots are the loop-carried state (parameters, BN
+    buffers, masks): they must survive every iteration bit-intact until
+    the between-iteration update kernels rewrite them.  The memory planner
+    is built never to scribble on leaves — this pass *proves* it for the
+    concrete plan instead of assuming it, so carried slots are treated as
+    liveness roots across iterations rather than per-replay temporaries.
+    Everything else (op outputs, ``ctx``, gradient buffers) is recomputed
+    or overwritten by the next iteration, so arena reuse across iterations
+    is safe by construction once leaves are protected.
+    """
+    plan = program.mem_plan
+    if plan is None:
+        return None  # no buffer sharing, nothing can alias a carried slot
+    leafish = {s for s, _ in program.leaves} | set(program.input_slots)
+    groups = _AliasGroups()
+    for node in program.schedule:
+        if type(node) is OpNode and node.op.view_of is not None:
+            groups.union(node.out_slot, node.in_slots[node.op.view_of])
+    def touches_leaf(slot: int) -> bool:
+        return any(m in leafish for m in groups.members(slot))
+    for idx, p in plan.inplace.items():
+        node = program.schedule[idx]
+        if touches_leaf(node.in_slots[p]) or touches_leaf(node.out_slot):
+            return (f"in-place op {node.op.name!r} overwrites storage "
+                    "aliasing a loop-carried leaf slot")
+    for idx in plan.out_buffer:
+        if touches_leaf(program.schedule[idx].out_slot):
+            return (f"arena buffer assigned to "
+                    f"{program.schedule[idx].op.name!r} output aliasing a "
+                    "loop-carried leaf slot")
+    return None
 
 
 # ----------------------------------------------------------------------

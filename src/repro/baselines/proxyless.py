@@ -32,6 +32,7 @@ from typing import Callable, List, Optional, Tuple
 import numpy as np
 
 from ..autograd import Tensor, mark_capture_unsafe, softmax
+from ..autograd.graph import CompileConfig
 from ..core.masks import kept_lags, num_gamma
 from ..core.pit_conv import PITConv1d
 from ..core.trainer import TrainResult, evaluate, train_plain
@@ -195,7 +196,9 @@ class ProxylessTrainer:
                  finetune_patience: int = 10, verbose: bool = False,
                  compile_step: Optional[bool] = None,
                  graph_opt: Optional[str] = None,
-                 graph_exec: Optional[str] = None):
+                 graph_exec: Optional[str] = None,
+                 loop_capture: Optional[bool] = None,
+                 compile_config: Optional[CompileConfig] = None):
         if not proxyless_layers(supernet):
             raise ValueError("model contains no ProxylessDilatedConv1d layers")
         self.supernet = supernet
@@ -213,9 +216,13 @@ class ProxylessTrainer:
         # supernet search epochs sample a path per batch, which the
         # graph-capture executor cannot replay, so they always run eagerly
         # (the layers mark themselves capture-unsafe as a backstop).
-        self.compile_step = compile_step
-        self.graph_opt = graph_opt
-        self.graph_exec = graph_exec
+        self.compile_config = CompileConfig.resolve(
+            compile_config, compile_step=compile_step, graph_opt=graph_opt,
+            graph_exec=graph_exec, loop_capture=loop_capture)
+        self.compile_step = self.compile_config.compile_step
+        self.graph_opt = self.compile_config.graph_opt
+        self.graph_exec = self.compile_config.graph_exec
+        self.loop_capture = self.compile_config.loop_capture
         self.derived: Optional[Module] = None
 
     def _split_params(self):
@@ -270,9 +277,7 @@ class ProxylessTrainer:
         result = train_plain(self.derived, self.loss_fn, train_loader, val_loader,
                              epochs=self.finetune_epochs, lr=self.lr,
                              patience=self.finetune_patience,
-                             compile_step=self.compile_step,
-                             graph_opt=self.graph_opt,
-                             graph_exec=self.graph_exec)
+                             compile_config=self.compile_config)
         dilations = tuple(layer.chosen_dilation()
                           for layer in proxyless_layers(self.supernet))
         if self.verbose:

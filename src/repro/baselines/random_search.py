@@ -15,6 +15,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..autograd.graph import CompileConfig
 from ..core.export import export_network
 from ..core.regularizer import pit_layers
 from ..core.search_space import layer_choices
@@ -53,9 +54,8 @@ def random_configurations(model: Module, count: int,
 def _train_configuration(seed_model: Module, config, loss_fn, train_loader,
                          val_loader, epochs: int, lr: float,
                          patience: int,
-                         compile_step: Optional[bool] = None,
-                         graph_opt: Optional[str] = None,
-                         graph_exec: Optional[str] = None) -> RandomSearchResult:
+                         compile_config: Optional[CompileConfig] = None
+                         ) -> RandomSearchResult:
     candidate = copy.deepcopy(seed_model)
     for layer, dilation in zip(pit_layers(candidate), config):
         layer.set_dilation(dilation)
@@ -63,8 +63,7 @@ def _train_configuration(seed_model: Module, config, loss_fn, train_loader,
     network = export_network(candidate)
     outcome = train_plain(network, loss_fn, train_loader, val_loader,
                           epochs=epochs, lr=lr, patience=patience,
-                          compile_step=compile_step, graph_opt=graph_opt,
-                          graph_exec=graph_exec)
+                          compile_config=compile_config)
     return RandomSearchResult(dilations=tuple(config),
                               best_val=outcome.best_val,
                               params=network.count_parameters())
@@ -76,7 +75,10 @@ def exhaustive_search(seed_model: Module, loss_fn: Callable, train_loader,
                       max_configs: int = 64,
                       compile_step: Optional[bool] = None,
                       graph_opt: Optional[str] = None,
-                      graph_exec: Optional[str] = None) -> List[RandomSearchResult]:
+                      graph_exec: Optional[str] = None,
+                      loop_capture: Optional[bool] = None,
+                      compile_config: Optional[CompileConfig] = None
+                      ) -> List[RandomSearchResult]:
     """Train *every* dilation assignment (ground truth for tiny spaces).
 
     This is the oracle PIT approximates in a single training run; the test
@@ -90,10 +92,12 @@ def exhaustive_search(seed_model: Module, loss_fn: Callable, train_loader,
     if size > max_configs:
         raise ValueError(f"search space has {size} configurations; exhaustive "
                          f"search is capped at {max_configs}")
+    cfg = CompileConfig.resolve(compile_config, compile_step=compile_step,
+                                graph_opt=graph_opt, graph_exec=graph_exec,
+                                loop_capture=loop_capture)
     return [_train_configuration(seed_model, config, loss_fn, train_loader,
                                  val_loader, epochs, lr, patience,
-                                 compile_step=compile_step, graph_opt=graph_opt,
-                                 graph_exec=graph_exec)
+                                 compile_config=cfg)
             for config in enumerate_configurations(seed_model)]
 
 
@@ -103,18 +107,24 @@ def random_search(seed_model: Module, loss_fn: Callable, train_loader, val_loade
                   rng: Optional[np.random.Generator] = None,
                   compile_step: Optional[bool] = None,
                   graph_opt: Optional[str] = None,
-                  graph_exec: Optional[str] = None
+                  graph_exec: Optional[str] = None,
+                  loop_capture: Optional[bool] = None,
+                  compile_config: Optional[CompileConfig] = None
                   ) -> List[RandomSearchResult]:
     """Train ``count`` random fixed-dilation networks; return all results.
 
-    Each candidate is a fixed (static) network, so ``compile_step=True``
-    traces its training step once and replays it for every batch.
+    Each candidate is a fixed (static) network, so the graph-execution
+    tiers selected by ``compile_config`` all apply: step compilation
+    traces each candidate's training step once and replays it per batch,
+    and ``loop_capture`` replays each whole epoch as one loop program.
     """
     rng = rng or np.random.default_rng()
+    cfg = CompileConfig.resolve(compile_config, compile_step=compile_step,
+                                graph_opt=graph_opt, graph_exec=graph_exec,
+                                loop_capture=loop_capture)
     results = []
     for config in random_configurations(seed_model, count, rng):
         results.append(_train_configuration(
             seed_model, config, loss_fn, train_loader, val_loader,
-            epochs, lr, patience, compile_step=compile_step,
-            graph_opt=graph_opt, graph_exec=graph_exec))
+            epochs, lr, patience, compile_config=cfg))
     return results

@@ -41,10 +41,15 @@ op fusion, buffer-arena planning — bit-identical results either way;
 ``--graph-exec {interp,source}`` picks the replay executor: ``interp``
 walks the precomputed plan, ``source`` runs specialized generated code
 (see README "Codegen executor"; ``REPRO_GRAPH_EXEC`` is the environment
-equivalent).  ``--dump-graph-source PATH`` writes the generated programs
-out for inspection and ``--verbose`` prints the compile diagnostics
-(executor selection, pass statistics, allocation accounting, codegen
-cache hits).
+equivalent).  ``--loop-capture`` (implies ``--compile``;
+``REPRO_LOOP_CAPTURE`` is the environment equivalent) replays each whole
+training epoch as one loop program — optimizer update kernels, gradient
+clipping and loss accounting inside, flat-packed optimizer state —
+degrading to per-step replay whenever a loop-level condition fails (see
+README "Whole-loop capture").  ``--dump-graph-source PATH`` writes the
+generated programs out for inspection and ``--verbose`` prints the
+compile diagnostics (executor selection, pass statistics, allocation
+accounting, codegen cache hits, loop replay counts and fallbacks).
 
 ``sweep`` additionally exposes the DSE engine knobs: ``--workers`` /
 ``--executor`` parallelize the grid, ``--stack N`` trains up to N
@@ -137,19 +142,18 @@ def _fixed_model(benchmark: str, dilations, width: float, seed: int):
     return temponet_fixed(dilations, width_mult=width, seed=seed)
 
 
-def _compile_flag(args: argparse.Namespace):
-    # True when --compile was given; None lets REPRO_COMPILE_STEP decide.
-    return True if getattr(args, "compile", False) else None
+def _compile_config(args: argparse.Namespace):
+    """The graph-execution knobs of this invocation as one CompileConfig.
 
-
-def _graph_opt_flag(args: argparse.Namespace):
-    # The chosen level, or None to let REPRO_GRAPH_OPT decide.
-    return getattr(args, "graph_opt", None)
-
-
-def _graph_exec_flag(args: argparse.Namespace):
-    # The chosen replay executor, or None to let REPRO_GRAPH_EXEC decide.
-    return getattr(args, "graph_exec", None)
+    store_true flags map to True-or-None (None lets the matching REPRO_*
+    environment variable decide, same as before the flag existed).
+    """
+    from .autograd.graph import CompileConfig
+    return CompileConfig(
+        compile_step=True if getattr(args, "compile", False) else None,
+        graph_opt=getattr(args, "graph_opt", None),
+        graph_exec=getattr(args, "graph_exec", None),
+        loop_capture=True if getattr(args, "loop_capture", False) else None)
 
 
 def _dump_graph_source(args: argparse.Namespace) -> None:
@@ -198,6 +202,20 @@ def _print_compile_stats(stats, phase: Optional[str] = None) -> None:
     if cache:
         print(f"{prefix}   codegen cache: entries={cache.get('entries', 0)} "
               f"hits={cache.get('hits', 0)} misses={cache.get('misses', 0)}")
+    loop = stats.get("loop")
+    if loop:
+        print(f"{prefix}   loop: replayed={loop.get('replayed_epochs', 0)} "
+              f"driven={loop.get('driven_epochs', 0)} "
+              f"exec={loop.get('graph_exec')}")
+        reason = loop.get("loop_fallback_reason")
+        if reason:
+            print(f"{prefix}   loop fallback: {reason}")
+        for key, mode in loop.get("executors", {}).items():
+            line = f"{prefix}   loop program {key}: executor={mode}"
+            fell = loop.get("exec_fallbacks", {}).get(key)
+            if fell:
+                line += f" (lowering fell back: {fell})"
+            print(line)
 
 
 def cmd_train(args: argparse.Namespace) -> int:
@@ -208,9 +226,7 @@ def cmd_train(args: argparse.Namespace) -> int:
     result = train_plain(model, _loss(args.benchmark), train_loader, val_loader,
                          epochs=args.epochs, lr=args.lr,
                          patience=args.patience,
-                         compile_step=_compile_flag(args),
-                         graph_opt=_graph_opt_flag(args),
-                         graph_exec=_graph_exec_flag(args))
+                         compile_config=_compile_config(args))
     from .core import evaluate
     test_loss = evaluate(model, _loss(args.benchmark), test_loader)
     print(f"network   : {args.benchmark} dilations={dilations or 'all-1'}")
@@ -241,8 +257,7 @@ def cmd_search(args: argparse.Namespace) -> int:
         warmup_epochs=args.warmup, max_prune_epochs=args.epochs,
         prune_patience=args.patience, finetune_epochs=args.finetune,
         finetune_patience=args.patience, verbose=not args.quiet,
-        compile_step=_compile_flag(args), graph_opt=_graph_opt_flag(args),
-        graph_exec=_graph_exec_flag(args))
+        compile_config=_compile_config(args))
     result = trainer.fit(train_loader, val_loader)
     print(f"dilations : {result.dilations}")
     print(f"val loss  : {result.best_val:.4f}")
@@ -291,9 +306,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                      executor=args.executor, cache_path=args.cache,
                      cache_tag=f"{args.benchmark}|width={args.width}"
                                f"|seed={args.seed}",
-                     compile_step=_compile_flag(args),
-                     graph_opt=_graph_opt_flag(args),
-                     graph_exec=_graph_exec_flag(args),
+                     compile_config=_compile_config(args),
                      stack=args.stack,
                      point_evaluators=evaluators)
     header = f"{'lambda':>10s} {'warmup':>6s} {'params':>8s} {'loss':>9s}"
@@ -426,6 +439,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "specialized generated code (automatic interp "
                             "fallback on lowering failure); results are "
                             "bit-identical (default: REPRO_GRAPH_EXEC)")
+        p.add_argument("--loop-capture", action="store_true",
+                       dest="loop_capture",
+                       help="capture the whole training loop: replay each "
+                            "epoch (and each PIT phase) as one loop "
+                            "program over the compiled step body, "
+                            "optimizer update kernels included; implies "
+                            "--compile, degrades to per-step replay when "
+                            "the loop cannot capture; results are "
+                            "bit-identical (default: REPRO_LOOP_CAPTURE)")
         p.add_argument("--dump-graph-source", type=str, default=None,
                        dest="dump_graph_source", metavar="PATH",
                        help="after the run, write every program the source "

@@ -51,7 +51,7 @@ from ..autograd import (
     no_grad,
     where,
 )
-from ..autograd.graph import resolve_graph_exec, resolve_graph_opt
+from ..autograd.graph import CompileConfig, CompiledEpoch
 from ..data import EpochReplayLoader
 from ..nn.losses import (
     bce_with_logits,
@@ -69,12 +69,12 @@ from ..nn.stacked import (
     register_stacked,
     stack_parameter,
 )
-from ..optim import Adam, EarlyStopping
+from ..optim import Adam, EarlyStopping, clip_grads_stacked
 from .export import effective_parameters, network_dilations
 from .masks import TimeMask, lag_gamma_indices
 from .pit_conv import PITConv1d
 from .regularizer import gamma_size_coefficients
-from .trainer import PITResult, _resolve_compile
+from .trainer import PITResult
 
 __all__ = [
     "StackedTimeMask",
@@ -401,7 +401,9 @@ class StackedPITTrainer:
                  grad_clip: Optional[float] = None, verbose: bool = False,
                  compile_step: Optional[bool] = None,
                  graph_opt: Optional[str] = None,
-                 graph_exec: Optional[str] = None):
+                 graph_exec: Optional[str] = None,
+                 loop_capture: Optional[bool] = None,
+                 compile_config: Optional[CompileConfig] = None):
         if regularizer not in ("size", "flops"):
             raise ValueError("regularizer must be 'size' or 'flops'")
         if len(lams) < 1:
@@ -423,9 +425,19 @@ class StackedPITTrainer:
         self.regularizer = regularizer
         self.grad_clip = grad_clip
         self.verbose = verbose
-        self.compile_step = _resolve_compile(compile_step)
-        self.graph_opt = resolve_graph_opt(graph_opt)
-        self.graph_exec = resolve_graph_exec(graph_exec)
+        cfg = CompileConfig.resolve(compile_config, compile_step=compile_step,
+                                    graph_opt=graph_opt,
+                                    graph_exec=graph_exec,
+                                    loop_capture=loop_capture)
+        # Resolve once at construction so a later env flip cannot split the
+        # three phases across different executors.
+        self.compile_config = CompileConfig(
+            compile_step=cfg.want_compile(), graph_opt=cfg.resolved_opt(),
+            graph_exec=cfg.resolved_exec(), loop_capture=cfg.want_loop())
+        self.compile_step = self.compile_config.compile_step
+        self.graph_opt = self.compile_config.graph_opt
+        self.graph_exec = self.compile_config.graph_exec
+        self.loop_capture = self.compile_config.loop_capture
 
         self.stacked = StackedModel(model, self.m)  # may raise StackingUnsupported
         self._pit_layers = [layer for layer in self.stacked.net.modules()
@@ -487,6 +499,20 @@ class StackedPITTrainer:
                                 graph_exec=self.graph_exec)
         return EagerStep(step_fn)
 
+    def _make_epoch(self, step, optimizer) -> Optional[CompiledEpoch]:
+        """The phase's whole-loop runner, or None when capture is off.
+
+        The per-model ``task_vec`` output (``acc_index=1``) accumulates as
+        a length-M vector, and clipping uses the stacked per-model norm —
+        otherwise identical to the sequential trainer's epoch loop.
+        """
+        if not self.loop_capture:
+            return None
+        return CompiledEpoch(step, optimizer, grad_clip=self.grad_clip,
+                             clip_fn=clip_grad_norm_stacked,
+                             clip_kernel=clip_grads_stacked,
+                             vector_m=self.m, acc_index=1)
+
     # ------------------------------------------------------------------
     def _epoch_index(self, cursors: List[int], i: int, active: List[bool]) -> int:
         # Masked models re-read their last epoch (results discarded) so the
@@ -495,27 +521,38 @@ class StackedPITTrainer:
         return cursors[i] if active[i] else max(cursors[i] - 1, 0)
 
     def _run_train_epoch(self, step, optimizer, train_view: EpochReplayLoader,
-                         cursors: List[int], active: List[bool]) -> np.ndarray:
+                         cursors: List[int], active: List[bool],
+                         epoch: Optional[CompiledEpoch] = None) -> np.ndarray:
         iters = [train_view.epoch(self._epoch_index(cursors, i, active))
                  for i in range(self.m)]
-        totals = np.zeros(self.m)
-        batches = 0
-        for parts in zip(*iters):
-            x = np.stack([part[0] for part in parts])
-            y = np.stack([part[1] for part in parts])
-            optimizer.zero_grad()
-            _, task_vec = step(x, y)
-            if self.grad_clip is not None:
-                clip_grad_norm_stacked(optimizer.params, self.grad_clip)
-            optimizer.step()
-            totals += np.asarray(task_vec)
-            batches += 1
-        if batches == 0:
-            raise ValueError("training loader produced no batches")
+        if epoch is not None:
+            # Whole-loop capture path: stack the per-model streams into the
+            # epoch's batch list and replay it as one loop program (the
+            # ``active`` mask is a loop-carried leaf, re-read per epoch).
+            batches = [(np.stack([part[0] for part in parts]),
+                        np.stack([part[1] for part in parts]))
+                       for parts in zip(*iters)]
+            totals = np.asarray(epoch.run_batches(batches))
+        else:
+            totals = np.zeros(self.m)
+            batches = 0
+            for parts in zip(*iters):
+                x = np.stack([part[0] for part in parts])
+                y = np.stack([part[1] for part in parts])
+                optimizer.zero_grad()
+                _, task_vec = step(x, y)
+                if self.grad_clip is not None:
+                    clip_grad_norm_stacked(optimizer.params, self.grad_clip)
+                optimizer.step()
+                totals += np.asarray(task_vec)
+                batches += 1
+            if batches == 0:
+                raise ValueError("training loader produced no batches")
+            totals = totals / batches
         for i in range(self.m):
             if active[i]:
                 cursors[i] += 1
-        return totals / batches
+        return totals
 
     def _run_validation(self, val_view: EpochReplayLoader,
                         cursors: List[int], active: List[bool]) -> np.ndarray:
@@ -588,10 +625,11 @@ class StackedPITTrainer:
         if self.warmup_epochs > 0:
             optimizer = Adam(weight_params, lr=self.lr)
             step = self._make_step(with_reg=False)
+            epoch = self._make_epoch(step, optimizer)
             active = [True] * m
             for _ in range(self.warmup_epochs):
                 self._run_train_epoch(step, optimizer, train_view,
-                                      train_cur, active)
+                                      train_cur, active, epoch=epoch)
                 val = self._run_validation(val_view, val_cur, active)
                 for i in range(m):
                     histories[i]["warmup_val"].append(float(val[i]))
@@ -609,6 +647,7 @@ class StackedPITTrainer:
         stoppers = [EarlyStopping(patience=self.prune_patience, mode="min")
                     for _ in range(m)]
         step = self._make_step(with_reg=True)
+        epoch = self._make_epoch(step, optimizer)
         active = [True] * m
         prune_ran = [0] * m
         snapshots: List[Optional[Dict]] = [None] * m
@@ -617,7 +656,7 @@ class StackedPITTrainer:
             if not any(active):
                 break
             self._run_train_epoch(step, optimizer, train_view,
-                                  train_cur, active)
+                                  train_cur, active, epoch=epoch)
             val = self._run_validation(val_view, val_cur, active)
             for i in range(m):
                 if not active[i]:
@@ -652,13 +691,14 @@ class StackedPITTrainer:
         # Fresh step: freezing changed the graph (per-model masks became
         # constants the optimizer passes fold away).
         step = self._make_step(with_reg=False)
+        epoch = self._make_epoch(step, optimizer)
         active = [True] * m
         finetune_ran = [0] * m
         for _ in range(self.finetune_epochs):
             if not any(active):
                 break
             self._run_train_epoch(step, optimizer, train_view,
-                                  train_cur, active)
+                                  train_cur, active, epoch=epoch)
             val = self._run_validation(val_view, val_cur, active)
             for i in range(m):
                 if not active[i]:

@@ -29,20 +29,21 @@ import numpy as np
 
 from ..autograd import Tensor
 from ..autograd.graph import (
+    CompileConfig,
+    CompiledEpoch,
     CompiledStep,
     EagerStep,
     compile_step_default,
-    resolve_graph_exec,
-    resolve_graph_opt,
 )
 from ..nn.eval_utils import mean_loss_over_loader
 from ..nn.module import Module
 from ..optim import Adam, EarlyStopping, clip_grad_norm
+from ..optim.kernels import clip_grads
 from .export import effective_parameters, network_dilations
 from .regularizer import flops_regularizer, pit_layers, size_regularizer
 
 __all__ = ["PITResult", "PITTrainer", "train_plain", "evaluate",
-           "TrainResult", "make_training_step"]
+           "TrainResult", "make_training_step", "make_epoch_runner"]
 
 LossFn = Callable[[Tensor, Tensor], Tensor]
 
@@ -69,27 +70,46 @@ def make_training_step(model: Module, loss_fn: LossFn,
                        extra_loss: Optional[Callable[[], Tensor]] = None,
                        compile_step: Optional[bool] = None,
                        graph_opt: Optional[str] = None,
-                       graph_exec: Optional[str] = None):
+                       graph_exec: Optional[str] = None,
+                       compile_config: Optional[CompileConfig] = None):
     """Build the per-batch step runner: ``step(x, y) -> (loss, task_loss)``.
 
     The runner computes the (optionally regularized) loss, backpropagates
     it into the parameters' ``.grad``, and returns both loss values as
-    floats.  With ``compile_step=True`` the step is traced on first use and
-    replayed through the :mod:`repro.autograd.graph` executor — bit-identical
-    results, no per-batch graph construction; False runs eagerly; None
-    defers to the ``REPRO_COMPILE_STEP`` environment default, like every
-    other compile knob.  ``graph_opt`` picks the optimization level applied
-    to each traced program (``"default"`` passes / ``"none"`` verbatim
-    replay); None defers to ``REPRO_GRAPH_OPT``.  ``graph_exec`` picks the
-    replay executor for compiled steps (``"interp"`` walks the plan,
-    ``"source"`` runs specialized generated code); None defers to
-    ``REPRO_GRAPH_EXEC``.  All combinations are bit-identical, so these
-    knobs only affect speed.
+    floats.  ``compile_config`` carries the compilation knobs
+    (:class:`repro.autograd.graph.CompileConfig`): with compilation on the
+    step is traced on first use and replayed through the
+    :mod:`repro.autograd.graph` executor — bit-identical results, no
+    per-batch graph construction; unset fields defer to the ``REPRO_*``
+    environment defaults.  The loose ``compile_step`` / ``graph_opt`` /
+    ``graph_exec`` kwargs survive as a deprecated shim.  All combinations
+    are bit-identical, so these knobs only affect speed.
     """
+    cfg = CompileConfig.resolve(compile_config, compile_step=compile_step,
+                                graph_opt=graph_opt, graph_exec=graph_exec)
     step_fn = _step_function(model, loss_fn, extra_loss)
-    if _resolve_compile(compile_step):
-        return CompiledStep(step_fn, optimize=graph_opt, graph_exec=graph_exec)
+    if cfg.want_compile():
+        return CompiledStep(step_fn, optimize=cfg.graph_opt,
+                            graph_exec=cfg.graph_exec)
     return EagerStep(step_fn)
+
+
+def make_epoch_runner(step, optimizer, grad_clip: Optional[float] = None,
+                      compile_config: Optional[CompileConfig] = None
+                      ) -> Optional[CompiledEpoch]:
+    """The phase's whole-loop driver when loop capture is enabled, else None.
+
+    The returned :class:`~repro.autograd.graph.CompiledEpoch` replays each
+    epoch as one loop program (clip + optimizer updates captured as
+    kernels); loop-level failures degrade to driving the compiled step per
+    batch — never to eager, which stays reserved for capture failures
+    inside the step itself.
+    """
+    cfg = CompileConfig.resolve(compile_config)
+    if not cfg.want_loop():
+        return None
+    return CompiledEpoch(step, optimizer, grad_clip=grad_clip,
+                         clip_fn=clip_grad_norm, clip_kernel=clip_grads)
 
 
 def _resolve_compile(compile_step: Optional[bool]) -> bool:
@@ -99,19 +119,26 @@ def _resolve_compile(compile_step: Optional[bool]) -> bool:
 
 def _train_epoch(model: Module, loss_fn: LossFn, optimizer, loader,
                  extra_loss: Optional[Callable[[], Tensor]] = None,
-                 grad_clip: Optional[float] = None, step=None) -> float:
+                 grad_clip: Optional[float] = None, step=None,
+                 epoch=None) -> float:
     """One optimization epoch; returns the mean (task-only) training loss.
 
     ``step`` is a runner from :func:`make_training_step`; passing one in
     lets a compiled step persist across the epochs of a training phase.
     When None, a fresh *eager* runner is built from the other arguments —
     a per-epoch temporary would re-trace every call, so compilation is
-    only worthwhile through an explicit ``step``.
+    only worthwhile through an explicit ``step``.  ``epoch`` is a
+    :func:`make_epoch_runner` driver; when given it owns the whole batch
+    loop (replaying it as one program once traced) and the remaining
+    arguments only describe the fallback it replicates.
     """
     model.train()
+    if epoch is not None:
+        return epoch.run_epoch(loader)
     if step is None:
         step = make_training_step(model, loss_fn, extra_loss,
-                                  compile_step=False)
+                                  compile_config=CompileConfig(
+                                      compile_step=False))
     total, batches = 0.0, 0
     for x, y in loader:
         optimizer.zero_grad()
@@ -147,27 +174,31 @@ def train_plain(model: Module, loss_fn: LossFn, train_loader, val_loader,
                 weight_decay: float = 0.0,
                 compile_step: Optional[bool] = None,
                 graph_opt: Optional[str] = None,
-                graph_exec: Optional[str] = None) -> TrainResult:
+                graph_exec: Optional[str] = None,
+                loop_capture: Optional[bool] = None,
+                compile_config: Optional[CompileConfig] = None) -> TrainResult:
     """Standard training with early stopping and best-state restore.
 
-    ``compile_step=True`` traces the training step once and replays it via
-    the graph executor (bit-identical, faster); None defers to the
-    ``REPRO_COMPILE_STEP`` environment default.  ``graph_opt`` picks the
-    optimization level for the traced program (None defers to
-    ``REPRO_GRAPH_OPT``); ``graph_exec`` picks the replay executor
-    (None defers to ``REPRO_GRAPH_EXEC``).
+    ``compile_config`` carries the compilation knobs
+    (:class:`repro.autograd.graph.CompileConfig`): step compilation traces
+    the training step once and replays it via the graph executor
+    (bit-identical, faster); whole-loop capture additionally replays each
+    *epoch* as one loop program.  Unset fields defer to the ``REPRO_*``
+    environment defaults; the loose kwargs survive as a deprecated shim.
     """
+    cfg = CompileConfig.resolve(compile_config, compile_step=compile_step,
+                                graph_opt=graph_opt, graph_exec=graph_exec,
+                                loop_capture=loop_capture)
     optimizer = Adam(model.parameters(), lr=lr, weight_decay=weight_decay)
     stopper = EarlyStopping(patience=patience, mode="min")
     start = time.perf_counter()
     history: List[Tuple[float, float]] = []
     ran = 0
-    step = make_training_step(model, loss_fn,
-                              compile_step=_resolve_compile(compile_step),
-                              graph_opt=graph_opt, graph_exec=graph_exec)
+    step = make_training_step(model, loss_fn, compile_config=cfg)
+    epoch = make_epoch_runner(step, optimizer, grad_clip, cfg)
     for _ in range(epochs):
         train_loss = _train_epoch(model, loss_fn, optimizer, train_loader,
-                                  grad_clip=grad_clip, step=step)
+                                  grad_clip=grad_clip, step=step, epoch=epoch)
         val_loss = evaluate(model, loss_fn, val_loader)
         history.append((train_loss, val_loss))
         ran += 1
@@ -180,14 +211,22 @@ def train_plain(model: Module, loss_fn: LossFn, train_loader, val_loader,
             else evaluate(model, loss_fn, val_loader))
     return TrainResult(best_val=best, epochs=ran,
                        seconds=time.perf_counter() - start, history=history,
-                       compile_stats=_compile_stats(step))
+                       compile_stats=_compile_stats(step, epoch))
 
 
-def _compile_stats(step) -> Optional[Dict]:
-    """Diagnostics dict for a compiled step, None otherwise (picklable)."""
-    if isinstance(step, CompiledStep):
-        return step.diagnostics()
-    return None
+def _compile_stats(step, epoch=None) -> Optional[Dict]:
+    """Diagnostics dict for a compiled step, None otherwise (picklable).
+
+    With whole-loop capture active, the epoch driver's own report (epochs
+    replayed vs driven, loop executors, fallback ladder position) rides
+    along under the ``"loop"`` key.
+    """
+    if not isinstance(step, CompiledStep):
+        return None
+    stats = step.diagnostics()
+    if epoch is not None:
+        stats["loop"] = epoch.diagnostics()
+    return stats
 
 
 @dataclass
@@ -251,6 +290,17 @@ class PITTrainer:
         (:mod:`repro.autograd.graph.codegen`) with an automatic interp
         fallback on lowering failure.  None defers to
         ``REPRO_GRAPH_EXEC``.  Bit-identical either way.
+    loop_capture:
+        True replays each phase's epochs as one loop program
+        (:class:`repro.autograd.graph.CompiledEpoch`): the compiled batch
+        body, gradient clipping and the Adam update kernels close into a
+        single :class:`~repro.autograd.graph.LoopNode` with no trainer
+        Python between batches.  Implies step compilation.  None defers to
+        ``REPRO_LOOP_CAPTURE``.  Bit-identical either way.
+    compile_config:
+        All four knobs as one :class:`repro.autograd.graph.CompileConfig`;
+        the loose kwargs above survive as a deprecated shim and lose to
+        explicit config fields.
     """
 
     def __init__(self, model: Module, loss_fn: LossFn, lam: float,
@@ -262,7 +312,9 @@ class PITTrainer:
                  grad_clip: Optional[float] = None, verbose: bool = False,
                  compile_step: Optional[bool] = None,
                  graph_opt: Optional[str] = None,
-                 graph_exec: Optional[str] = None):
+                 graph_exec: Optional[str] = None,
+                 loop_capture: Optional[bool] = None,
+                 compile_config: Optional[CompileConfig] = None):
         if regularizer not in ("size", "flops"):
             raise ValueError("regularizer must be 'size' or 'flops'")
         self.model = model
@@ -279,9 +331,19 @@ class PITTrainer:
         self.channel_lam = channel_lam
         self.grad_clip = grad_clip
         self.verbose = verbose
-        self.compile_step = _resolve_compile(compile_step)
-        self.graph_opt = resolve_graph_opt(graph_opt)
-        self.graph_exec = resolve_graph_exec(graph_exec)
+        cfg = CompileConfig.resolve(compile_config, compile_step=compile_step,
+                                    graph_opt=graph_opt,
+                                    graph_exec=graph_exec,
+                                    loop_capture=loop_capture)
+        # Environment-deferred fields resolve at construction (as the loose
+        # knobs always did), so fit() ignores later env flips.
+        self.compile_config = CompileConfig(
+            compile_step=cfg.want_compile(), graph_opt=cfg.resolved_opt(),
+            graph_exec=cfg.resolved_exec(), loop_capture=cfg.want_loop())
+        self.compile_step = self.compile_config.compile_step
+        self.graph_opt = self.compile_config.graph_opt
+        self.graph_exec = self.compile_config.graph_exec
+        self.loop_capture = self.compile_config.loop_capture
         if not self._searchable_layers():
             raise ValueError("model contains no searchable (PITConv1d / "
                              "PITChannelConv1d) layers")
@@ -327,15 +389,15 @@ class PITTrainer:
         if self.warmup_epochs > 0:
             optimizer = Adam(weight_params, lr=self.lr)
             step = make_training_step(self.model, self.loss_fn,
-                                      compile_step=self.compile_step,
-                                      graph_opt=self.graph_opt,
-                                      graph_exec=self.graph_exec)
+                                      compile_config=self.compile_config)
+            epoch = make_epoch_runner(step, optimizer, self.grad_clip,
+                                      self.compile_config)
             for _ in range(self.warmup_epochs):
                 _train_epoch(self.model, self.loss_fn, optimizer, train_loader,
-                             grad_clip=self.grad_clip, step=step)
+                             grad_clip=self.grad_clip, step=step, epoch=epoch)
                 history["warmup_val"].append(evaluate(self.model, self.loss_fn, val_loader))
                 warmup_ran += 1
-            stats = _compile_stats(step)
+            stats = _compile_stats(step, epoch)
             if stats is not None:
                 compile_stats["warmup"] = stats
             self._log(f"warmup done, val={history['warmup_val'][-1]:.4f}")
@@ -352,13 +414,13 @@ class PITTrainer:
         prune_ran = 0
         step = make_training_step(self.model, self.loss_fn,
                                   extra_loss=self._regularizer_term,
-                                  compile_step=self.compile_step,
-                                  graph_opt=self.graph_opt,
-                                  graph_exec=self.graph_exec)
+                                  compile_config=self.compile_config)
+        epoch = make_epoch_runner(step, optimizer, self.grad_clip,
+                                  self.compile_config)
         for _ in range(self.max_prune_epochs):
             _train_epoch(self.model, self.loss_fn, optimizer, train_loader,
                          extra_loss=self._regularizer_term,
-                         grad_clip=self.grad_clip, step=step)
+                         grad_clip=self.grad_clip, step=step, epoch=epoch)
             val_loss = evaluate(self.model, self.loss_fn, val_loader)
             history["prune_val"].append(val_loss)
             history["prune_params"].append(float(effective_parameters(self.model)))
@@ -366,7 +428,7 @@ class PITTrainer:
             stopper.update(val_loss)
             if stopper.should_stop:
                 break
-        stats = _compile_stats(step)
+        stats = _compile_stats(step, epoch)
         if stats is not None:
             compile_stats["prune"] = stats
         prune_seconds = time.perf_counter() - start
@@ -383,19 +445,19 @@ class PITTrainer:
         # Fresh step: freezing changed the graph (masks became constants,
         # which the graph optimizer folds away entirely).
         step = make_training_step(self.model, self.loss_fn,
-                                  compile_step=self.compile_step,
-                                  graph_opt=self.graph_opt,
-                                  graph_exec=self.graph_exec)
+                                  compile_config=self.compile_config)
+        epoch = make_epoch_runner(step, optimizer, self.grad_clip,
+                                  self.compile_config)
         for _ in range(self.finetune_epochs):
             _train_epoch(self.model, self.loss_fn, optimizer, train_loader,
-                         grad_clip=self.grad_clip, step=step)
+                         grad_clip=self.grad_clip, step=step, epoch=epoch)
             val_loss = evaluate(self.model, self.loss_fn, val_loader)
             history["finetune_val"].append(val_loss)
             finetune_ran += 1
             stopper.update(val_loss, state=self.model.state_dict())
             if stopper.should_stop:
                 break
-        stats = _compile_stats(step)
+        stats = _compile_stats(step, epoch)
         if stats is not None:
             compile_stats["finetune"] = stats
         if stopper.best_state is not None:

@@ -61,6 +61,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..autograd import current_backend, use_backend
+from ..autograd.graph import CompileConfig
 from ..core.stacked import StackedPITTrainer
 from ..core.trainer import PITResult, PITTrainer
 from ..data import DataLoader, clone_loader
@@ -417,9 +418,7 @@ def _worker_loader(template, role: str = "train") -> "DataLoader":
 def _train_grid_point(seed_factory: Callable[[], Module], loss_fn: Callable,
                       train_loader, val_loader, lam: float, warmup: int,
                       trainer_kwargs: Dict, backend: str,
-                      compile_step: Optional[bool] = None,
-                      graph_opt: Optional[str] = None,
-                      graph_exec: Optional[str] = None,
+                      compile_cfg: Optional[CompileConfig] = None,
                       point_evaluators: Optional[Sequence[Callable]] = None
                       ) -> DSEPoint:
     """Train one (λ, warmup) grid point from a fresh seed.
@@ -432,11 +431,13 @@ def _train_grid_point(seed_factory: Callable[[], Module], loss_fn: Callable,
     thread-local :func:`use_backend` scope so the whole grid point trains
     under exactly the backend its cache key records, even if a spawned
     worker's import-time default differs or another thread switches
-    backends mid-sweep.  ``compile_step`` turns on the graph-capture
-    executor inside the worker's :class:`PITTrainer`: each grid point
-    traces its step once per phase and replays it for every batch — the
+    backends mid-sweep.  ``compile_cfg`` (a picklable
+    :class:`repro.autograd.graph.CompileConfig`) selects the execution
+    tier inside the worker's :class:`PITTrainer` — step compilation,
+    optimization level, executor mode and whole-loop capture — with each
+    grid point tracing once per phase and replaying for every batch; the
     compiled-vs-eager bit-parity guarantee is what lets cached and fresh
-    results mix freely (cache keys do not record the flag).
+    results mix freely (cache keys do not record any of these knobs).
     ``point_evaluators`` run after training, while the trained model is
     still in hand, and merge their returned dicts into ``DSEPoint.metrics``
     — still inside the backend scope, so evaluation forward passes use the
@@ -446,8 +447,7 @@ def _train_grid_point(seed_factory: Callable[[], Module], loss_fn: Callable,
     val_loader = _worker_loader(val_loader, "val")
     model = seed_factory()
     trainer = PITTrainer(model, loss_fn, lam=lam, warmup_epochs=warmup,
-                         compile_step=compile_step, graph_opt=graph_opt,
-                         graph_exec=graph_exec, **trainer_kwargs)
+                         compile_config=compile_cfg, **trainer_kwargs)
     with use_backend(backend):
         result = trainer.fit(train_loader, val_loader)
         point = DSEPoint(
@@ -465,9 +465,7 @@ def _train_grid_stack(seed_factory: Callable[[], Module], loss_fn: Callable,
                       train_loader, val_loader, warmup: int,
                       lams: Sequence[float], trainer_kwargs: Dict,
                       backend: str,
-                      compile_step: Optional[bool] = None,
-                      graph_opt: Optional[str] = None,
-                      graph_exec: Optional[str] = None,
+                      compile_cfg: Optional[CompileConfig] = None,
                       point_evaluators: Optional[Sequence[Callable]] = None
                       ) -> List[DSEPoint]:
     """Train a group of same-warmup grid points as one weight-stacked run.
@@ -487,14 +485,12 @@ def _train_grid_stack(seed_factory: Callable[[], Module], loss_fn: Callable,
         try:
             trainer = StackedPITTrainer(
                 template, loss_fn, lams=lams, warmup_epochs=warmup,
-                compile_step=compile_step, graph_opt=graph_opt,
-                graph_exec=graph_exec, **trainer_kwargs)
+                compile_config=compile_cfg, **trainer_kwargs)
             results = trainer.fit(train_loader, val_loader)
         except StackingUnsupported:
             return [_train_grid_point(seed_factory, loss_fn, train_loader,
                                       val_loader, lam, warmup, trainer_kwargs,
-                                      backend, compile_step, graph_opt,
-                                      graph_exec, point_evaluators)
+                                      backend, compile_cfg, point_evaluators)
                     for lam in lams]
         points = []
         for i, result in enumerate(results):
@@ -518,9 +514,7 @@ def _train_grid_chunk(seed_factory: Callable[[], Module], loss_fn: Callable,
                       train_loader, val_loader,
                       chunk: Sequence[Tuple[int, float]],
                       trainer_kwargs: Dict, backend: str,
-                      compile_step: Optional[bool] = None,
-                      graph_opt: Optional[str] = None,
-                      graph_exec: Optional[str] = None,
+                      compile_cfg: Optional[CompileConfig] = None,
                       point_evaluators: Optional[Sequence[Callable]] = None
                       ) -> List[DSEPoint]:
     """One worker task: a list of ``(warmup, lam)`` points, all same warmup.
@@ -533,13 +527,12 @@ def _train_grid_chunk(seed_factory: Callable[[], Module], loss_fn: Callable,
         warmup, lam = chunk[0]
         return [_train_grid_point(seed_factory, loss_fn, train_loader,
                                   val_loader, lam, warmup, trainer_kwargs,
-                                  backend, compile_step, graph_opt,
-                                  graph_exec, point_evaluators)]
+                                  backend, compile_cfg, point_evaluators)]
     warmup = chunk[0][0]
     return _train_grid_stack(seed_factory, loss_fn, train_loader, val_loader,
                              warmup, [lam for _, lam in chunk],
-                             trainer_kwargs, backend, compile_step, graph_opt,
-                             graph_exec, point_evaluators)
+                             trainer_kwargs, backend, compile_cfg,
+                             point_evaluators)
 
 
 def evaluator_name(evaluator: Callable) -> str:
@@ -596,14 +589,19 @@ class DSEEngine:
     trainer_kwargs:
         Extra :class:`PITTrainer` arguments shared by every grid point
         (``lam`` / ``warmup_epochs`` are stripped: the grid owns them;
-        ``compile_step`` is stripped into the engine knob below).
-    compile_step:
-        Train every grid point through the graph-capture executor
-        (``PITTrainer(compile_step=...)``): each worker traces one step per
-        phase and replays it with preallocated buffers.  Deliberately *not*
-        part of the cache key — compiled steps are bit-identical to eager,
-        so points trained either way are interchangeable.  None defers to
-        ``REPRO_COMPILE_STEP``.
+        the graph-execution knobs are stripped into ``compile_config``).
+    compile_config:
+        A :class:`repro.autograd.graph.CompileConfig` selecting the
+        execution tier for every grid point — step compilation
+        (``compile_step``), optimization level (``graph_opt``), executor
+        mode (``graph_exec``) and whole-loop capture (``loop_capture``).
+        Picklable, so it ships to process-pool workers as-is; ``None``
+        fields defer to the ``REPRO_*`` environment inside each worker.
+        Deliberately *not* part of the cache key — every tier is
+        bit-identical to eager, so points trained under any of them are
+        interchangeable.  The loose ``compile_step`` / ``graph_opt`` /
+        ``graph_exec`` / ``loop_capture`` keyword arguments survive as a
+        deprecated shim (config fields win).
     stack:
         Stacked-model execution width: up to ``stack`` same-warmup grid
         points train as *one* weight-stacked model
@@ -639,6 +637,8 @@ class DSEEngine:
                  compile_step: Optional[bool] = None,
                  graph_opt: Optional[str] = None,
                  graph_exec: Optional[str] = None,
+                 loop_capture: Optional[bool] = None,
+                 compile_config: Optional[CompileConfig] = None,
                  stack: Optional[int] = None,
                  point_evaluators: Optional[Sequence[Callable]] = None):
         if executor not in ("thread", "process"):
@@ -657,17 +657,29 @@ class DSEEngine:
         self.trainer_kwargs = dict(trainer_kwargs or {})
         self.trainer_kwargs.pop("lam", None)
         self.trainer_kwargs.pop("warmup_epochs", None)
+        # The graph-execution knobs are execution-speed knobs with
+        # bit-identical results, so all of them are stripped from
+        # trainer_kwargs and kept out of cache keys.  Engine kwargs win
+        # over trainer_kwargs spellings; an explicit CompileConfig wins
+        # over both loose layers.
+        kwargs_cfg = self.trainer_kwargs.pop("compile_config", None)
         kwargs_compile = self.trainer_kwargs.pop("compile_step", None)
-        self.compile_step = compile_step if compile_step is not None else kwargs_compile
-        # Like compile_step: an execution-speed knob, bit-identical results,
-        # so it is stripped from trainer_kwargs and kept out of cache keys.
         kwargs_opt = self.trainer_kwargs.pop("graph_opt", None)
-        self.graph_opt = graph_opt if graph_opt is not None else kwargs_opt
-        # Same discipline for the replay-executor selector: source-mode
-        # replay is bit-identical to the interpreter, so the knob stays
-        # out of cache keys too.
         kwargs_exec = self.trainer_kwargs.pop("graph_exec", None)
-        self.graph_exec = graph_exec if graph_exec is not None else kwargs_exec
+        kwargs_loop = self.trainer_kwargs.pop("loop_capture", None)
+        cfg = CompileConfig.resolve(
+            compile_config if compile_config is not None else kwargs_cfg,
+            compile_step=(compile_step if compile_step is not None
+                          else kwargs_compile),
+            graph_opt=graph_opt if graph_opt is not None else kwargs_opt,
+            graph_exec=graph_exec if graph_exec is not None else kwargs_exec,
+            loop_capture=(loop_capture if loop_capture is not None
+                          else kwargs_loop))
+        self.compile_config = cfg.validate()
+        self.compile_step = cfg.compile_step
+        self.graph_opt = cfg.graph_opt
+        self.graph_exec = cfg.graph_exec
+        self.loop_capture = cfg.loop_capture
         # Stack width: how many same-warmup grid points train as one
         # weight-stacked model (see repro.core.StackedPITTrainer).  An
         # execution-speed knob like compile_step/graph_opt — results match
@@ -696,16 +708,14 @@ class DSEEngine:
         return _train_grid_point(self.seed_factory, self.loss_fn,
                                  self.train_loader, self.val_loader,
                                  lam, warmup, self.trainer_kwargs,
-                                 self._run_backend, self.compile_step,
-                                 self.graph_opt, self.graph_exec,
+                                 self._run_backend, self.compile_config,
                                  self.point_evaluators)
 
     def _train_chunk(self, chunk: Sequence[Tuple[int, float]]) -> List[DSEPoint]:
         return _train_grid_chunk(self.seed_factory, self.loss_fn,
                                  self.train_loader, self.val_loader,
                                  chunk, self.trainer_kwargs,
-                                 self._run_backend, self.compile_step,
-                                 self.graph_opt, self.graph_exec,
+                                 self._run_backend, self.compile_config,
                                  self.point_evaluators)
 
     def _chunk_pending(self, pending: Sequence[Tuple[int, int, float]]
@@ -770,8 +780,7 @@ class DSEEngine:
                                     self.train_loader, self.val_loader,
                                     [(warmup, lam) for _, warmup, lam in chunk],
                                     self.trainer_kwargs,
-                                    self._run_backend, self.compile_step,
-                                    self.graph_opt, self.graph_exec,
+                                    self._run_backend, self.compile_config,
                                     self.point_evaluators):
                         [index for index, _, _ in chunk]
                         for chunk in chunks}
@@ -833,6 +842,8 @@ def run_dse(seed_factory: Callable[[], Module], loss_fn: Callable,
             compile_step: Optional[bool] = None,
             graph_opt: Optional[str] = None,
             graph_exec: Optional[str] = None,
+            loop_capture: Optional[bool] = None,
+            compile_config: Optional[CompileConfig] = None,
             stack: Optional[int] = None,
             point_evaluators: Optional[Sequence[Callable]] = None
             ) -> DSEResult:
@@ -840,8 +851,8 @@ def run_dse(seed_factory: Callable[[], Module], loss_fn: Callable,
 
     Thin wrapper over :class:`DSEEngine` kept for API compatibility;
     ``workers`` / ``executor`` / ``cache_path`` / ``cache_tag`` /
-    ``compile_step`` / ``stack`` / ``point_evaluators`` expose the
-    engine's parallelism, memoization, graph-compilation, stacked-model
+    ``compile_config`` / ``stack`` / ``point_evaluators`` expose the
+    engine's parallelism, memoization, graph-execution, stacked-model
     and hardware-in-the-loop knobs.
     """
     engine = DSEEngine(seed_factory, loss_fn, train_loader, val_loader,
@@ -850,6 +861,8 @@ def run_dse(seed_factory: Callable[[], Module], loss_fn: Callable,
                        trainer_kwargs=trainer_kwargs,
                        verbose=verbose, compile_step=compile_step,
                        graph_opt=graph_opt, graph_exec=graph_exec,
+                       loop_capture=loop_capture,
+                       compile_config=compile_config,
                        stack=stack,
                        point_evaluators=point_evaluators)
     return engine.run(lambdas, warmups=warmups)

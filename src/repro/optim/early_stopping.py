@@ -4,14 +4,21 @@ The paper uses validation-loss convergence to end PIT's pruning phase
 (Algorithm 1, "while not converged") and an early-stop patience of 50
 epochs in the ProxylessNAS comparison (Sec. IV-C).  This helper implements
 the standard patience-based criterion with best-state checkpointing.
+
+The numeric bookkeeping (best / stale counter / stop flag) lives in 0-d
+numpy arrays updated by :func:`repro.optim.kernels.early_stop_update`, so
+a captured training schedule can carry the convergence state as data; the
+Python-level attributes are read-only views over those arrays.
 """
 
 from __future__ import annotations
 
 import copy
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
+
+from .kernels import early_stop_update
 
 __all__ = ["EarlyStopping"]
 
@@ -38,29 +45,41 @@ class EarlyStopping:
         self.patience = patience
         self.min_delta = min_delta
         self.mode = mode
-        self.best: Optional[float] = None
+        self._sign = 1.0 if mode == "min" else -1.0
         self.best_state: Optional[Dict[str, np.ndarray]] = None
-        self.stale = 0
-        self.should_stop = False
+        self._best = np.zeros((), dtype=np.float64)
+        self._stale = np.zeros((), dtype=np.int64)
+        self._stop = np.zeros((), dtype=bool)
+        self._seen = np.zeros((), dtype=bool)
+
+    @property
+    def best(self) -> Optional[float]:
+        return float(self._best) if bool(self._seen) else None
+
+    @property
+    def stale(self) -> int:
+        return int(self._stale)
+
+    @property
+    def should_stop(self) -> bool:
+        return bool(self._stop)
+
+    def carried_state(self) -> Tuple[np.ndarray, ...]:
+        """The loop-carried convergence arrays ``(best, stale, stop, seen)``."""
+        return (self._best, self._stale, self._stop, self._seen)
 
     def update(self, metric: float, state: Optional[Dict[str, np.ndarray]] = None) -> bool:
         """Record one observation; return True when it improved the best."""
-        improved = self.best is None or (
-            metric < self.best - self.min_delta if self.mode == "min"
-            else metric > self.best + self.min_delta)
-        if improved:
-            self.best = metric
-            self.stale = 0
-            if state is not None:
-                self.best_state = copy.deepcopy(state)
-        else:
-            self.stale += 1
-            if self.stale >= self.patience:
-                self.should_stop = True
+        improved = early_stop_update(
+            self._best, self._stale, self._stop, self._seen,
+            metric, self.min_delta, self.patience, self._sign)
+        if improved and state is not None:
+            self.best_state = copy.deepcopy(state)
         return improved
 
     def reset(self) -> None:
-        self.best = None
         self.best_state = None
-        self.stale = 0
-        self.should_stop = False
+        self._best[...] = 0.0
+        self._stale[...] = 0
+        self._stop[...] = False
+        self._seen[...] = False

@@ -1,0 +1,258 @@
+"""Pure update kernels: optimizer steps and training bookkeeping as data.
+
+The eager :class:`~repro.optim.optimizers.Adam` / ``SGD`` loops and the
+early-stopping counter are side-effecting Python methods over object
+attributes — invisible to the graph executor.  This module re-expresses
+each of them as a *pure kernel*: a module-level function whose entire
+state is the numpy arrays passed in (parameter storage, moment buffers,
+0-d step counters).  The eager optimizers delegate to these kernels, so
+eager numerics are unchanged bit for bit — and the whole-loop capture
+path (:mod:`repro.autograd.graph.loop`) can record the very same kernel
+calls as :class:`UpdateKernelSpec` entries inside a
+:class:`~repro.autograd.graph.ir.LoopNode`, where they run once per batch
+with zero per-batch trainer Python.  State lives in data, exactly like
+the stacked trainer's ``active`` mask.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "UpdateKernelSpec",
+    "FlatParam",
+    "StepCounters",
+    "FLAT_PACK_MAX_ELEMENTS",
+    "adam_update",
+    "sgd_update",
+    "clip_grads",
+    "clip_grads_stacked",
+    "early_stop_update",
+]
+
+# Parameters larger than this stay unpacked: the per-batch gradient gather
+# costs one memory pass over the parameter, which beats the per-call numpy
+# dispatch it saves only while the array is small (the dispatch-bound
+# regime whole-loop capture targets).
+FLAT_PACK_MAX_ELEMENTS = 16384
+
+
+class UpdateKernelSpec:
+    """One captured post-batch parameter update inside a loop body.
+
+    ``kernel(param.data, param.grad, *state, *hyper(group))`` must perform
+    the exact in-place update the owning optimizer's eager ``step()`` would
+    for this parameter.  ``state`` holds the loop-carried arrays (Adam
+    moments, the 0-d step counter, SGD velocity); ``hyper`` reads the
+    scalar hyperparameters out of the (mutable) param-group dict — re-read
+    once per epoch replay, so between-epoch ``set_lr`` calls stay visible.
+    """
+
+    __slots__ = ("param", "kernel", "state", "hyper", "group", "label")
+
+    def __init__(self, param, kernel: Callable, state: Tuple,
+                 hyper: Callable[[dict], Tuple], group: dict, label: str):
+        self.param = param
+        self.kernel = kernel
+        self.state = state
+        self.hyper = hyper
+        self.group = group
+        self.label = label
+
+    def __repr__(self) -> str:
+        return f"UpdateKernelSpec({self.label}, state={len(self.state)})"
+
+
+class FlatParam:
+    """Contiguous stand-in for a pack of same-group parameters.
+
+    A loop-carried epoch knows its update set is fixed, so same-group
+    parameters can share one flat storage buffer: each member's ``.data``
+    is rebound to a view of ``self.data``, and the pack then satisfies the
+    ``UpdateKernelSpec`` contract — ``.data`` is the flat array, ``.grad``
+    gathers the members' gradients (read fresh: replay may adopt a new
+    gradient array per batch) into one scratch buffer.  The update kernels
+    are elementwise over ``(data, grad, state)``, so one kernel call over
+    the pack is bit-identical to one call per member.
+    """
+
+    __slots__ = ("data", "_scratch_grad", "_members", "_views", "_spans")
+
+    def __init__(self, members: Sequence):
+        sizes = [int(p.data.size) for p in members]
+        total = sum(sizes)
+        dtype = members[0].data.dtype
+        flat = np.empty(total, dtype=dtype)
+        self._scratch_grad = np.empty(total, dtype=dtype)
+        self._members = list(members)
+        self._views = []
+        self._spans = []
+        offset = 0
+        for p, n in zip(members, sizes):
+            flat[offset:offset + n] = p.data.ravel()
+            view = flat[offset:offset + n].reshape(p.data.shape)
+            p.data = view
+            self._views.append(view)
+            self._spans.append((offset, offset + n))
+            offset += n
+        self.data = flat
+
+    @property
+    def grad(self) -> np.ndarray:
+        buf = self._scratch_grad
+        for p, (start, end) in zip(self._members, self._spans):
+            buf[start:end] = p.grad.ravel()
+        return buf
+
+    def resync(self) -> None:
+        """Re-adopt members whose ``.data`` was rebound since packing.
+
+        In-place mutation (eager steps, ``load_state_dict``) flows through
+        the views automatically; only a rebind of a member's ``.data`` to a
+        fresh array desyncs the pack.  Called once per epoch replay.
+        """
+        flat = self.data
+        for p, view, (start, end) in zip(self._members, self._views,
+                                         self._spans):
+            if p.data is not view:
+                flat[start:end] = np.asarray(p.data).ravel()
+                p.data = view
+
+    def __repr__(self) -> str:
+        return f"FlatParam({len(self._members)} params, {self.data.size} elems)"
+
+
+class StepCounters:
+    """Duck-typed ``t`` for a flat pack: every member's 0-d counter in lockstep.
+
+    :func:`adam_update` only does ``t += 1`` and ``int(t)``; this advances
+    each member's per-parameter counter (so eager ``step()`` interop stays
+    exact) while reading the shared step count from the first.  Packing
+    requires the members' counts to be equal, and replay keeps them so.
+    """
+
+    __slots__ = ("arrays",)
+
+    def __init__(self, arrays: Sequence[np.ndarray]):
+        self.arrays = list(arrays)
+
+    def __iadd__(self, other: int) -> "StepCounters":
+        for a in self.arrays:
+            a += other
+        return self
+
+    def __int__(self) -> int:
+        return int(self.arrays[0])
+
+    def __repr__(self) -> str:
+        return f"StepCounters({len(self.arrays)} at t={int(self)})"
+
+
+def adam_update(data: np.ndarray, grad: np.ndarray,
+                m: np.ndarray, v: np.ndarray, t: np.ndarray,
+                lr: float, beta1: float, beta2: float, eps: float,
+                weight_decay: float, decoupled: bool) -> None:
+    """One Adam step on one parameter, all state passed in.
+
+    ``t`` is the 0-d int64 step counter, incremented in place; the bias
+    corrections use it as a Python int so ``beta ** t`` stays a float and
+    never promotes float32 parameters (NEP 50).  The op order replicates
+    the historical eager loop exactly — bit-identical trajectories.
+    """
+    if weight_decay and not decoupled:
+        grad = grad + weight_decay * data
+    t += 1
+    step = int(t)
+    m *= beta1
+    m += (1 - beta1) * grad
+    v *= beta2
+    v += (1 - beta2) * grad * grad
+    m_hat = m / (1 - beta1 ** step)
+    v_hat = v / (1 - beta2 ** step)
+    update = m_hat / (np.sqrt(v_hat) + eps)
+    if weight_decay and decoupled:
+        update = update + weight_decay * data
+    data -= lr * update
+
+
+def sgd_update(data: np.ndarray, grad: np.ndarray,
+               velocity: Optional[np.ndarray],
+               lr: float, momentum: float, weight_decay: float,
+               nesterov: bool) -> None:
+    """One SGD step on one parameter (``velocity`` is None when momentum=0)."""
+    if weight_decay:
+        grad = grad + weight_decay * data
+    if momentum:
+        velocity *= momentum
+        velocity += grad
+        grad = grad + momentum * velocity if nesterov else velocity
+    data -= lr * grad
+
+
+def clip_grads(grads: Sequence[np.ndarray], max_norm: float) -> float:
+    """Global-L2 gradient clipping over bare arrays (in place).
+
+    The array-level core of :func:`repro.optim.clip_grad_norm`: same
+    accumulation order, same scale condition, so clipping inside a
+    replayed loop body is bit-identical to the eager per-batch call.
+    """
+    total = 0.0
+    for g in grads:
+        total += float(np.sum(g * g))
+    norm = math.sqrt(total)
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        for g in grads:
+            g *= scale
+    return norm
+
+
+def clip_grads_stacked(grads: Sequence[np.ndarray], max_norm: float
+                       ) -> np.ndarray:
+    """Per-model gradient clipping over stacked ``(M, ...)`` arrays.
+
+    Array-level core of :func:`repro.core.clip_grad_norm_stacked`: each
+    model slice is clipped on its own global norm, matching M independent
+    :func:`clip_grads` calls.
+    """
+    if not grads:
+        return np.zeros(0)
+    m = grads[0].shape[0]
+    total = np.zeros(m)
+    for g in grads:
+        total += (g * g).reshape(m, -1).sum(axis=1)
+    norms = np.sqrt(total)
+    scales = np.where(norms > max_norm, max_norm / np.maximum(norms, 1e-300),
+                      1.0)
+    if np.any(scales < 1.0):
+        for g in grads:
+            g *= scales.reshape((m,) + (1,) * (g.ndim - 1))
+    return norms
+
+
+def early_stop_update(best: np.ndarray, stale: np.ndarray, stop: np.ndarray,
+                      seen: np.ndarray, metric: float, min_delta: float,
+                      patience: int, sign: float) -> bool:
+    """Patience-based convergence bookkeeping on 0-d state arrays.
+
+    ``sign`` is ``+1.0`` for ``mode="min"`` and ``-1.0`` for ``"max"``;
+    multiplying by it folds both modes into one exact comparison
+    (negation is lossless).  Returns True when ``metric`` improved the
+    best.  All counters are loop-carried data: ``best`` (float64),
+    ``stale`` (int64), ``stop`` / ``seen`` (bool) — the state a captured
+    training schedule carries across epochs.
+    """
+    improved = (not bool(seen)
+                or sign * metric < sign * float(best) - min_delta)
+    if improved:
+        best[...] = metric
+        stale[...] = 0
+        seen[...] = True
+    else:
+        stale += 1
+        if int(stale) >= patience:
+            stop[...] = True
+    return improved

@@ -8,6 +8,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..nn.module import Parameter
+from .kernels import clip_grads
 from .optimizers import Optimizer
 
 __all__ = ["StepLR", "CosineAnnealingLR", "ReduceLROnPlateau", "clip_grad_norm"]
@@ -84,13 +85,4 @@ def clip_grad_norm(params: Sequence[Parameter], max_norm: float) -> float:
 
     Returns the pre-clipping norm (useful for logging training health).
     """
-    total = 0.0
-    grads = [p.grad for p in params if p.grad is not None]
-    for g in grads:
-        total += float(np.sum(g * g))
-    norm = math.sqrt(total)
-    if norm > max_norm and norm > 0:
-        scale = max_norm / norm
-        for g in grads:
-            g *= scale
-    return norm
+    return clip_grads([p.grad for p in params if p.grad is not None], max_norm)

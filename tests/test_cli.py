@@ -270,7 +270,9 @@ class TestTrain:
 
     def test_train_verbose_without_compile_explains(self, capsys, monkeypatch):
         # An eager step has no diagnostics; --verbose must say why.
+        # REPRO_LOOP_CAPTURE implies compilation, so clear it too.
         monkeypatch.delenv("REPRO_COMPILE_STEP", raising=False)
+        monkeypatch.delenv("REPRO_LOOP_CAPTURE", raising=False)
         code = main(["train", "--benchmark", "ppg", "--width", "0.1",
                      "--epochs", "1", "--patience", "1", "--quiet",
                      "--verbose"])
