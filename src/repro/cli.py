@@ -308,12 +308,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                                f"|seed={args.seed}",
                      compile_config=_compile_config(args),
                      stack=args.stack,
-                     point_evaluators=evaluators)
+                     point_evaluators=evaluators,
+                     retries=args.retries,
+                     point_timeout=args.point_timeout)
     header = f"{'lambda':>10s} {'warmup':>6s} {'params':>8s} {'loss':>9s}"
     if args.hw:
         header += f" {'int8 loss':>9s} {'lat ms':>8s} {'mJ':>7s}"
     print(header + "  dilations")
-    for p in sorted(result.points, key=lambda q: q.params):
+    for p in sorted(result.ok_points, key=lambda q: q.params):
         line = (f"{p.lam:>10g} {p.warmup_epochs:>6d} {p.params:>8d} "
                 f"{p.loss:>9.4f}")
         if args.hw:
@@ -322,6 +324,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                      f"{p.metrics.get('latency_ms', nan):>8.1f} "
                      f"{p.metrics.get('energy_mj', nan):>7.2f}")
         print(line + f"  {p.dilations}")
+    failed = result.failed_points
+    if failed:
+        from .evaluation import format_failures
+        print(f"\n{len(failed)} grid point(s) FAILED:")
+        print(format_failures(failed))
     _dump_graph_source(args)
     front = result.pareto()
     print(f"pareto front: {[(p.params, round(p.loss, 4)) for p in front]}")
@@ -379,7 +386,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(serve(network, host=args.host, port=args.port,
                           capacity=args.capacity,
                           queue_size=args.queue_size,
-                          max_sessions=args.max_sessions))
+                          max_sessions=args.max_sessions,
+                          client_timeout=args.client_timeout))
     except KeyboardInterrupt:
         print("interrupted", file=sys.stderr)
     return 0
@@ -485,11 +493,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--lambdas", type=float, nargs="+",
                          default=[0.0, 0.02, 0.2])
     p_sweep.add_argument("--warmups", type=int, nargs="+", default=[2])
-    p_sweep.add_argument("--workers", type=int, default=0,
-                         help="DSE worker pool size (0/1 = serial)")
+    p_sweep.add_argument("--workers", type=int, default=None,
+                         help="DSE worker pool size (0/1 = serial; default: "
+                              "REPRO_DSE_WORKERS or 0)")
     p_sweep.add_argument("--executor", choices=("thread", "process"),
-                         default="thread",
-                         help="worker pool flavour for parallel sweeps")
+                         default=None,
+                         help="worker pool flavour for parallel sweeps "
+                              "(default: REPRO_DSE_EXECUTOR or thread)")
     p_sweep.add_argument("--cache", type=str, default=None,
                          help="JSON results cache; completed (lambda, warmup) "
                               "points are skipped on re-runs")
@@ -507,6 +517,14 @@ def build_parser() -> argparse.ArgumentParser:
                               "quantized-loss metrics")
     p_sweep.add_argument("--bits", type=int, default=8,
                          help="quantization bit width for --hw")
+    p_sweep.add_argument("--retries", type=int, default=0,
+                         help="retry a failing grid point up to N times with "
+                              "exponential backoff before marking it failed "
+                              "(diverged points are never retried)")
+    p_sweep.add_argument("--point-timeout", type=float, default=None,
+                         help="per-point training budget in seconds; a chunk "
+                              "that exceeds it is cancelled and its points "
+                              "marked failed (default: no timeout)")
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_deploy = sub.add_parser(
@@ -554,6 +572,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--max-sessions", type=int, default=None,
                          help="stop after this many sessions have detached "
                               "(default: serve forever)")
+    p_serve.add_argument("--client-timeout", type=float, default=None,
+                         help="disconnect a client whose socket stays idle "
+                              "for this many seconds, freeing its pool slot "
+                              "(an idle active client stalls the barrier "
+                              "for every co-tenant; default: wait forever)")
     p_serve.set_defaults(func=cmd_serve)
     return parser
 

@@ -51,6 +51,7 @@ from .trainer import (
     train_plain,
     evaluate,
     TrainResult,
+    DivergedError,
     make_training_step,
 )
 from .stacked import (
@@ -103,6 +104,7 @@ __all__ = [
     "train_plain",
     "evaluate",
     "TrainResult",
+    "DivergedError",
     "make_training_step",
     "StackedPITConv1d",
     "StackedPITTrainer",

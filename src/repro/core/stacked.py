@@ -70,11 +70,12 @@ from ..nn.stacked import (
     stack_parameter,
 )
 from ..optim import Adam, EarlyStopping, clip_grads_stacked
+from ..testing import faults
 from .export import effective_parameters, network_dilations
 from .masks import TimeMask, lag_gamma_indices
 from .pit_conv import PITConv1d
 from .regularizer import gamma_size_coefficients
-from .trainer import PITResult
+from .trainer import DivergedError, PITResult
 
 __all__ = [
     "StackedTimeMask",
@@ -578,7 +579,21 @@ class StackedPITTrainer:
         for i in range(self.m):
             if active[i]:
                 cursors[i] += 1
-        return totals / batches
+        vals = totals / batches
+        if faults.fire("nan_loss") is not None:
+            # One diverged slice genuinely poisons the whole stack: the
+            # models share one summed loss, so NaN gradients reach every
+            # slice.  The injector reproduces exactly that blast radius.
+            vals = np.full_like(vals, np.nan)
+        bad = [i for i in range(self.m)
+               if active[i] and not np.isfinite(vals[i])]
+        if bad:
+            raise DivergedError(
+                "stacked validation loss is non-finite for model(s) "
+                + ", ".join(f"{i} (lam={self.lams[i]:g})" for i in bad)
+                + "; a diverged slice poisons the shared stacked loss — "
+                  "retrain the group sequentially to isolate it")
+        return vals
 
     def _effective_params(self, index: int) -> int:
         """Per-slice equivalent of :func:`repro.core.effective_parameters`.

@@ -39,13 +39,40 @@ from ..nn.eval_utils import mean_loss_over_loader
 from ..nn.module import Module
 from ..optim import Adam, EarlyStopping, clip_grad_norm
 from ..optim.kernels import clip_grads
+from ..testing import faults
 from .export import effective_parameters, network_dilations
 from .regularizer import flops_regularizer, pit_layers, size_regularizer
 
 __all__ = ["PITResult", "PITTrainer", "train_plain", "evaluate",
-           "TrainResult", "make_training_step", "make_epoch_runner"]
+           "TrainResult", "DivergedError",
+           "make_training_step", "make_epoch_runner"]
 
 LossFn = Callable[[Tensor, Tensor], Tensor]
+
+
+class DivergedError(RuntimeError):
+    """Training produced a non-finite loss (NaN/Inf) — the run is lost.
+
+    Raised by the epoch/validation guards in this module and in
+    :mod:`repro.core.stacked`.  Typed so callers with a recovery story
+    (the DSE engine's per-point isolation turns it into a failed
+    ``DSEPoint``) can tell divergence — permanent, never worth a retry —
+    from transient infrastructure failures, which are.
+    """
+
+
+def _guard_finite(value: float, what: str) -> float:
+    """Raise :class:`DivergedError` when a loss went NaN/Inf.
+
+    A non-finite loss silently poisons everything downstream — early
+    stopping treats NaN as "no improvement" and keeps training, gradients
+    are already garbage — so the loop that produced it must stop *now*
+    with a diagnosis instead of burning the remaining epochs.
+    """
+    if not np.isfinite(value):
+        raise DivergedError(
+            f"{what} is non-finite ({value!r}); training diverged")
+    return value
 
 
 def evaluate(model: Module, loss_fn: LossFn, loader) -> float:
@@ -134,23 +161,27 @@ def _train_epoch(model: Module, loss_fn: LossFn, optimizer, loader,
     """
     model.train()
     if epoch is not None:
-        return epoch.run_epoch(loader)
-    if step is None:
-        step = make_training_step(model, loss_fn, extra_loss,
-                                  compile_config=CompileConfig(
-                                      compile_step=False))
-    total, batches = 0.0, 0
-    for x, y in loader:
-        optimizer.zero_grad()
-        _, task_value = step(x, y)
-        if grad_clip is not None:
-            clip_grad_norm(optimizer.params, grad_clip)
-        optimizer.step()
-        total += task_value
-        batches += 1
-    if batches == 0:
-        raise ValueError("training loader produced no batches")
-    return total / batches
+        mean = epoch.run_epoch(loader)
+    else:
+        if step is None:
+            step = make_training_step(model, loss_fn, extra_loss,
+                                      compile_config=CompileConfig(
+                                          compile_step=False))
+        total, batches = 0.0, 0
+        for x, y in loader:
+            optimizer.zero_grad()
+            _, task_value = step(x, y)
+            if grad_clip is not None:
+                clip_grad_norm(optimizer.params, grad_clip)
+            optimizer.step()
+            total += task_value
+            batches += 1
+        if batches == 0:
+            raise ValueError("training loader produced no batches")
+        mean = total / batches
+    # A NaN/Inf in any batch propagates into the epoch mean, so one guard
+    # here covers every execution tier (eager, compiled, loop capture).
+    return _guard_finite(faults.poison_loss(mean), "epoch training loss")
 
 
 @dataclass
@@ -199,7 +230,8 @@ def train_plain(model: Module, loss_fn: LossFn, train_loader, val_loader,
     for _ in range(epochs):
         train_loss = _train_epoch(model, loss_fn, optimizer, train_loader,
                                   grad_clip=grad_clip, step=step, epoch=epoch)
-        val_loss = evaluate(model, loss_fn, val_loader)
+        val_loss = _guard_finite(evaluate(model, loss_fn, val_loader),
+                                 "validation loss")
         history.append((train_loss, val_loss))
         ran += 1
         stopper.update(val_loss, state=model.state_dict())
@@ -395,7 +427,9 @@ class PITTrainer:
             for _ in range(self.warmup_epochs):
                 _train_epoch(self.model, self.loss_fn, optimizer, train_loader,
                              grad_clip=self.grad_clip, step=step, epoch=epoch)
-                history["warmup_val"].append(evaluate(self.model, self.loss_fn, val_loader))
+                history["warmup_val"].append(_guard_finite(
+                    evaluate(self.model, self.loss_fn, val_loader),
+                    "warmup validation loss"))
                 warmup_ran += 1
             stats = _compile_stats(step, epoch)
             if stats is not None:
@@ -421,7 +455,9 @@ class PITTrainer:
             _train_epoch(self.model, self.loss_fn, optimizer, train_loader,
                          extra_loss=self._regularizer_term,
                          grad_clip=self.grad_clip, step=step, epoch=epoch)
-            val_loss = evaluate(self.model, self.loss_fn, val_loader)
+            val_loss = _guard_finite(
+                evaluate(self.model, self.loss_fn, val_loader),
+                "pruning validation loss")
             history["prune_val"].append(val_loss)
             history["prune_params"].append(float(effective_parameters(self.model)))
             prune_ran += 1
@@ -451,7 +487,9 @@ class PITTrainer:
         for _ in range(self.finetune_epochs):
             _train_epoch(self.model, self.loss_fn, optimizer, train_loader,
                          grad_clip=self.grad_clip, step=step, epoch=epoch)
-            val_loss = evaluate(self.model, self.loss_fn, val_loader)
+            val_loss = _guard_finite(
+                evaluate(self.model, self.loss_fn, val_loader),
+                "fine-tuning validation loss")
             history["finetune_val"].append(val_loss)
             finetune_ran += 1
             stopper.update(val_loss, state=self.model.state_dict())

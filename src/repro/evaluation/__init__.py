@@ -9,20 +9,25 @@ from .pareto import (
     hypervolume_2d,
 )
 from .dse import (
+    ENV_EXECUTOR,
     ENV_STACK,
+    ENV_WORKERS,
     DSECache,
     DSEEngine,
     DSEPoint,
     DSEResult,
     evaluator_name,
+    executor_default,
     objective_value,
     run_dse,
     select_small_medium_large,
     stack_width_default,
+    workers_default,
 )
 from .reporting import (
     format_table,
     format_markdown_table,
+    format_failures,
     ExperimentRegistry,
     Comparison,
 )
@@ -46,9 +51,14 @@ __all__ = [
     "run_dse",
     "select_small_medium_large",
     "ENV_STACK",
+    "ENV_WORKERS",
+    "ENV_EXECUTOR",
     "stack_width_default",
+    "workers_default",
+    "executor_default",
     "format_table",
     "format_markdown_table",
+    "format_failures",
     "ExperimentRegistry",
     "Comparison",
 ]

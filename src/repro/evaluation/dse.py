@@ -28,6 +28,19 @@ Completed points can be memoized to a JSON cache file (see
 :class:`DSECache`), making long sweeps resumable: a re-run with the same
 grid and trainer settings skips finished points and only trains the rest.
 
+Sweeps are *fault tolerant*: a failing grid point becomes a
+``status="failed"`` :class:`DSEPoint` carrying the error instead of an
+exception that kills the run; transient failures retry with exponential
+backoff (``retries=``), points exceeding ``point_timeout`` seconds are
+cancelled and marked failed, and non-finite losses surface as
+:class:`repro.core.DivergedError` with a diagnosis.  Process-pool sweeps
+survive worker death: on ``BrokenProcessPool`` the engine rebuilds the
+pool and resubmits only unfinished points (shrunk by whatever the dying
+worker already flushed to the cache), a poison point that kills workers
+twice is quarantined, and after repeated pool deaths the engine degrades
+to in-process sequential execution with a warning.  Every recovery path
+is exercised deterministically by :mod:`repro.testing.faults`.
+
 Deployment cost is a first-class objective: ``point_evaluators`` run after
 each grid point trains (e.g. :func:`repro.hw.gap8_evaluator`, which exports
 the discovered network, fake-quantizes it to int8 and prices it on the GAP8
@@ -46,14 +59,19 @@ from __future__ import annotations
 import copy
 import json
 import os
+import random
 import tempfile
 import threading
+import time
+import warnings
 import weakref
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
-    as_completed,
+    wait,
 )
 from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -63,19 +81,31 @@ import numpy as np
 from ..autograd import current_backend, use_backend
 from ..autograd.graph import CompileConfig
 from ..core.stacked import StackedPITTrainer
-from ..core.trainer import PITResult, PITTrainer
+from ..core.trainer import DivergedError, PITResult, PITTrainer
 from ..data import DataLoader, clone_loader
 from ..nn import Module
 from ..nn.stacked import StackingUnsupported
+from ..testing import faults
 from .pareto import pareto_front
 
 __all__ = ["DSEPoint", "DSEResult", "DSECache", "DSEEngine", "run_dse",
            "objective_value", "evaluator_name", "select_small_medium_large",
-           "ENV_STACK", "stack_width_default"]
+           "ENV_STACK", "ENV_WORKERS", "ENV_EXECUTOR",
+           "stack_width_default", "workers_default", "executor_default"]
+
+#: pool deaths a poison point may cause before it is quarantined
+QUARANTINE_KILLS = 2
+#: pool deaths per sweep before degrading to in-process sequential runs
+MAX_POOL_DEATHS = 3
 
 #: environment default for DSEEngine(stack=None), like REPRO_COMPILE_STEP
 #: for the compile knob.
 ENV_STACK = "REPRO_DSE_STACK"
+#: environment defaults for DSEEngine(workers=None) / (executor=None), so
+#: CI legs can run whole suites under pooled execution without editing
+#: every engine construction (explicit arguments always win).
+ENV_WORKERS = "REPRO_DSE_WORKERS"
+ENV_EXECUTOR = "REPRO_DSE_EXECUTOR"
 
 
 def stack_width_default() -> int:
@@ -90,6 +120,24 @@ def stack_width_default() -> int:
     return width
 
 
+def workers_default() -> int:
+    """Pool size used when ``DSEEngine(workers=None)``: ``REPRO_DSE_WORKERS``
+    or 0 (serial).  Read per call so tests can flip it."""
+    raw = os.environ.get(ENV_WORKERS, "").strip()
+    if not raw:
+        return 0
+    workers = int(raw)
+    if workers < 0:
+        raise ValueError(f"{ENV_WORKERS} must be >= 0, got {workers}")
+    return workers
+
+
+def executor_default() -> str:
+    """Pool flavour used when ``DSEEngine(executor=None)``:
+    ``REPRO_DSE_EXECUTOR`` (``thread``/``process``) or ``thread``."""
+    return os.environ.get(ENV_EXECUTOR, "").strip() or "thread"
+
+
 @dataclass
 class DSEPoint:
     """One trained architecture in the design space.
@@ -97,6 +145,14 @@ class DSEPoint:
     ``metrics`` holds post-training evaluator annotations (deployment cost,
     quantized accuracy, …) keyed by objective name; it is empty unless the
     sweep ran with ``point_evaluators``.
+
+    ``status`` is ``"ok"`` for a trained point and ``"failed"`` for a grid
+    point whose training raised, timed out or was quarantined — ``error``
+    then carries the diagnosis and the numeric fields are placeholders
+    (``loss=nan``, ``params=0``, empty dilations).  ``attempts`` counts
+    training attempts (> 1 when transient-failure retries were needed).
+    Failed points are excluded from every selection helper
+    (:meth:`DSEResult.pareto`, :func:`select_small_medium_large`, …).
     """
     lam: float
     warmup_epochs: int
@@ -105,22 +161,56 @@ class DSEPoint:
     loss: float
     result: Optional[PITResult] = field(repr=False, default=None)
     metrics: Dict[str, float] = field(default_factory=dict)
+    status: str = "ok"
+    error: Optional[str] = None
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def _failed_point(lam: float, warmup: int, error, attempts: int = 1
+                  ) -> DSEPoint:
+    """The failed-point placeholder per-point isolation records."""
+    if isinstance(error, BaseException):
+        error = f"{type(error).__name__}: {error}"
+    return DSEPoint(lam=float(lam), warmup_epochs=int(warmup), dilations=(),
+                    params=0, loss=float("nan"), status="failed",
+                    error=str(error), attempts=attempts)
 
 
 def objective_value(point: DSEPoint, name: str) -> Optional[float]:
     """Resolve an objective by name: a dataclass field (``params``,
     ``loss``, ``lam``, …) or a ``metrics`` entry (``latency_ms``, …).
-    Returns None when the point carries no such objective."""
+    Returns None when the point carries no such objective — including
+    every objective of a failed point, whose numeric fields are
+    placeholders, not measurements."""
+    if point.status != "ok":
+        return None
     value = getattr(point, name, None)
-    if value is None or name in ("result", "metrics", "dilations"):
+    if value is None or name in ("result", "metrics", "dilations",
+                                 "status", "error"):
         value = point.metrics.get(name)
     return None if value is None else float(value)
 
 
 @dataclass
 class DSEResult:
-    """Outcome of a full (λ × warmup) sweep."""
+    """Outcome of a full (λ × warmup) sweep.
+
+    ``points`` covers the whole grid, failed points included (in grid
+    order); the selection helpers below only ever consider ``ok`` points.
+    """
     points: List[DSEPoint]
+
+    @property
+    def ok_points(self) -> List[DSEPoint]:
+        return [p for p in self.points if p.ok]
+
+    @property
+    def failed_points(self) -> List[DSEPoint]:
+        return [p for p in self.points if not p.ok]
 
     def pareto(self, objectives: Sequence[str] = ("params", "loss")
                ) -> List[DSEPoint]:
@@ -129,7 +219,8 @@ class DSEResult:
         Objectives resolve against dataclass fields first, then the
         ``metrics`` dict — e.g. ``("params", "latency_ms", "loss")`` for the
         hardware-aware 3-D front.  Points missing any requested objective
-        (cached v1 entries, sweeps run without evaluators) are excluded.
+        (cached v1 entries, sweeps run without evaluators, failed points)
+        are excluded.
         """
         keep: List[DSEPoint] = []
         coords: List[Tuple[float, ...]] = []
@@ -142,10 +233,16 @@ class DSEResult:
         return [keep[i] for i in pareto_front(coords)]
 
     def best_loss(self) -> DSEPoint:
-        return min(self.points, key=lambda p: p.loss)
+        ok = self.ok_points
+        if not ok:
+            raise ValueError("every grid point failed; no best-loss point")
+        return min(ok, key=lambda p: p.loss)
 
     def smallest(self) -> DSEPoint:
-        return min(self.points, key=lambda p: p.params)
+        ok = self.ok_points
+        if not ok:
+            raise ValueError("every grid point failed; no smallest point")
+        return min(ok, key=lambda p: p.params)
 
 
 # ----------------------------------------------------------------------
@@ -155,24 +252,36 @@ class DSEResult:
 class DSECache:
     """JSON memo of completed DSE points, for resumable sweeps.
 
-    File format (version 2)::
+    File format (version 3)::
 
         {
-          "version": 2,
+          "version": 3,
           "points": {
             "<key>": {
               "lam": 0.02, "warmup_epochs": 5,
               "dilations": [1, 2, 4], "params": 1234, "loss": 0.567,
               "metrics": {"latency_ms": 112.6, "energy_mj": 29.5, ...},
-              "result": { ... PITResult fields ... }
+              "result": { ... PITResult fields ... },
+              "status": "ok", "error": null, "attempts": 1
             }, ...
           }
         }
 
-    Version 2 adds the ``metrics`` dict (post-training evaluator
-    annotations: deployment latency/energy, quantized loss, …).  Version 1
-    files are still accepted — their entries load with empty metrics and
-    the file is rewritten as version 2 on the next recorded point.
+    Version 2 added the ``metrics`` dict (post-training evaluator
+    annotations: deployment latency/energy, quantized loss, …); version 3
+    adds the failure fields (``status`` / ``error`` / ``attempts``) so an
+    interrupted fault-tolerant sweep keeps its failure provenance on disk.
+    Versions 1-2 are still accepted — their entries load with the missing
+    fields defaulted (ok, no error) and the file is rewritten as version 3
+    on the next recorded point.  Failed entries are *persisted but never
+    served*: :meth:`get` treats them as missing, so a resumed sweep
+    retries the failed grid points instead of trusting a placeholder.
+
+    A cache file that no longer parses (truncated by a crash mid-write,
+    garbage bytes) is never fatal and never silently ignored: the corrupt
+    file is quarantined to ``<path>.corrupt`` (for post-mortems; an
+    existing quarantine file is overwritten), a warning names both paths,
+    and the cache starts fresh.
 
     Keys encode (tag, conv backend, λ, warmup, trainer settings, and the
     point evaluators that annotated the entry), so a cache file is never
@@ -191,22 +300,52 @@ class DSECache:
     concurrently.
     """
 
-    VERSION = 2
-    #: formats this reader understands (v1 = pre-metrics entries)
-    READABLE_VERSIONS = (1, 2)
+    VERSION = 3
+    #: formats this reader understands (v1 = pre-metrics entries,
+    #: v2 = pre-failure-fields entries)
+    READABLE_VERSIONS = (1, 2, 3)
 
     def __init__(self, path: str):
         self.path = path
         self._lock = threading.Lock()
         self._points: Dict[str, dict] = {}
-        if os.path.exists(path):
+        payload = self._load_payload(path)
+        if payload is not None:
+            self._points = dict(payload.get("points", {}))
+
+    @classmethod
+    def _load_payload(cls, path: str) -> Optional[dict]:
+        """Read and validate the cache file; None when absent or corrupt.
+
+        Corrupt files (unparseable JSON, non-dict payload) are quarantined
+        to ``<path>.corrupt`` with a warning — a half-written file from a
+        killed sweep must cost a retrain, not the whole run.  A *valid*
+        file with an unsupported version still raises: that is a real
+        format mismatch (e.g. a newer writer), not corruption, and
+        silently discarding it would throw away good points.
+        """
+        if not os.path.exists(path):
+            return None
+        try:
             with open(path) as handle:
                 payload = json.load(handle)
-            if payload.get("version") not in self.READABLE_VERSIONS:
-                raise ValueError(
-                    f"unsupported DSE cache version in {path!r}: "
-                    f"{payload.get('version')!r}")
-            self._points = dict(payload.get("points", {}))
+            if not isinstance(payload, dict):
+                raise json.JSONDecodeError("payload is not an object", "", 0)
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+            quarantine = path + ".corrupt"
+            try:
+                os.replace(path, quarantine)
+            except OSError:
+                quarantine = "<unmovable>"
+            warnings.warn(
+                f"DSE cache file {path!r} is corrupt ({exc}); quarantined "
+                f"to {quarantine!r} and starting fresh", stacklevel=3)
+            return None
+        if payload.get("version") not in cls.READABLE_VERSIONS:
+            raise ValueError(
+                f"unsupported DSE cache version in {path!r}: "
+                f"{payload.get('version')!r}")
+        return payload
 
     @staticmethod
     def key(lam: float, warmup: int, trainer_kwargs: Dict,
@@ -244,8 +383,15 @@ class DSECache:
         return len(self._points)
 
     def get(self, key: str) -> Optional[DSEPoint]:
+        """The ok point recorded under ``key``, else None.
+
+        Failed entries are persisted provenance, not reusable results —
+        they read as missing so a resumed sweep retries the point.
+        """
         entry = self._points.get(key)
-        return None if entry is None else _point_from_dict(entry)
+        if entry is None or entry.get("status", "ok") != "ok":
+            return None
+        return _point_from_dict(entry)
 
     def get_annotated(self, base_key: str) -> Optional[DSEPoint]:
         """An entry recorded under ``base_key`` by *some* evaluator stack.
@@ -261,7 +407,8 @@ class DSECache:
         """
         prefix = base_key + "|evaluators="
         for key in sorted(self._points):
-            if key.startswith(prefix):
+            if (key.startswith(prefix)
+                    and self._points[key].get("status", "ok") == "ok"):
                 return _point_from_dict(self._points[key])
         return None
 
@@ -269,6 +416,7 @@ class DSECache:
         with self._lock:
             self._points[key] = _point_to_dict(point)
             self._flush()
+        faults.corrupt_cache_file(self.path)
 
     def _flush(self) -> None:
         directory = os.path.dirname(os.path.abspath(self.path))
@@ -277,16 +425,14 @@ class DSECache:
         # whole-file rewrite from just this process's map would erase them.
         # (The remaining read-merge-write race window is microseconds;
         # within one process the lock serializes flushes entirely.)
-        if os.path.exists(self.path):
-            try:
-                with open(self.path) as handle:
-                    payload = json.load(handle)
-                if payload.get("version") in self.READABLE_VERSIONS:
-                    merged = dict(payload.get("points", {}))
-                    merged.update(self._points)
-                    self._points = merged
-            except (OSError, json.JSONDecodeError):
-                pass  # unreadable/partial file: our own map still flushes
+        # A corrupt on-disk file takes the same quarantine-and-warn path
+        # as the constructor (it used to be swallowed silently here): our
+        # own map still flushes, the garbage moves to <path>.corrupt.
+        payload = self._load_payload(self.path)
+        if payload is not None:
+            merged = dict(payload.get("points", {}))
+            merged.update(self._points)
+            self._points = merged
         fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as handle:
@@ -325,6 +471,9 @@ def _point_to_dict(point: DSEPoint) -> dict:
         "params": point.params,
         "loss": point.loss,
         "metrics": dict(point.metrics),
+        "status": point.status,
+        "error": point.error,
+        "attempts": point.attempts,
     }
     if point.result is not None:
         entry["result"] = asdict(point.result)
@@ -341,7 +490,10 @@ def _point_from_dict(entry: dict) -> DSEPoint:
         lam=entry["lam"], warmup_epochs=entry["warmup_epochs"],
         dilations=tuple(entry["dilations"]), params=entry["params"],
         loss=entry["loss"], result=result,
-        metrics=dict(entry.get("metrics") or {}))  # absent in v1 entries
+        metrics=dict(entry.get("metrics") or {}),  # absent in v1 entries
+        status=entry.get("status", "ok"),          # absent in v1/v2 entries
+        error=entry.get("error"),
+        attempts=int(entry.get("attempts", 1)))
 
 
 # ----------------------------------------------------------------------
@@ -475,23 +627,20 @@ def _train_grid_stack(seed_factory: Callable[[], Module], loss_fn: Callable,
     one op graph; per-model λ scaling and early stopping keep each point's
     trajectory equivalent to its sequential run.  Models whose structure
     cannot stack (channel masks, unsupported layers, non-plain loaders)
-    raise :class:`StackingUnsupported` *before any training*, and the
-    group falls back to the sequential per-point path — so stacking is
-    purely an execution-speed knob, never a correctness one.
+    raise :class:`StackingUnsupported` *before any training*; the caller
+    (:func:`_train_grid_chunk`) falls back to the sequential per-point
+    path — so stacking is purely an execution-speed knob, never a
+    correctness one.  A :class:`DivergedError` mid-stack likewise bubbles
+    up for a sequential re-run: one diverged slice poisons the shared
+    stacked loss, so only per-point training can isolate the culprit.
     """
     lams = [float(lam) for lam in lams]
     with use_backend(backend):
         template = seed_factory()
-        try:
-            trainer = StackedPITTrainer(
-                template, loss_fn, lams=lams, warmup_epochs=warmup,
-                compile_config=compile_cfg, **trainer_kwargs)
-            results = trainer.fit(train_loader, val_loader)
-        except StackingUnsupported:
-            return [_train_grid_point(seed_factory, loss_fn, train_loader,
-                                      val_loader, lam, warmup, trainer_kwargs,
-                                      backend, compile_cfg, point_evaluators)
-                    for lam in lams]
+        trainer = StackedPITTrainer(
+            template, loss_fn, lams=lams, warmup_epochs=warmup,
+            compile_config=compile_cfg, **trainer_kwargs)
+        results = trainer.fit(train_loader, val_loader)
         points = []
         for i, result in enumerate(results):
             point = DSEPoint(
@@ -510,29 +659,127 @@ def _train_grid_stack(seed_factory: Callable[[], Module], loss_fn: Callable,
     return points
 
 
+def _backoff_sleep(index: int, attempt: int, backoff: float) -> None:
+    """Exponential backoff with deterministic jitter before a retry.
+
+    The jitter RNG is seeded from (grid index, attempt) so two runs of the
+    same faulted sweep sleep identically — reproducibility extends to the
+    recovery schedule, not just the results.
+    """
+    if backoff <= 0:
+        return
+    jitter = random.Random((index + 1) * 1000003 + attempt).uniform(0.0, 0.5)
+    time.sleep(backoff * (2.0 ** (attempt - 1)) * (1.0 + jitter))
+
+
+def _train_point_isolated(seed_factory, loss_fn, train_loader, val_loader,
+                          index: int, warmup: int, lam: float,
+                          trainer_kwargs: Dict, backend: str,
+                          compile_cfg, point_evaluators,
+                          retries: int, retry_backoff: float) -> DSEPoint:
+    """Per-point failure isolation: always returns a DSEPoint.
+
+    Transient exceptions retry up to ``retries`` times with exponential
+    backoff; :class:`DivergedError` is permanent (the same data and seed
+    diverge again, so a retry just burns the epochs twice) and fails the
+    point immediately.  ``BaseException`` (KeyboardInterrupt, worker
+    ``os._exit``) deliberately passes through — interruption is the
+    caller's policy, not a point failure.
+    """
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            with faults.point_scope((index,)):
+                faults.inject_point_faults()
+                point = _train_grid_point(
+                    seed_factory, loss_fn, train_loader, val_loader, lam,
+                    warmup, trainer_kwargs, backend, compile_cfg,
+                    point_evaluators)
+            point.attempts = attempt
+            return point
+        except DivergedError as exc:
+            return _failed_point(lam, warmup, exc, attempt)
+        except Exception as exc:
+            if attempt <= retries:
+                _backoff_sleep(index, attempt, retry_backoff)
+                continue
+            return _failed_point(lam, warmup, exc, attempt)
+
+
+def _chunk_cache(cache_path: Optional[str]) -> Optional["DSECache"]:
+    """The worker-side cache handle for mid-chunk durability, or None.
+
+    Worker flushes make every completed point durable the moment it
+    finishes — a later crash (of this worker or the whole pool) can then
+    only cost the in-flight point, and the engine's recovery resubmission
+    shrinks to whatever is still missing on disk.
+    """
+    if not cache_path:
+        return None
+    try:
+        return DSECache(cache_path)
+    except ValueError:
+        return None  # version mismatch: the parent will complain loudly
+
+
 def _train_grid_chunk(seed_factory: Callable[[], Module], loss_fn: Callable,
                       train_loader, val_loader,
-                      chunk: Sequence[Tuple[int, float]],
+                      chunk: Sequence[Tuple[int, int, float]],
                       trainer_kwargs: Dict, backend: str,
                       compile_cfg: Optional[CompileConfig] = None,
-                      point_evaluators: Optional[Sequence[Callable]] = None
+                      point_evaluators: Optional[Sequence[Callable]] = None,
+                      retries: int = 0, retry_backoff: float = 0.0,
+                      cache_path: Optional[str] = None,
+                      cache_keys: Optional[Dict[int, str]] = None
                       ) -> List[DSEPoint]:
-    """One worker task: a list of ``(warmup, lam)`` points, all same warmup.
+    """One worker task: ``(index, warmup, lam)`` points, all same warmup.
 
     Singleton chunks take the exact sequential ``_train_grid_point`` path —
     which is why ``stack=1`` is bit-identical to the pre-stacking engine.
     Module-level so a ``ProcessPoolExecutor`` can pickle it.
+
+    Failures never escape as exceptions (except ``BaseException``): each
+    point trains through :func:`_train_point_isolated`.  A multi-point
+    stacked chunk first attempts the weight-stacked fast path; a
+    :class:`StackingUnsupported` model, a mid-stack divergence (one NaN
+    slice poisons the shared loss) or any other stacked failure falls
+    back to isolated per-point training, which pins the blame on the
+    culprit point alone.
     """
-    if len(chunk) == 1:
-        warmup, lam = chunk[0]
-        return [_train_grid_point(seed_factory, loss_fn, train_loader,
-                                  val_loader, lam, warmup, trainer_kwargs,
-                                  backend, compile_cfg, point_evaluators)]
-    warmup = chunk[0][0]
-    return _train_grid_stack(seed_factory, loss_fn, train_loader, val_loader,
-                             warmup, [lam for _, lam in chunk],
-                             trainer_kwargs, backend, compile_cfg,
-                             point_evaluators)
+    cache = _chunk_cache(cache_path)
+
+    def flush(index: int, point: DSEPoint) -> None:
+        if cache is not None and cache_keys and index in cache_keys:
+            cache.put(cache_keys[index], point)
+
+    if len(chunk) > 1:
+        indices = [index for index, _, _ in chunk]
+        warmup = chunk[0][1]
+        try:
+            with faults.point_scope(indices):
+                faults.inject_point_faults()
+                points = _train_grid_stack(
+                    seed_factory, loss_fn, train_loader, val_loader, warmup,
+                    [lam for _, _, lam in chunk], trainer_kwargs, backend,
+                    compile_cfg, point_evaluators)
+        except Exception:
+            points = None  # StackingUnsupported, divergence, …: isolate
+                           # per point below
+        if points is not None:
+            for (index, _, _), point in zip(chunk, points):
+                flush(index, point)
+            return points
+
+    out: List[DSEPoint] = []
+    for index, warmup, lam in chunk:
+        point = _train_point_isolated(
+            seed_factory, loss_fn, train_loader, val_loader, index, warmup,
+            lam, trainer_kwargs, backend, compile_cfg, point_evaluators,
+            retries, retry_backoff)
+        flush(index, point)
+        out.append(point)
+    return out
 
 
 def evaluator_name(evaluator: Callable) -> str:
@@ -573,11 +820,13 @@ class DSEEngine:
     train_loader, val_loader:
         Data loaders; each grid point trains on private deep copies.
     workers:
-        Pool size.  ``0`` or ``1`` trains the grid serially in-process.
+        Pool size.  ``0`` or ``1`` trains the grid serially in-process;
+        None (default) defers to ``REPRO_DSE_WORKERS`` (or 0).
     executor:
-        ``"thread"`` (default; numpy releases the GIL inside the GEMM-heavy
+        ``"thread"`` (numpy releases the GIL inside the GEMM-heavy
         hot path, so threads scale) or ``"process"`` (full isolation, but
-        the factory / loss / loaders must pickle — no lambdas or closures).
+        the factory / loss / loaders must pickle — no lambdas or closures);
+        None (default) defers to ``REPRO_DSE_EXECUTOR`` (or ``thread``).
     cache_path:
         Optional JSON results cache (see :class:`DSECache`); completed
         points found there are returned without retraining.
@@ -626,11 +875,32 @@ class DSEEngine:
         missing metrics are not persisted.  (The reverse resume is free:
         an evaluator-less sweep falls back to annotated entries, which are
         a superset.)  Must be picklable when ``executor="process"``.
+    retries:
+        Transient-failure retries per grid point (default 0).  A point
+        whose training raises retrains up to ``retries`` more times with
+        exponential backoff before being marked failed;
+        :class:`repro.core.DivergedError` never retries (divergence is
+        deterministic — same seed, same data, same NaN).
+    retry_backoff:
+        Base backoff in seconds before retry N sleeps
+        ``retry_backoff * 2**(N-1)`` (plus deterministic jitter).
+    point_timeout:
+        Wall-clock budget *per grid point* in seconds (pooled execution
+        only).  A chunk of K points gets ``K * point_timeout``; on expiry
+        its unfinished points are marked failed and the future is
+        cancelled/abandoned — a hung point costs its own budget, not the
+        sweep.  None (default) disables the deadline.
+
+    After each :meth:`run`, ``last_run_stats`` reports the recovery
+    machinery's activity: pool deaths, timeouts, quarantined points,
+    failed/retried counts, and whether the sweep degraded to sequential
+    execution.
     """
 
     def __init__(self, seed_factory: Callable[[], Module], loss_fn: Callable,
-                 train_loader, val_loader, *, workers: int = 0,
-                 executor: str = "thread", cache_path: Optional[str] = None,
+                 train_loader, val_loader, *, workers: Optional[int] = None,
+                 executor: Optional[str] = None,
+                 cache_path: Optional[str] = None,
                  cache_tag: str = "",
                  trainer_kwargs: Optional[Dict] = None,
                  verbose: bool = False,
@@ -640,11 +910,23 @@ class DSEEngine:
                  loop_capture: Optional[bool] = None,
                  compile_config: Optional[CompileConfig] = None,
                  stack: Optional[int] = None,
-                 point_evaluators: Optional[Sequence[Callable]] = None):
+                 point_evaluators: Optional[Sequence[Callable]] = None,
+                 retries: int = 0, retry_backoff: float = 0.1,
+                 point_timeout: Optional[float] = None):
+        if workers is None:
+            workers = workers_default()
+        if executor is None:
+            executor = executor_default()
         if executor not in ("thread", "process"):
             raise ValueError("executor must be 'thread' or 'process'")
         if workers < 0:
             raise ValueError("workers must be >= 0")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
+        if point_timeout is not None and point_timeout <= 0:
+            raise ValueError("point_timeout must be positive (or None)")
         self.seed_factory = seed_factory
         self.loss_fn = loss_fn
         self.train_loader = train_loader
@@ -693,7 +975,12 @@ class DSEEngine:
         if self.stack < 1:
             raise ValueError("stack width must be >= 1")
         self.point_evaluators = list(point_evaluators or [])
+        self.retries = int(retries)
+        self.retry_backoff = float(retry_backoff)
+        self.point_timeout = (None if point_timeout is None
+                              else float(point_timeout))
         self.verbose = verbose
+        self.last_run_stats: Dict[str, object] = {}
 
     # ------------------------------------------------------------------
     def _log(self, message: str) -> None:
@@ -711,12 +998,25 @@ class DSEEngine:
                                  self._run_backend, self.compile_config,
                                  self.point_evaluators)
 
-    def _train_chunk(self, chunk: Sequence[Tuple[int, float]]) -> List[DSEPoint]:
+    def _train_chunk(self, chunk: Sequence[Tuple[int, int, float]]
+                     ) -> List[DSEPoint]:
         return _train_grid_chunk(self.seed_factory, self.loss_fn,
                                  self.train_loader, self.val_loader,
-                                 chunk, self.trainer_kwargs,
+                                 list(chunk), self.trainer_kwargs,
                                  self._run_backend, self.compile_config,
-                                 self.point_evaluators)
+                                 self.point_evaluators,
+                                 self.retries, self.retry_backoff,
+                                 self.cache.path if self.cache else None,
+                                 self._chunk_keys(chunk))
+
+    def _chunk_keys(self, chunk: Sequence[Tuple[int, int, float]]
+                    ) -> Optional[Dict[int, str]]:
+        """Parent-computed cache keys, shipped with the chunk so workers
+        can flush each completed point immediately (mid-chunk durability)."""
+        if self.cache is None:
+            return None
+        return {index: self._key(lam, warmup)
+                for index, warmup, lam in chunk}
 
     def _chunk_pending(self, pending: Sequence[Tuple[int, int, float]]
                        ) -> List[List[Tuple[int, int, float]]]:
@@ -743,7 +1043,15 @@ class DSEEngine:
     def run(self, lambdas: Sequence[float],
             warmups: Sequence[int] = (5,)) -> DSEResult:
         """Sweep the grid; points come back in grid order regardless of
-        worker count or completion order."""
+        worker count or completion order.
+
+        Failures stay inside the result: a raising, diverging, timed-out
+        or worker-killing grid point becomes a ``status="failed"``
+        :class:`DSEPoint` and the sweep keeps going.  The only exceptions
+        that escape are ``BaseException`` (KeyboardInterrupt & co.) —
+        pending futures are cancelled, already-completed points are in
+        the cache, and the interrupted sweep resumes from there.
+        """
         # Pin the conv backend for the whole sweep: workers (which may be
         # spawned processes with their own import-time default) train under
         # it, and cache keys record it — values and keys cannot diverge.
@@ -751,6 +1059,11 @@ class DSEEngine:
         grid = self._grid(lambdas, warmups)
         points: List[Optional[DSEPoint]] = [None] * len(grid)
         pending: List[Tuple[int, int, float]] = []
+        stats: Dict[str, object] = {
+            "pool_deaths": 0, "timeouts": 0, "chunk_failures": 0,
+            "quarantined": [], "degraded": False, "failed": 0, "retried": 0,
+        }
+        self.last_run_stats = stats
 
         for index, (warmup, lam) in enumerate(grid):
             cached = None
@@ -771,49 +1084,196 @@ class DSEEngine:
         if pending:
             chunks = self._chunk_pending(pending)
             if self.workers > 1:
-                pool_cls = (ThreadPoolExecutor if self.executor == "thread"
-                            else ProcessPoolExecutor)
-                with pool_cls(max_workers=self.workers) as pool:
-                    futures = {
-                        pool.submit(_train_grid_chunk,
-                                    self.seed_factory, self.loss_fn,
-                                    self.train_loader, self.val_loader,
-                                    [(warmup, lam) for _, warmup, lam in chunk],
-                                    self.trainer_kwargs,
-                                    self._run_backend, self.compile_config,
-                                    self.point_evaluators):
-                        [index for index, _, _ in chunk]
-                        for chunk in chunks}
-                    # Consume in completion order; grid order is restored
-                    # by index when assembling the result.  When a cache is
-                    # configured, a failing chunk must not discard the
-                    # others, so keep draining and record them before
-                    # re-raising.  Without a cache the finished results
-                    # have nowhere to go — cancel whatever has not started
-                    # and fail fast instead of training for nothing.
-                    error: Optional[Exception] = None
-                    for future in as_completed(futures):
-                        try:
-                            for index, point in zip(futures[future],
-                                                    future.result()):
-                                points[index] = self._record(point)
-                        except Exception as exc:
-                            if self.cache is None:
-                                for other in futures:
-                                    other.cancel()
-                                raise
-                            if error is None:
-                                error = exc
-                    if error is not None:
-                        raise error
+                self._run_pooled(chunks, points, stats)
             else:
-                for chunk in chunks:
-                    trained = self._train_chunk(
-                        [(warmup, lam) for _, warmup, lam in chunk])
-                    for (index, _, _), point in zip(chunk, trained):
-                        points[index] = self._record(point)
+                self._run_sequential(chunks, points)
 
+        stats["failed"] = sum(1 for p in points if p is not None and not p.ok)
+        stats["retried"] = sum(1 for p in points
+                               if p is not None and p.attempts > 1)
         return DSEResult(points=list(points))
+
+    def _run_sequential(self, chunks, points) -> None:
+        """In-process execution (workers <= 1): chunk by chunk, isolated."""
+        for chunk in chunks:
+            trained = self._train_chunk(chunk)
+            for (index, _, _), point in zip(chunk, trained):
+                points[index] = self._record(point)
+
+    def _make_pool(self):
+        pool_cls = (ThreadPoolExecutor if self.executor == "thread"
+                    else ProcessPoolExecutor)
+        return pool_cls(max_workers=self.workers)
+
+    def _deadline(self, chunk_len: int) -> Optional[float]:
+        if self.point_timeout is None:
+            return None
+        return time.monotonic() + self.point_timeout * chunk_len
+
+    def _submit(self, pool, inflight, chunk) -> None:
+        future = pool.submit(
+            _train_grid_chunk, self.seed_factory, self.loss_fn,
+            self.train_loader, self.val_loader, list(chunk),
+            self.trainer_kwargs, self._run_backend, self.compile_config,
+            self.point_evaluators, self.retries, self.retry_backoff,
+            self.cache.path if self.cache else None, self._chunk_keys(chunk))
+        inflight[future] = (list(chunk), self._deadline(len(chunk)))
+
+    def _run_pooled(self, chunks, points, stats) -> None:
+        """Windowed pool execution with deadlines and crash recovery.
+
+        At most ``workers`` chunks are in flight at once (instead of
+        submitting the whole grid up front), so when a process pool dies
+        the set of chunks that *could* have been running is small and
+        recovery stays precise: suspects are re-probed **one at a time**
+        — the only chunk in flight — which makes the next death's blame
+        exact.  A point that dies alone ``QUARANTINE_KILLS`` times is a
+        poison point and is quarantined as failed; after
+        ``MAX_POOL_DEATHS`` the engine stops trusting pools entirely and
+        degrades to in-process sequential execution with a warning.
+        Cache-backed recovery never re-trains what a dying worker already
+        flushed: suspects found on disk are claimed, not resubmitted.
+        """
+        queue = deque(chunks)        # unsubmitted chunks, grid order
+        probing = deque()            # post-death suspects, probed solo
+        inflight: Dict = {}          # future -> (entries, deadline)
+        kill_counts: Dict[int, int] = {}
+        pool = self._make_pool()
+
+        def collect_dead() -> List[Tuple[int, int, float]]:
+            dead = []
+            for future, (entries, _) in inflight.items():
+                future.cancel()
+                dead.extend(e for e in entries if points[e[0]] is None)
+            inflight.clear()
+            return dead
+
+        def on_pool_death(dead) -> None:
+            nonlocal pool
+            stats["pool_deaths"] += 1
+            pool.shutdown(wait=False, cancel_futures=True)
+            # Blame is only precise when exactly one entry can have been
+            # running — a solo probe.  Group deaths accuse nobody; their
+            # members go to the probe queue instead.
+            if len(dead) == 1:
+                index, warmup, lam = dead[0]
+                kills = kill_counts.get(index, 0) + 1
+                kill_counts[index] = kills
+                if kills >= QUARANTINE_KILLS:
+                    stats["quarantined"].append((lam, warmup))
+                    points[index] = self._record(_failed_point(
+                        lam, warmup,
+                        f"quarantined: killed {kills} pool workers",
+                        attempts=kills))
+                    warnings.warn(
+                        f"DSE grid point lam={lam:g} warmup={warmup} killed "
+                        f"{kills} pool workers; quarantined as failed")
+                    dead = []
+            # Shrink by what dying workers already flushed to the cache:
+            # our in-memory cache view predates the crash, so re-read disk.
+            if self.cache is not None and dead:
+                disk = _chunk_cache(self.cache.path)
+                for entry in list(dead):
+                    found = None
+                    if disk is not None:
+                        found = disk.get(self._key(entry[2], entry[1]))
+                    if found is not None:
+                        points[entry[0]] = self._record(found)
+                        dead.remove(entry)
+            probing.extend(e for e in dead if points[e[0]] is None)
+            if stats["pool_deaths"] >= MAX_POOL_DEATHS:
+                stats["degraded"] = True
+                return
+            self._log(f"worker pool died (death #{stats['pool_deaths']}); "
+                      "rebuilding and resubmitting unfinished points")
+            pool = self._make_pool()
+
+        try:
+            while queue or probing or inflight:
+                if stats["degraded"]:
+                    break
+                # Refill the window.  Probing mode serializes: one suspect
+                # alone in the pool, so a repeat death blames it exactly.
+                try:
+                    if probing:
+                        if not inflight:
+                            self._submit(pool, inflight, [probing[0]])
+                            probing.popleft()
+                    else:
+                        while queue and len(inflight) < self.workers:
+                            self._submit(pool, inflight, queue[0])
+                            queue.popleft()
+                except BrokenExecutor:
+                    on_pool_death(collect_dead())
+                    continue
+                timeout = None
+                deadlines = [d for _, d in inflight.values() if d is not None]
+                if deadlines:
+                    timeout = max(0.0, min(deadlines) - time.monotonic())
+                done, _ = wait(set(inflight), timeout=timeout,
+                               return_when=FIRST_COMPLETED)
+                broken = False
+                dead_now: List[Tuple[int, int, float]] = []
+                for future in done:
+                    entries, _ = inflight.pop(future)
+                    try:
+                        result = future.result()
+                    except BrokenExecutor:
+                        broken = True
+                        dead_now.extend(e for e in entries
+                                        if points[e[0]] is None)
+                        continue
+                    except Exception as exc:
+                        # Chunk-level infrastructure failure (the chunk
+                        # task itself raised: unpicklable results, …) —
+                        # per-point isolation already caught everything
+                        # training-related.
+                        stats["chunk_failures"] += 1
+                        for index, warmup, lam in entries:
+                            if points[index] is None:
+                                points[index] = self._record(
+                                    _failed_point(lam, warmup, exc))
+                    else:
+                        for (index, _, _), point in zip(entries, result):
+                            points[index] = self._record(point)
+                if broken:
+                    on_pool_death(dead_now + collect_dead())
+                    continue
+                # Deadline sweep: expired chunks are marked failed and
+                # abandoned.  Thread futures cannot be killed — the
+                # zombie thread finishes into a dropped future; process
+                # futures keep their worker busy until the task returns.
+                # Either way the sweep moves on.
+                now = time.monotonic()
+                for future in [f for f, (_, dl) in inflight.items()
+                               if dl is not None and now >= dl]:
+                    entries, _ = inflight.pop(future)
+                    future.cancel()
+                    stats["timeouts"] += 1
+                    for index, warmup, lam in entries:
+                        if points[index] is None:
+                            points[index] = self._record(_failed_point(
+                                lam, warmup,
+                                f"timeout: exceeded {self.point_timeout:g}s "
+                                f"per point"))
+        except BaseException:
+            # KeyboardInterrupt & co.: cancel what never started, abandon
+            # the rest, re-raise.  Completed points were flushed to the
+            # cache as they finished, so the interrupted sweep resumes.
+            for future in inflight:
+                future.cancel()
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        pool.shutdown(wait=False, cancel_futures=True)
+        if stats["degraded"]:
+            leftovers = [e for e in list(probing)
+                         + [e for chunk in queue for e in chunk]
+                         if points[e[0]] is None]
+            warnings.warn(
+                f"DSE worker pool died {stats['pool_deaths']} times; "
+                f"degrading to in-process sequential execution for "
+                f"{len(leftovers)} remaining grid points")
+            self._run_sequential([[entry] for entry in leftovers], points)
 
     def _key(self, lam: float, warmup: int) -> str:
         return DSECache.key(lam, warmup, self.trainer_kwargs,
@@ -824,6 +1284,11 @@ class DSEEngine:
     def _record(self, point: DSEPoint) -> DSEPoint:
         if self.cache is not None:
             self.cache.put(self._key(point.lam, point.warmup_epochs), point)
+        if not point.ok:
+            self._log(f"lam={point.lam:g} warmup={point.warmup_epochs}: "
+                      f"FAILED after {point.attempts} attempt(s) — "
+                      f"{point.error}")
+            return point
         extra = "".join(f", {k}={v:.4g}" for k, v in point.metrics.items())
         self._log(f"lam={point.lam:g} warmup={point.warmup_epochs}: "
                   f"{point.params} params, loss={point.loss:.4f}, "
@@ -835,8 +1300,8 @@ def run_dse(seed_factory: Callable[[], Module], loss_fn: Callable,
             train_loader, val_loader,
             lambdas: Sequence[float], warmups: Sequence[int] = (5,),
             trainer_kwargs: Optional[Dict] = None,
-            verbose: bool = False, workers: int = 0,
-            executor: str = "thread",
+            verbose: bool = False, workers: Optional[int] = None,
+            executor: Optional[str] = None,
             cache_path: Optional[str] = None,
             cache_tag: str = "",
             compile_step: Optional[bool] = None,
@@ -845,15 +1310,18 @@ def run_dse(seed_factory: Callable[[], Module], loss_fn: Callable,
             loop_capture: Optional[bool] = None,
             compile_config: Optional[CompileConfig] = None,
             stack: Optional[int] = None,
-            point_evaluators: Optional[Sequence[Callable]] = None
+            point_evaluators: Optional[Sequence[Callable]] = None,
+            retries: int = 0, retry_backoff: float = 0.1,
+            point_timeout: Optional[float] = None
             ) -> DSEResult:
     """Sweep (λ, warmup); one full PIT search per grid point.
 
     Thin wrapper over :class:`DSEEngine` kept for API compatibility;
     ``workers`` / ``executor`` / ``cache_path`` / ``cache_tag`` /
-    ``compile_config`` / ``stack`` / ``point_evaluators`` expose the
-    engine's parallelism, memoization, graph-execution, stacked-model
-    and hardware-in-the-loop knobs.
+    ``compile_config`` / ``stack`` / ``point_evaluators`` /
+    ``retries`` / ``point_timeout`` expose the engine's parallelism,
+    memoization, graph-execution, stacked-model, hardware-in-the-loop
+    and fault-tolerance knobs.
     """
     engine = DSEEngine(seed_factory, loss_fn, train_loader, val_loader,
                        workers=workers, executor=executor,
@@ -864,7 +1332,9 @@ def run_dse(seed_factory: Callable[[], Module], loss_fn: Callable,
                        loop_capture=loop_capture,
                        compile_config=compile_config,
                        stack=stack,
-                       point_evaluators=point_evaluators)
+                       point_evaluators=point_evaluators,
+                       retries=retries, retry_backoff=retry_backoff,
+                       point_timeout=point_timeout)
     return engine.run(lambdas, warmups=warmups)
 
 

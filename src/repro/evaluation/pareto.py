@@ -10,6 +10,7 @@ dimensionality.  :func:`hypervolume_2d` is kept as the 2-D spelling.
 
 from __future__ import annotations
 
+import math
 from typing import List, Sequence, Tuple
 
 __all__ = ["dominates", "pareto_front", "pareto_points", "hypervolume",
@@ -27,10 +28,19 @@ def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
 
 
 def pareto_front(points: Sequence[Sequence[float]]) -> List[int]:
-    """Indices of the non-dominated points, sorted lexicographically."""
+    """Indices of the non-dominated points, sorted lexicographically.
+
+    Points with a NaN coordinate are excluded outright: NaN compares False
+    to everything, which would make such a point undominatable and plant a
+    meaningless vertex on the front.  (Inf is a legitimate — terrible —
+    objective value and is kept.)
+    """
+    valid = [i for i, p in enumerate(points)
+             if not any(math.isnan(float(c)) for c in p)]
     indices = []
-    for i, p in enumerate(points):
-        if not any(dominates(q, p) for j, q in enumerate(points) if j != i):
+    for i in valid:
+        p = points[i]
+        if not any(dominates(points[j], p) for j in valid if j != i):
             indices.append(i)
     indices.sort(key=lambda i: tuple(points[i]))
     return indices

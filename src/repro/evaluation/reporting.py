@@ -12,7 +12,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
-__all__ = ["format_table", "format_markdown_table", "ExperimentRegistry", "Comparison"]
+__all__ = ["format_table", "format_markdown_table", "format_failures",
+           "ExperimentRegistry", "Comparison"]
 
 
 def _render_cell(value, spec: Optional[str]) -> str:
@@ -51,6 +52,19 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence],
     body = [line(headers), sep]
     body.extend(line(row) for row in cells)
     return "\n".join(body)
+
+
+def format_failures(points: Sequence) -> str:
+    """Failure table for a fault-tolerant DSE sweep.
+
+    ``points`` are failed :class:`repro.evaluation.DSEPoint` objects
+    (``status != "ok"``); the table shows what went wrong per grid point
+    so a CLI sweep surfaces failures without drowning the results.
+    """
+    rows = [(p.lam, p.warmup_epochs, p.attempts, p.error or "unknown error")
+            for p in points]
+    return format_table(["lambda", "warmup", "attempts", "error"], rows,
+                        formats=["g", "d", "d", None])
 
 
 def format_markdown_table(headers: Sequence[str], rows: Sequence[Sequence],

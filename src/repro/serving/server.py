@@ -26,6 +26,15 @@ Backpressure: each session buffers at most ``queue_size`` samples.  A
 client that produces faster than the slowest co-tenant consumes fills its
 queue, the server stops reading its socket, and TCP flow control pushes
 back to the producer — no unbounded buffering anywhere.
+
+Robustness: the barrier makes co-tenants each other's problem — one stuck
+client stalls every aligned stream — so the server defends the barrier.
+``client_timeout`` disconnects (with an error line) any client whose
+socket stays silent longer than the budget, freeing its pool slot for the
+waiting queue; oversized input lines (beyond ``max_line`` bytes) draw an
+error instead of silently killing the reader task; and a client that dies
+mid-tick is flushed and detached like a clean EOF, so the survivors'
+barrier advances on the next sample.
 """
 
 from __future__ import annotations
@@ -37,6 +46,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..nn.module import Module
+from ..testing import faults
 from .pool import StreamingPool
 
 __all__ = ["StreamServer", "serve"]
@@ -72,17 +82,33 @@ class StreamServer:
         When set, the server stops once this many sessions have fully
         detached and no client remains — a deterministic exit for tests
         and batch jobs.
+    client_timeout:
+        Idle budget in seconds: a client whose socket produces nothing for
+        this long is sent an error line and disconnected, freeing its pool
+        slot (an idle *active* client otherwise stalls the barrier for
+        every co-tenant).  None (default) waits forever.
+    max_line:
+        Maximum input line length in bytes (the asyncio stream limit).  An
+        oversized line draws an error line and a disconnect instead of the
+        default behaviour (``LimitOverrunError`` silently killing the
+        reader task while the connection lingers).
     """
 
     def __init__(self, model: Module, capacity: int = 8,
                  backend: Optional[str] = None,
                  input_length: Optional[int] = None,
                  queue_size: int = 64,
-                 max_sessions: Optional[int] = None):
+                 max_sessions: Optional[int] = None,
+                 client_timeout: Optional[float] = None,
+                 max_line: int = 1 << 16):
+        if client_timeout is not None and client_timeout <= 0:
+            raise ValueError("client_timeout must be positive (or None)")
         self.pool = StreamingPool(model, capacity=capacity, backend=backend,
                                   input_length=input_length)
         self.queue_size = queue_size
         self.max_sessions = max_sessions
+        self.client_timeout = client_timeout
+        self.max_line = max_line
         self._sessions: Dict[int, _Session] = {}
         self._served = 0
         self._server: Optional[asyncio.AbstractServer] = None
@@ -96,7 +122,8 @@ class StreamServer:
         """Bind and start serving; returns the bound ``(host, port)``."""
         self._wake = asyncio.Event()
         self._stopped = asyncio.Event()
-        self._server = await asyncio.start_server(self._handle, host, port)
+        self._server = await asyncio.start_server(self._handle, host, port,
+                                                  limit=self.max_line)
         self._ticker = asyncio.ensure_future(self._tick_loop())
         self.address = self._server.sockets[0].getsockname()[:2]
         return self.address
@@ -145,7 +172,25 @@ class StreamServer:
         await writer.drain()
         try:
             while True:
-                line = await reader.readline()
+                try:
+                    if self.client_timeout is not None:
+                        line = await asyncio.wait_for(reader.readline(),
+                                                      self.client_timeout)
+                    else:
+                        line = await reader.readline()
+                except asyncio.TimeoutError:
+                    _send(writer, {"type": "error",
+                                   "error": f"idle timeout: no input for "
+                                            f"{self.client_timeout:g}s"})
+                    break
+                except (asyncio.LimitOverrunError, ValueError):
+                    # readline() wraps LimitOverrunError in ValueError; an
+                    # unhandled one would kill this reader task silently
+                    # while the connection lingered un-detached.
+                    _send(writer, {"type": "error",
+                                   "error": f"input line exceeds "
+                                            f"{self.max_line} bytes"})
+                    break
                 if not line:
                     break
                 try:
@@ -241,6 +286,15 @@ class StreamServer:
                 if samples is None:
                     break
                 outputs = self.pool.tick(samples)
+                fault = faults.fire("conn_drop", tick=self.pool.ticks)
+                if fault is not None and self._sessions:
+                    # Injected mid-tick connection loss: abort the chosen
+                    # client's transport so its reader sees a reset — the
+                    # exact failure mode of a client dying between ticks.
+                    slot = fault.param("slot")
+                    if slot not in self._sessions:
+                        slot = min(self._sessions)
+                    self._sessions[slot].writer.transport.abort()
                 touched = set()
                 for out in outputs:
                     session = self._sessions.get(out.slot)

@@ -1,0 +1,30 @@
+"""Test-support machinery that ships with the library.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection harness:
+env-driven injectors (``REPRO_FAULTS``) that kill pool workers, poison
+trainer losses, corrupt cache bytes and drop serving connections at
+reproducible trigger points, so the engine's recovery paths are exercised
+by tier-1 tests rather than believed.
+"""
+
+from . import faults
+from .faults import (
+    ENV_FAULTS,
+    ENV_STATE,
+    Fault,
+    FaultError,
+    InjectedWorkerCrash,
+    TransientFault,
+    parse_faults,
+)
+
+__all__ = [
+    "faults",
+    "ENV_FAULTS",
+    "ENV_STATE",
+    "Fault",
+    "FaultError",
+    "InjectedWorkerCrash",
+    "TransientFault",
+    "parse_faults",
+]

@@ -160,10 +160,11 @@ class TestSweep:
         assert "lat ms" in out
         assert "hw pareto front (params, latency_ms, loss)" in out
 
-        # The v2 cache recorded the deployment metrics...
+        # The cache recorded the deployment metrics...
         import json
+        from repro.evaluation import DSECache
         payload = json.loads(cache.read_text())
-        assert payload["version"] == 2
+        assert payload["version"] == DSECache.VERSION
         entry = next(iter(payload["points"].values()))
         assert entry["metrics"]["latency_ms"] > 0
         # ...and a re-run resumes from it (same printed result, no retrain).
@@ -352,3 +353,22 @@ class TestServe:
         out = StreamingExecutor(model).push(samples.T[None])
         for i, msg in enumerate(result["frames"]):
             assert np.allclose(msg["data"], out[0, :, i], atol=1e-6)
+
+
+class TestReliabilityFlags:
+    def test_sweep_reliability_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.retries == 0
+        assert args.point_timeout is None
+
+    def test_sweep_reliability_flags_parse(self):
+        args = build_parser().parse_args(
+            ["sweep", "--retries", "2", "--point-timeout", "30.5"])
+        assert args.retries == 2
+        assert args.point_timeout == 30.5
+
+    def test_serve_client_timeout_flag(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.client_timeout is None
+        args = build_parser().parse_args(["serve", "--client-timeout", "5"])
+        assert args.client_timeout == 5.0

@@ -18,8 +18,10 @@ from repro.evaluation import (
     DSECache,
     DSEEngine,
     DSEPoint,
+    executor_default,
     run_dse,
     stack_width_default,
+    workers_default,
 )
 from repro.evaluation.dse import DSEResult
 from repro.nn import CausalConv1d, Module, ReLU, mse_loss
@@ -299,13 +301,13 @@ class TestCache:
         assert factory.calls == 1  # different settings -> cache miss
 
     def test_completed_points_survive_a_failing_grid_point(self, tmp_path):
-        """A crashing point must not discard concurrently finished ones."""
+        """A crashing point is isolated: the sweep completes, the healthy
+        point is cached, and a resume retrains only the failed one."""
         cache = str(tmp_path / "dse.json")
         train, val = _loaders()
 
         class ExplodingFactory:
-            """Fails fast for λ=0 (detected via a marker on the first call
-            of each pair); healthy for the other grid points."""
+            """Fails on its first build; healthy for the other grid points."""
             def __init__(self):
                 self.calls = 0
                 self._lock = threading.Lock()
@@ -318,18 +320,23 @@ class TestCache:
                 return Tiny()
 
         # stack=1 pins the per-point schedule this test's failure
-        # accounting assumes (a stacked chunk fails as a unit).
+        # accounting assumes (a stacked chunk falls back point-by-point).
         engine = DSEEngine(ExplodingFactory(), mse_loss, train, val,
                            workers=2, cache_path=cache, stack=1,
                            trainer_kwargs=dict(SCHEDULE))
-        with pytest.raises(RuntimeError, match="diverged"):
-            engine.run(LAMBDAS, warmups=[0])
+        result = engine.run(LAMBDAS, warmups=[0])  # must not raise
+        assert len(result.failed_points) == 1
+        assert "diverged" in result.failed_points[0].error
+        assert len(result.ok_points) == 1
 
         with open(cache) as handle:
             recorded = json.load(handle)["points"]
-        assert len(recorded) == 1  # the healthy point was cached
+        # Both outcomes are persisted; only one is a servable result.
+        statuses = sorted(e.get("status", "ok") for e in recorded.values())
+        assert statuses == ["failed", "ok"]
 
-        # Resuming retrains only the failed point.
+        # Resuming retrains only the failed point (failed cache entries
+        # are provenance, never served as results).
         factory = CountingFactory()
         resumed = DSEEngine(factory, mse_loss, train, val, workers=2,
                             cache_path=cache, stack=1,
@@ -337,10 +344,11 @@ class TestCache:
                                                                warmups=[0])
         assert factory.calls == 1
         assert [p.lam for p in resumed.points] == LAMBDAS
+        assert all(p.ok for p in resumed.points)
 
-    def test_failure_without_cache_fails_fast(self):
-        """With no cache to persist results, a failing point must abort the
-        sweep instead of training the rest of the grid for nothing."""
+    def test_failure_without_cache_is_isolated(self):
+        """A failing point must not abort the sweep: the remaining grid
+        still trains and the failure surfaces as a failed DSEPoint."""
         train, val = _loaders()
 
         class FailFirst:
@@ -357,11 +365,14 @@ class TestCache:
 
         factory = FailFirst()
         engine = DSEEngine(factory, mse_loss, train, val, workers=2,
-                           trainer_kwargs=dict(SCHEDULE))
-        with pytest.raises(RuntimeError, match="diverged"):
-            engine.run([0.0, 1.0, 2.0, 3.0, 4.0, 5.0], warmups=[0])
-        # The queued grid points were cancelled, not trained-and-discarded.
-        assert factory.calls < 6
+                           stack=1, trainer_kwargs=dict(SCHEDULE))
+        grid = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+        result = engine.run(grid, warmups=[0])
+        assert factory.calls == len(grid)  # every point was attempted
+        assert len(result.failed_points) == 1
+        assert len(result.ok_points) == len(grid) - 1
+        assert [p.lam for p in result.points] == grid  # grid order kept
+        assert engine.last_run_stats["failed"] == 1
 
     def test_cache_file_format(self, tmp_path):
         cache = str(tmp_path / "dse.json")
@@ -469,15 +480,17 @@ class TestCacheBugfixes:
         assert restored.metrics["latency_ms"] == 7.5
 
 
-class TestCacheV2:
-    def test_file_format_is_v2_with_metrics(self, tmp_path):
+class TestCacheVersions:
+    def test_file_format_is_current_with_metrics_and_status(self, tmp_path):
         cache = str(tmp_path / "dse.json")
         _sweep(workers=0, cache_path=cache)
         with open(cache) as handle:
             payload = json.load(handle)
-        assert payload["version"] == 2
+        assert payload["version"] == DSECache.VERSION
         for entry in payload["points"].values():
             assert entry["metrics"] == {}  # no evaluators ran
+            assert entry["status"] == "ok"
+            assert entry["error"] is None
 
     def test_v1_file_resumes_without_retraining(self, tmp_path):
         """Migration path: a version-1 file (no metrics key) loads and
@@ -498,7 +511,27 @@ class TestCacheV2:
         _assert_identical(first, resumed)
         assert all(p.metrics == {} for p in resumed.points)
 
-    def test_v1_file_upgraded_on_next_write(self, tmp_path):
+    def test_v2_file_resumes_without_retraining(self, tmp_path):
+        """A version-2 file (no status/error/attempts keys) loads and
+        its entries are served as healthy points."""
+        cache = str(tmp_path / "dse.json")
+        first = _sweep(workers=0, cache_path=cache)
+        with open(cache) as handle:
+            payload = json.load(handle)
+        for entry in payload["points"].values():
+            for key in ("status", "error", "attempts"):
+                entry.pop(key, None)  # exactly what v2 writers produced
+        payload["version"] = 2
+        with open(cache, "w") as handle:
+            json.dump(payload, handle)
+
+        factory = CountingFactory()
+        resumed = _sweep(workers=0, cache_path=cache, factory=factory)
+        assert factory.calls == 0
+        _assert_identical(first, resumed)
+        assert all(p.ok for p in resumed.points)
+
+    def test_old_file_upgraded_on_next_write(self, tmp_path):
         path = str(tmp_path / "dse.json")
         with open(path, "w") as handle:
             json.dump({"version": 1, "points": {}}, handle)
@@ -506,7 +539,7 @@ class TestCacheV2:
         cache.put("k", DSEPoint(lam=0.0, warmup_epochs=0, dilations=(1,),
                                 params=1, loss=0.5))
         with open(path) as handle:
-            assert json.load(handle)["version"] == 2
+            assert json.load(handle)["version"] == DSECache.VERSION
 
 
 class TestPointEvaluators:
@@ -608,3 +641,43 @@ class TestRunDseWrapper:
         point = DSEPoint(lam=0.0, warmup_epochs=0, dilations=(1,),
                          params=1, loss=0.0)
         assert point.result is None
+
+
+class TestEnvDefaults:
+    """REPRO_DSE_WORKERS / REPRO_DSE_EXECUTOR seed the engine the way
+    REPRO_DSE_STACK seeds stack width (the CI fault-injection leg uses
+    them to force pooled process execution); explicit arguments win."""
+
+    def test_defaults_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DSE_WORKERS", raising=False)
+        monkeypatch.delenv("REPRO_DSE_EXECUTOR", raising=False)
+        assert workers_default() == 0
+        assert executor_default() == "thread"
+        train, val = _loaders()
+        engine = DSEEngine(Tiny, mse_loss, train, val)
+        assert engine.workers == 0 and engine.executor == "thread"
+
+    def test_env_seeds_engine(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DSE_WORKERS", "3")
+        monkeypatch.setenv("REPRO_DSE_EXECUTOR", "process")
+        train, val = _loaders()
+        engine = DSEEngine(Tiny, mse_loss, train, val)
+        assert engine.workers == 3 and engine.executor == "process"
+
+    def test_explicit_arguments_beat_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DSE_WORKERS", "3")
+        monkeypatch.setenv("REPRO_DSE_EXECUTOR", "process")
+        train, val = _loaders()
+        engine = DSEEngine(Tiny, mse_loss, train, val, workers=0,
+                           executor="thread")
+        assert engine.workers == 0 and engine.executor == "thread"
+
+    def test_bad_env_values_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DSE_WORKERS", "-1")
+        with pytest.raises(ValueError, match="REPRO_DSE_WORKERS"):
+            workers_default()
+        monkeypatch.setenv("REPRO_DSE_WORKERS", "2")
+        monkeypatch.setenv("REPRO_DSE_EXECUTOR", "fibers")
+        train, val = _loaders()
+        with pytest.raises(ValueError, match="executor"):
+            DSEEngine(Tiny, mse_loss, train, val)

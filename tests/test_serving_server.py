@@ -250,3 +250,124 @@ class TestStreamServer:
         assert result["hello"]["warmup_ticks"] == warmup
         for msg in result["frames"]:
             assert msg["warm"] == (msg["tick"] >= warmup)
+
+
+class TestServerRobustness:
+    """The barrier makes co-tenants each other's problem; these tests pin
+    the defenses: idle-client timeouts free pool slots, oversized lines
+    draw an error instead of silently killing the reader, and a client
+    dying mid-stream never stalls the survivors' barrier."""
+
+    def test_idle_client_disconnected_and_slot_freed(self):
+        net = make_net()
+        samples = RNG.standard_normal((6, 2))
+        want = fresh_frames(net, samples)
+
+        async def scenario():
+            server = StreamServer(net, capacity=1, max_sessions=2,
+                                  client_timeout=0.15)
+            host, port = await server.start()
+            # The idler occupies the only slot and sends nothing.
+            reader, writer = await asyncio.open_connection(host, port)
+            hello = json.loads(await reader.readline())
+            assert hello["type"] == "hello"
+            error = json.loads(await asyncio.wait_for(reader.readline(), 5))
+            assert error["type"] == "error"
+            assert "idle timeout" in error["error"]
+            assert await asyncio.wait_for(reader.readline(), 5) == b""
+            writer.close()
+            # Its slot is free again: a second client streams normally.
+            result = await stream_samples(host, port, samples)
+            await asyncio.wait_for(server.wait_closed(), 5)
+            return result
+
+        result = run(scenario())
+        assert result["error"] is None
+        assert len(result["frames"]) == len(want)
+        for msg, w in zip(result["frames"], want):
+            assert np.allclose(msg["data"], w, **TOL)
+
+    def test_oversized_line_draws_error(self):
+        net = make_net()
+
+        async def scenario():
+            server = StreamServer(net, capacity=1, max_sessions=1,
+                                  max_line=64)
+            host, port = await server.start()
+            reader, writer = await asyncio.open_connection(host, port)
+            json.loads(await reader.readline())  # hello
+            writer.write(b"[" + b"[1.0, 1.0], " * 32 + b"[1.0, 1.0]]\n")
+            await writer.drain()
+            msg = json.loads(await asyncio.wait_for(reader.readline(), 5))
+            assert await asyncio.wait_for(reader.readline(), 5) == b""
+            writer.close()
+            await asyncio.wait_for(server.wait_closed(), 5)
+            return msg
+
+        msg = run(scenario())
+        assert msg["type"] == "error"
+        assert "exceeds 64 bytes" in msg["error"]
+
+    def test_client_dying_mid_stream_does_not_stall_cotenant(self):
+        net = make_net()
+        samples = RNG.standard_normal((12, 2))
+        want = fresh_frames(net, samples)
+
+        async def scenario():
+            server = StreamServer(net, capacity=2, max_sessions=2)
+            host, port = await server.start()
+            # The victim queues samples, then its connection dies abruptly
+            # (no detach, no EOF handshake) mid-stream.
+            vr, vw = await asyncio.open_connection(host, port)
+            json.loads(await vr.readline())  # hello
+            vw.write((json.dumps(np.ones((3, 2)).tolist()) + "\n").encode())
+            await vw.drain()
+            vw.transport.abort()
+            # The co-tenant must still receive every one of its frames.
+            result = await asyncio.wait_for(
+                stream_samples(host, port, samples), 10)
+            await asyncio.wait_for(server.wait_closed(), 10)
+            return result
+
+        result = run(scenario())
+        assert result["error"] is None
+        assert len(result["frames"]) == len(want)
+        for msg, w in zip(result["frames"], want):
+            assert np.allclose(msg["data"], w, **TOL)
+
+    def test_injected_conn_drop_does_not_stall_survivor(self, monkeypatch):
+        """The fault harness aborts a live transport server-side mid-tick
+        (the exact failure mode of a client dying between ticks); the
+        survivor's barrier must keep advancing."""
+        from repro.testing import faults
+        monkeypatch.setenv(faults.ENV_FAULTS, "conn_drop@tick=3")
+        faults.reset()
+        net = make_net()
+        samples = RNG.standard_normal((10, 2))
+        want = fresh_frames(net, samples)
+
+        async def scenario():
+            server = StreamServer(net, capacity=2, max_sessions=2)
+            host, port = await server.start()
+            # Victim attaches first (slot 0, the fault's default target)
+            # and queues plenty of samples.
+            vr, vw = await asyncio.open_connection(host, port)
+            json.loads(await vr.readline())  # hello
+            vw.write((json.dumps(np.ones((20, 2)).tolist()) + "\n").encode())
+            await vw.drain()
+            survivor = asyncio.ensure_future(
+                stream_samples(host, port, samples))
+            try:  # drain the victim until the abort surfaces
+                while await asyncio.wait_for(vr.readline(), 10):
+                    pass
+            except (ConnectionError, asyncio.TimeoutError):
+                pass
+            vw.close()
+            result = await asyncio.wait_for(survivor, 10)
+            await asyncio.wait_for(server.wait_closed(), 10)
+            return result
+
+        result = run(scenario())
+        faults.reset()
+        assert result["error"] is None
+        assert len(result["frames"]) == len(want)
