@@ -59,6 +59,17 @@ execution; ``REPRO_DSE_STACK`` is the environment equivalent), and
 deployment metrics (cache format v2) — to a JSON file so interrupted
 sweeps resume where they left off.  Stack width, like ``--compile``,
 never enters cache keys: stacked and sequential sweeps share entries.
+
+The training commands also accept ``--checkpoint-dir PATH`` and
+``--checkpoint-every N`` (environment equivalents ``REPRO_CKPT_DIR`` /
+``REPRO_CKPT_EVERY``): mid-run trainer checkpoints snapshot the complete
+training state at epoch boundaries, so a run killed by a crash, timeout
+or preemption can continue from its last finished epoch with bit-exact
+results (see README "Checkpointing & resume").  ``train`` and ``search``
+opt into continuing from an existing checkpoint with ``--resume`` (a
+fresh invocation otherwise starts over and rewrites the file); ``sweep``
+always resumes in-flight grid points, mirroring how ``--cache`` always
+skips finished ones.
 """
 
 from __future__ import annotations
@@ -140,6 +151,23 @@ def _fixed_model(benchmark: str, dilations, width: float, seed: int):
     if benchmark == "music":
         return restcn_fixed(dilations, width_mult=width, seed=seed)
     return temponet_fixed(dilations, width_mult=width, seed=seed)
+
+
+def _checkpoint_args(args: argparse.Namespace) -> dict:
+    """The mid-run checkpoint knobs of this invocation as trainer kwargs.
+
+    Absent flags defer to the ``REPRO_CKPT_*`` environment, so a cluster
+    job can set the directory once for every command it launches.
+    """
+    from .core.checkpoint import checkpoint_dir_default
+    directory = getattr(args, "checkpoint_dir", None)
+    if directory is None:
+        directory = checkpoint_dir_default()
+    out = dict(checkpoint_dir=directory,
+               checkpoint_every=getattr(args, "checkpoint_every", None))
+    if hasattr(args, "resume"):
+        out["checkpoint_resume"] = bool(args.resume)
+    return out
 
 
 def _compile_config(args: argparse.Namespace):
@@ -226,12 +254,15 @@ def cmd_train(args: argparse.Namespace) -> int:
     result = train_plain(model, _loss(args.benchmark), train_loader, val_loader,
                          epochs=args.epochs, lr=args.lr,
                          patience=args.patience,
-                         compile_config=_compile_config(args))
+                         compile_config=_compile_config(args),
+                         **_checkpoint_args(args))
     from .core import evaluate
     test_loss = evaluate(model, _loss(args.benchmark), test_loader)
     print(f"network   : {args.benchmark} dilations={dilations or 'all-1'}")
     print(f"params    : {model.count_parameters()}")
     print(f"epochs    : {result.epochs}")
+    if result.resumed_epochs:
+        print(f"resumed   : {result.resumed_epochs} epoch(s) from checkpoint")
     print(f"val loss  : {result.best_val:.4f}")
     print(f"test loss : {test_loss:.4f}")
     print(f"time      : {result.seconds:.1f} s")
@@ -257,9 +288,12 @@ def cmd_search(args: argparse.Namespace) -> int:
         warmup_epochs=args.warmup, max_prune_epochs=args.epochs,
         prune_patience=args.patience, finetune_epochs=args.finetune,
         finetune_patience=args.patience, verbose=not args.quiet,
-        compile_config=_compile_config(args))
+        compile_config=_compile_config(args), checkpoint_tag="search",
+        **_checkpoint_args(args))
     result = trainer.fit(train_loader, val_loader)
     print(f"dilations : {result.dilations}")
+    if result.resumed_epochs:
+        print(f"resumed   : {result.resumed_epochs} epoch(s) from checkpoint")
     print(f"val loss  : {result.best_val:.4f}")
     print(f"params    : {result.effective_params}")
     print(f"time      : {result.total_seconds:.1f} s")
@@ -310,7 +344,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                      stack=args.stack,
                      point_evaluators=evaluators,
                      retries=args.retries,
-                     point_timeout=args.point_timeout)
+                     point_timeout=args.point_timeout,
+                     checkpoint_dir=getattr(args, "checkpoint_dir", None),
+                     checkpoint_every=getattr(args, "checkpoint_every", None))
     header = f"{'lambda':>10s} {'warmup':>6s} {'params':>8s} {'loss':>9s}"
     if args.hw:
         header += f" {'int8 loss':>9s} {'lat ms':>8s} {'mJ':>7s}"
@@ -428,6 +464,25 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--patience", type=int, default=4)
         compile_flag(p)
 
+    def checkpoint_flags(p, resumable=False):
+        p.add_argument("--checkpoint-dir", type=str, default=None,
+                       dest="checkpoint_dir", metavar="PATH",
+                       help="write mid-run trainer checkpoints (complete "
+                            "training state at every epoch boundary) into "
+                            "this directory, so a killed run can continue "
+                            "bit-exactly (default: REPRO_CKPT_DIR; unset = "
+                            "no checkpointing)")
+        p.add_argument("--checkpoint-every", type=int, default=None,
+                       dest="checkpoint_every", metavar="N",
+                       help="snapshot every Nth epoch boundary (default: "
+                            "REPRO_CKPT_EVERY or 1)")
+        if resumable:
+            p.add_argument("--resume", action="store_true",
+                           help="continue from the checkpoint in "
+                                "--checkpoint-dir instead of starting "
+                                "over; results are bit-identical to the "
+                                "uninterrupted run")
+
     def compile_flag(p):
         p.add_argument("--compile", action="store_true",
                        help="trace the training step once and replay it "
@@ -477,6 +532,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--patience", type=int, default=4)
     p_train.add_argument("--save", type=str, default=None,
                          help="write an npz checkpoint here")
+    checkpoint_flags(p_train, resumable=True)
     p_train.set_defaults(func=cmd_train)
 
     p_search = sub.add_parser("search", help="run one PIT search")
@@ -485,6 +541,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_search.add_argument("--lam", type=float, default=0.02)
     p_search.add_argument("--save", type=str, default=None,
                           help="write an npz checkpoint here")
+    checkpoint_flags(p_search, resumable=True)
     p_search.set_defaults(func=cmd_search)
 
     p_sweep = sub.add_parser("sweep", help="λ design-space exploration")
@@ -525,6 +582,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="per-point training budget in seconds; a chunk "
                               "that exceeds it is cancelled and its points "
                               "marked failed (default: no timeout)")
+    # Sweeps always resume in-flight points from their checkpoints (like
+    # --cache always skips finished ones), so no --resume flag here.
+    checkpoint_flags(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_deploy = sub.add_parser(

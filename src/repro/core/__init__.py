@@ -45,6 +45,13 @@ from .search_space import (
     enumerate_configurations,
     parameter_range,
 )
+from .checkpoint import (
+    CheckpointError,
+    CheckpointState,
+    TrainerCheckpoint,
+    checkpoint_file,
+    key_tag,
+)
 from .trainer import (
     PITTrainer,
     PITResult,
@@ -99,6 +106,11 @@ __all__ = [
     "search_space_size",
     "enumerate_configurations",
     "parameter_range",
+    "CheckpointError",
+    "CheckpointState",
+    "TrainerCheckpoint",
+    "checkpoint_file",
+    "key_tag",
     "PITTrainer",
     "PITResult",
     "train_plain",

@@ -36,6 +36,7 @@ training starts* and the DSE engine falls back to the sequential path.
 from __future__ import annotations
 
 import time
+import warnings
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -71,6 +72,16 @@ from ..nn.stacked import (
 )
 from ..optim import Adam, EarlyStopping, clip_grads_stacked
 from ..testing import faults
+from .checkpoint import (
+    TrainerCheckpoint,
+    capture_rngs,
+    module_rng_map,
+    optimizer_arrays,
+    restore_optimizer,
+    restore_rngs,
+    restore_stopper,
+    stopper_arrays,
+)
 from .export import effective_parameters, network_dilations
 from .masks import TimeMask, lag_gamma_indices
 from .pit_conv import PITConv1d
@@ -404,7 +415,11 @@ class StackedPITTrainer:
                  graph_opt: Optional[str] = None,
                  graph_exec: Optional[str] = None,
                  loop_capture: Optional[bool] = None,
-                 compile_config: Optional[CompileConfig] = None):
+                 compile_config: Optional[CompileConfig] = None,
+                 checkpoint_dir: Optional[str] = None,
+                 checkpoint_every: Optional[int] = None,
+                 checkpoint_tags: Optional[Sequence[str]] = None,
+                 checkpoint_resume: bool = True):
         if regularizer not in ("size", "flops"):
             raise ValueError("regularizer must be 'size' or 'flops'")
         if len(lams) < 1:
@@ -439,6 +454,23 @@ class StackedPITTrainer:
         self.graph_opt = self.compile_config.graph_opt
         self.graph_exec = self.compile_config.graph_exec
         self.loop_capture = self.compile_config.loop_capture
+
+        # Per-slice checkpoint files: each slice writes a self-contained,
+        # template-shaped snapshot, so a stack's resume composes with
+        # slicing (and a sequential trainer can adopt a slice's file).
+        self._checkpoints: Optional[List[TrainerCheckpoint]] = None
+        if checkpoint_dir:
+            tags = (list(checkpoint_tags) if checkpoint_tags
+                    else [f"stack{i}" for i in range(self.m)])
+            if len(tags) != self.m:
+                raise ValueError(
+                    f"checkpoint_tags names {len(tags)} slices, "
+                    f"trainer has {self.m}")
+            self._checkpoints = [
+                TrainerCheckpoint.create(checkpoint_dir, tag,
+                                         every=checkpoint_every,
+                                         resume=checkpoint_resume)
+                for tag in tags]
 
         self.stacked = StackedModel(model, self.m)  # may raise StackingUnsupported
         self._pit_layers = [layer for layer in self.stacked.net.modules()
@@ -616,8 +648,99 @@ class StackedPITTrainer:
         return self.stacked.sync_template(index)
 
     # ------------------------------------------------------------------
+    def _load_resume(self):
+        """All M slice checkpoints, or None (absent / torn / mismatched).
+
+        Every slice must exist and agree on (phase, global epoch): a crash
+        *between* per-slice writes leaves a torn set, which degrades to a
+        fresh start rather than resuming slices at different epochs.
+        """
+        if self._checkpoints is None:
+            return None
+        states = []
+        for i, ckpt in enumerate(self._checkpoints):
+            state = ckpt.load()
+            if state is None:
+                return None
+            meta = state.meta
+            if meta.get("trainer") != "pit" or not meta.get("stack"):
+                return None
+            info = meta["stack"]
+            if int(info.get("m", -1)) != self.m or int(info.get("index", -1)) != i:
+                return None
+            states.append(state)
+        if len({(s.meta.get("phase"), int(s.meta.get("global_epoch", -1)))
+                for s in states}) != 1:
+            warnings.warn(
+                "stacked checkpoint set is torn (slices disagree on "
+                "phase/epoch); starting fresh")
+            return None
+        return states
+
+    def _save_boundary(self, phase: str, optimizer, stoppers, histories, *,
+                       warmup_ran: int, prune_ran: List[int],
+                       finetune_ran: List[int], stack_prune_epoch: int,
+                       stack_finetune_epoch: int, seconds: Dict,
+                       active: List[bool], train_cur: List[int],
+                       val_cur: List[int], train_view, val_view,
+                       snapshots: Optional[List[Optional[Dict]]] = None
+                       ) -> None:
+        """One shared epoch boundary: write every slice's snapshot (when
+        due), then hit the ``crash@epoch=K`` fault site."""
+        self._global_epoch += 1
+        ge = self._global_epoch
+        ckpts = self._checkpoints
+        if ckpts is not None and ckpts[0].due(ge):
+            orders = {"train": len(train_view._orders),
+                      "val": len(val_view._orders)}
+            for i, ckpt in enumerate(ckpts):
+                arrays = {f"model/{name}": arr for name, arr
+                          in self.stacked.slice_state(i).items()}
+                arrays.update(optimizer_arrays(optimizer, slice_index=i))
+                if stoppers is not None:
+                    arrays.update(stopper_arrays(stoppers[i]))
+                if snapshots is not None and snapshots[i] is not None:
+                    arrays.update({f"snap/{name}": arr
+                                   for name, arr in snapshots[i].items()})
+                ckpt.save(arrays, {
+                    "trainer": "pit", "phase": phase, "global_epoch": ge,
+                    "counters": {
+                        "warmup_ran": warmup_ran,
+                        "prune_ran": int(prune_ran[i]),
+                        "finetune_ran": int(finetune_ran[i]),
+                        "stack_prune_epoch": stack_prune_epoch,
+                        "stack_finetune_epoch": stack_finetune_epoch,
+                    },
+                    "history": histories[i],
+                    "seconds": seconds,
+                    "rngs": capture_rngs(
+                        module_rng_map(self.stacked.net, slice_index=i)),
+                    "loader_epochs": {"train": int(train_cur[i]),
+                                      "val": int(val_cur[i])},
+                    "stack": {
+                        "m": self.m, "index": i,
+                        "active": bool(active[i]),
+                        "train_cur": int(train_cur[i]),
+                        "val_cur": int(val_cur[i]),
+                        "orders": orders,
+                        "has_snapshot": bool(
+                            snapshots is not None
+                            and snapshots[i] is not None),
+                    },
+                })
+        faults.crash_at_epoch(ge)
+
     def fit(self, train_loader, val_loader) -> List[PITResult]:
-        """Run warmup → pruning → fine-tuning for all M grid points."""
+        """Run warmup → pruning → fine-tuning for all M grid points.
+
+        With checkpointing configured (``checkpoint_dir=``), every shared
+        epoch boundary writes one template-shaped snapshot per slice and a
+        complete, consistent set is resumed bit-identically to the
+        uninterrupted stacked run.  Slice files use the same format the
+        sequential trainer writes, so the same grid point resumes across
+        both execution strategies (within the established stacked-vs-
+        sequential floating-point tolerance).
+        """
         try:
             train_view = EpochReplayLoader(train_loader)
             val_view = EpochReplayLoader(val_loader)
@@ -626,90 +749,178 @@ class StackedPITTrainer:
 
         m = self.m
         stacked = self.stacked
-        histories = [
-            {"warmup_val": [], "prune_val": [], "finetune_val": [],
-             "prune_params": []}
-            for _ in range(m)]
-        train_cur = [0] * m
-        val_cur = [0] * m
+        states = self._load_resume()
+        meta0 = states[0].meta if states else {}
+        phases = ("warmup", "prune", "finetune")
+        phase_at = (phases.index(meta0["phase"])
+                    if meta0.get("phase") in phases else -1)
+        shared = meta0.get("counters", {})
+        seconds = {k: float(v) for k, v in meta0.get("seconds", {}).items()}
+        self._global_epoch = int(meta0.get("global_epoch", 0))
+        resumed_epochs = self._global_epoch
+        if states:
+            histories = [dict(s.meta["history"]) for s in states]
+            train_cur = [int(s.meta["stack"]["train_cur"]) for s in states]
+            val_cur = [int(s.meta["stack"]["val_cur"]) for s in states]
+            # Regenerate the views' memoized epoch orders: the loaders
+            # passed in are pristine, so replaying the shuffle stream
+            # reproduces exactly the orders the interrupted run drew.
+            orders = meta0["stack"].get("orders", {})
+            if int(orders.get("train", 0)) > 0:
+                train_view._order(int(orders["train"]) - 1)
+            if int(orders.get("val", 0)) > 0:
+                val_view._order(int(orders["val"]) - 1)
+            self._log(f"resumed {m} slices at phase {meta0.get('phase')!r}, "
+                      f"global epoch {self._global_epoch}")
+        else:
+            histories = [
+                {"warmup_val": [], "prune_val": [], "finetune_val": [],
+                 "prune_params": []}
+                for _ in range(m)]
+            train_cur = [0] * m
+            val_cur = [0] * m
         weight_params, gamma_params = self._split_params()
+
+        def restore_slices(optimizer, stoppers=None):
+            for i, state in enumerate(states):
+                stacked.load_slice_state(i, state.group("model/"))
+                restore_optimizer(optimizer, state.arrays, slice_index=i)
+                if stoppers is not None:
+                    restore_stopper(stoppers[i], state.arrays)
+                restore_rngs(module_rng_map(stacked.net, slice_index=i),
+                             state.meta.get("rngs", {}))
 
         # ---------------- Phase 1: warmup (weights only) ----------------
         start = time.perf_counter()
-        warmup_ran = 0
-        if self.warmup_epochs > 0:
+        warmup_base = seconds.get("warmup", 0.0)
+        warmup_ran = int(shared.get("warmup_ran", 0))
+        warmup_seconds = warmup_base
+        if self.warmup_epochs > 0 and phase_at <= 0:
             optimizer = Adam(weight_params, lr=self.lr)
+            if states and phase_at == 0:
+                restore_slices(optimizer)
             step = self._make_step(with_reg=False)
             epoch = self._make_epoch(step, optimizer)
             active = [True] * m
-            for _ in range(self.warmup_epochs):
+            val = None
+            for _ in range(warmup_ran, self.warmup_epochs):
                 self._run_train_epoch(step, optimizer, train_view,
                                       train_cur, active, epoch=epoch)
                 val = self._run_validation(val_view, val_cur, active)
                 for i in range(m):
                     histories[i]["warmup_val"].append(float(val[i]))
                 warmup_ran += 1
-            self._log(f"warmup done, val={val}")
-        warmup_seconds = time.perf_counter() - start
+                self._save_boundary(
+                    "warmup", optimizer, None, histories,
+                    warmup_ran=warmup_ran, prune_ran=[0] * m,
+                    finetune_ran=[0] * m, stack_prune_epoch=0,
+                    stack_finetune_epoch=0,
+                    seconds={**seconds, "warmup": warmup_base
+                             + (time.perf_counter() - start)},
+                    active=active, train_cur=train_cur, val_cur=val_cur,
+                    train_view=train_view, val_view=val_view)
+            if val is not None:
+                self._log(f"warmup done, val={val}")
+            warmup_seconds = warmup_base + (time.perf_counter() - start)
+        seconds["warmup"] = warmup_seconds
 
         # ---------------- Phase 2: pruning (weights + γ) ----------------
         start = time.perf_counter()
-        groups = [{"params": weight_params, "lr": self.lr}]
-        if gamma_params:
-            groups.append({"params": gamma_params, "lr": self.gamma_lr,
-                           "weight_decay": 0.0})
-        optimizer = Adam(groups, lr=self.lr)
-        stoppers = [EarlyStopping(patience=self.prune_patience, mode="min")
-                    for _ in range(m)]
-        step = self._make_step(with_reg=True)
-        epoch = self._make_epoch(step, optimizer)
-        active = [True] * m
-        prune_ran = [0] * m
+        prune_base = seconds.get("prune", 0.0)
+        prune_ran = ([int(s.meta["counters"].get("prune_ran", 0))
+                      for s in states] if states else [0] * m)
+        prune_epoch = int(shared.get("stack_prune_epoch", 0))
         snapshots: List[Optional[Dict]] = [None] * m
-        stacked.set_all_active()
-        for _ in range(self.max_prune_epochs):
-            if not any(active):
-                break
-            self._run_train_epoch(step, optimizer, train_view,
-                                  train_cur, active, epoch=epoch)
-            val = self._run_validation(val_view, val_cur, active)
+        prune_seconds = prune_base
+        if phase_at <= 1:
+            groups = [{"params": weight_params, "lr": self.lr}]
+            if gamma_params:
+                groups.append({"params": gamma_params, "lr": self.gamma_lr,
+                               "weight_decay": 0.0})
+            optimizer = Adam(groups, lr=self.lr)
+            stoppers = [EarlyStopping(patience=self.prune_patience,
+                                      mode="min") for _ in range(m)]
+            active = [True] * m
+            stacked.set_all_active()
+            if states and phase_at == 1:
+                restore_slices(optimizer, stoppers)
+                for i, state in enumerate(states):
+                    info = state.meta["stack"]
+                    active[i] = bool(info.get("active", True))
+                    stacked.set_active(i, active[i])
+                    if info.get("has_snapshot"):
+                        snapshots[i] = {name: np.array(arr, copy=True)
+                                        for name, arr
+                                        in state.group("snap/").items()}
+            step = self._make_step(with_reg=True)
+            epoch = self._make_epoch(step, optimizer)
+            for _ in range(prune_epoch, self.max_prune_epochs):
+                if not any(active):
+                    break
+                self._run_train_epoch(step, optimizer, train_view,
+                                      train_cur, active, epoch=epoch)
+                val = self._run_validation(val_view, val_cur, active)
+                for i in range(m):
+                    if not active[i]:
+                        continue
+                    histories[i]["prune_val"].append(float(val[i]))
+                    histories[i]["prune_params"].append(
+                        float(self._effective_params(i)))
+                    prune_ran[i] += 1
+                    stoppers[i].update(float(val[i]))
+                    if stoppers[i].should_stop:
+                        # Freeze this grid point where its sequential run
+                        # would have stopped; the stack keeps going for
+                        # the others.
+                        active[i] = False
+                        stacked.set_active(i, False)
+                        snapshots[i] = stacked.slice_state(i)
+                prune_epoch += 1
+                self._save_boundary(
+                    "prune", optimizer, stoppers, histories,
+                    warmup_ran=warmup_ran, prune_ran=prune_ran,
+                    finetune_ran=[0] * m, stack_prune_epoch=prune_epoch,
+                    stack_finetune_epoch=0,
+                    seconds={**seconds, "prune": prune_base
+                             + (time.perf_counter() - start)},
+                    active=active, train_cur=train_cur, val_cur=val_cur,
+                    train_view=train_view, val_view=val_view,
+                    snapshots=snapshots)
             for i in range(m):
-                if not active[i]:
-                    continue
-                histories[i]["prune_val"].append(float(val[i]))
-                histories[i]["prune_params"].append(
-                    float(self._effective_params(i)))
-                prune_ran[i] += 1
-                stoppers[i].update(float(val[i]))
-                if stoppers[i].should_stop:
-                    # Freeze this grid point where its sequential run would
-                    # have stopped; the stack keeps going for the others.
-                    active[i] = False
-                    stacked.set_active(i, False)
+                if snapshots[i] is None:          # ran to the epoch cap
                     snapshots[i] = stacked.slice_state(i)
-        for i in range(m):
-            if snapshots[i] is None:          # ran to the epoch cap
-                snapshots[i] = stacked.slice_state(i)
-        for i in range(m):
-            stacked.load_slice_state(i, snapshots[i])
-        prune_seconds = time.perf_counter() - start
+            for i in range(m):
+                stacked.load_slice_state(i, snapshots[i])
+            prune_seconds = prune_base + (time.perf_counter() - start)
+        seconds["prune"] = prune_seconds
         self._log(f"pruning converged after {prune_ran} epochs")
 
         # ---------------- Phase 3: freeze + fine-tune --------------------
         start = time.perf_counter()
+        finetune_base = seconds.get("finetune", 0.0)
+        finetune_ran = ([int(s.meta["counters"].get("finetune_ran", 0))
+                         for s in states] if states else [0] * m)
+        finetune_epoch = int(shared.get("stack_finetune_epoch", 0))
         stacked.set_all_active()
         for layer in self._pit_layers:
             layer.freeze()
         optimizer = Adam(weight_params, lr=self.lr)
         stoppers = [EarlyStopping(patience=self.finetune_patience, mode="min")
                     for _ in range(m)]
+        active = [True] * m
+        if states and phase_at == 2:
+            # freeze() first (it shapes the stacked frozen-mask buffers),
+            # restore second: the snapshots carry the exact masks of the
+            # original pruning outcome for every slice.
+            restore_slices(optimizer, stoppers)
+            for i, state in enumerate(states):
+                active[i] = bool(state.meta["stack"].get("active", True))
+                stacked.set_active(i, active[i])
         # Fresh step: freezing changed the graph (per-model masks became
         # constants the optimizer passes fold away).
         step = self._make_step(with_reg=False)
         epoch = self._make_epoch(step, optimizer)
-        active = [True] * m
-        finetune_ran = [0] * m
-        for _ in range(self.finetune_epochs):
+        for _ in range(finetune_epoch, self.finetune_epochs):
             if not any(active):
                 break
             self._run_train_epoch(step, optimizer, train_view,
@@ -725,11 +936,21 @@ class StackedPITTrainer:
                 if stoppers[i].should_stop:
                     active[i] = False
                     stacked.set_active(i, False)
+            finetune_epoch += 1
+            self._save_boundary(
+                "finetune", optimizer, stoppers, histories,
+                warmup_ran=warmup_ran, prune_ran=prune_ran,
+                finetune_ran=finetune_ran, stack_prune_epoch=prune_epoch,
+                stack_finetune_epoch=finetune_epoch,
+                seconds={**seconds, "finetune": finetune_base
+                         + (time.perf_counter() - start)},
+                active=active, train_cur=train_cur, val_cur=val_cur,
+                train_view=train_view, val_view=val_view)
         for i in range(m):
             if stoppers[i].best_state is not None:
                 stacked.load_slice_state(i, stoppers[i].best_state)
         stacked.set_all_active()
-        finetune_seconds = time.perf_counter() - start
+        finetune_seconds = finetune_base + (time.perf_counter() - start)
 
         best_vals = [None if stoppers[i].best is None else float(stoppers[i].best)
                      for i in range(m)]
@@ -757,5 +978,6 @@ class StackedPITTrainer:
                 prune_epochs=prune_ran[i],
                 finetune_epochs=finetune_ran[i],
                 history=histories[i],
+                resumed_epochs=resumed_epochs,
             ))
         return results

@@ -40,6 +40,18 @@ from ..nn.module import Module
 from ..optim import Adam, EarlyStopping, clip_grad_norm
 from ..optim.kernels import clip_grads
 from ..testing import faults
+from .checkpoint import (
+    TrainerCheckpoint,
+    capture_rngs,
+    fast_forward_loader,
+    loader_rng_map,
+    module_rng_map,
+    optimizer_arrays,
+    restore_optimizer,
+    restore_rngs,
+    restore_stopper,
+    stopper_arrays,
+)
 from .export import effective_parameters, network_dilations
 from .regularizer import flops_regularizer, pit_layers, size_regularizer
 
@@ -191,12 +203,15 @@ class TrainResult:
     ``compile_stats`` holds :meth:`CompiledStep.diagnostics` for the run's
     step when the step was compiled (None for eager runs) — a plain dict so
     results stay picklable across DSE worker processes.
+    ``resumed_epochs`` counts the epochs this run *skipped* by resuming a
+    mid-run checkpoint (0 for an uninterrupted run).
     """
     best_val: float
     epochs: int
     seconds: float
     history: List[Tuple[float, float]] = field(default_factory=list)
     compile_stats: Optional[Dict] = None
+    resumed_epochs: int = 0
 
 
 def train_plain(model: Module, loss_fn: LossFn, train_loader, val_loader,
@@ -207,7 +222,11 @@ def train_plain(model: Module, loss_fn: LossFn, train_loader, val_loader,
                 graph_opt: Optional[str] = None,
                 graph_exec: Optional[str] = None,
                 loop_capture: Optional[bool] = None,
-                compile_config: Optional[CompileConfig] = None) -> TrainResult:
+                compile_config: Optional[CompileConfig] = None,
+                checkpoint_dir: Optional[str] = None,
+                checkpoint_every: Optional[int] = None,
+                checkpoint_tag: str = "train",
+                checkpoint_resume: bool = True) -> TrainResult:
     """Standard training with early stopping and best-state restore.
 
     ``compile_config`` carries the compilation knobs
@@ -216,18 +235,43 @@ def train_plain(model: Module, loss_fn: LossFn, train_loader, val_loader,
     (bit-identical, faster); whole-loop capture additionally replays each
     *epoch* as one loop program.  Unset fields defer to the ``REPRO_*``
     environment defaults; the loose kwargs survive as a deprecated shim.
+
+    With ``checkpoint_dir`` set, the complete training state (model,
+    Adam moments/counters, RNG streams, early-stop state) is snapshotted
+    every ``checkpoint_every`` epochs under ``<dir>/<tag>.ckpt.npz``; a
+    run killed at an epoch boundary and restarted resumes from there
+    bit-identically (see :mod:`repro.core.checkpoint`).
     """
     cfg = CompileConfig.resolve(compile_config, compile_step=compile_step,
                                 graph_opt=graph_opt, graph_exec=graph_exec,
                                 loop_capture=loop_capture)
+    ckpt = TrainerCheckpoint.create(checkpoint_dir, checkpoint_tag,
+                                    every=checkpoint_every,
+                                    resume=checkpoint_resume)
+    resume = ckpt.load() if ckpt is not None else None
+    meta = resume.meta if resume is not None else {}
+    if resume is not None and meta.get("trainer") != "plain":
+        resume, meta = None, {}
     optimizer = Adam(model.parameters(), lr=lr, weight_decay=weight_decay)
     stopper = EarlyStopping(patience=patience, mode="min")
     start = time.perf_counter()
-    history: List[Tuple[float, float]] = []
-    ran = 0
+    base_seconds = float(meta.get("seconds", {}).get("train", 0.0))
+    history: List[Tuple[float, float]] = [
+        (float(t), float(v)) for t, v in meta.get("history", [])]
+    ran = int(meta.get("counters", {}).get("ran", 0))
+    resumed = ran
+    rng_map = {**module_rng_map(model),
+               **loader_rng_map(train=train_loader, val=val_loader)}
+    if resume is not None:
+        model.load_state_dict(resume.group("model/"))
+        restore_optimizer(optimizer, resume.arrays)
+        restore_stopper(stopper, resume.arrays)
+        restore_rngs(rng_map, meta.get("rngs", {}))
     step = make_training_step(model, loss_fn, compile_config=cfg)
     epoch = make_epoch_runner(step, optimizer, grad_clip, cfg)
-    for _ in range(epochs):
+    for _ in range(ran, epochs):
+        if stopper.should_stop:
+            break  # checkpoint was taken on the converged epoch
         train_loss = _train_epoch(model, loss_fn, optimizer, train_loader,
                                   grad_clip=grad_clip, step=step, epoch=epoch)
         val_loss = _guard_finite(evaluate(model, loss_fn, val_loader),
@@ -235,6 +279,19 @@ def train_plain(model: Module, loss_fn: LossFn, train_loader, val_loader,
         history.append((train_loss, val_loss))
         ran += 1
         stopper.update(val_loss, state=model.state_dict())
+        if ckpt is not None and ckpt.due(ran):
+            arrays = {f"model/{k}": v for k, v in model.state_dict().items()}
+            arrays.update(optimizer_arrays(optimizer))
+            arrays.update(stopper_arrays(stopper))
+            ckpt.save(arrays, {
+                "trainer": "plain", "phase": "train", "global_epoch": ran,
+                "counters": {"ran": ran}, "history": history,
+                "seconds": {"train": base_seconds
+                            + (time.perf_counter() - start)},
+                "rngs": capture_rngs(rng_map),
+                "loader_epochs": {"train": ran, "val": ran},
+            })
+        faults.crash_at_epoch(ran)
         if stopper.should_stop:
             break
     if stopper.best_state is not None:
@@ -242,8 +299,10 @@ def train_plain(model: Module, loss_fn: LossFn, train_loader, val_loader,
     best = (float(stopper.best) if stopper.best is not None
             else evaluate(model, loss_fn, val_loader))
     return TrainResult(best_val=best, epochs=ran,
-                       seconds=time.perf_counter() - start, history=history,
-                       compile_stats=_compile_stats(step, epoch))
+                       seconds=base_seconds + (time.perf_counter() - start),
+                       history=history,
+                       compile_stats=_compile_stats(step, epoch),
+                       resumed_epochs=resumed)
 
 
 def _compile_stats(step, epoch=None) -> Optional[Dict]:
@@ -263,7 +322,12 @@ def _compile_stats(step, epoch=None) -> Optional[Dict]:
 
 @dataclass
 class PITResult:
-    """Everything the benchmarks need from one PIT run."""
+    """Everything the benchmarks need from one PIT run.
+
+    ``resumed_epochs`` counts the (global) epochs this run skipped by
+    resuming a mid-run checkpoint — 0 for an uninterrupted run; the DSE
+    engine sums it into ``last_run_stats["resumed_epochs"]``.
+    """
     dilations: Tuple[int, ...]
     best_val: float
     effective_params: int
@@ -275,6 +339,7 @@ class PITResult:
     finetune_epochs: int
     history: Dict[str, List[float]] = field(default_factory=dict)
     compile_stats: Dict[str, Dict] = field(default_factory=dict)
+    resumed_epochs: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -333,6 +398,13 @@ class PITTrainer:
         All four knobs as one :class:`repro.autograd.graph.CompileConfig`;
         the loose kwargs above survive as a deprecated shim and lose to
         explicit config fields.
+    checkpoint_dir / checkpoint_every / checkpoint_tag / checkpoint_resume:
+        With ``checkpoint_dir`` set, :meth:`fit` snapshots the complete
+        training state every ``checkpoint_every`` epochs (counting
+        globally across all three phases) to
+        ``<dir>/<tag>.ckpt.npz`` and — unless ``checkpoint_resume`` is
+        False — resumes from that file when it exists, bit-identically
+        to the uninterrupted run (see :mod:`repro.core.checkpoint`).
     """
 
     def __init__(self, model: Module, loss_fn: LossFn, lam: float,
@@ -346,7 +418,11 @@ class PITTrainer:
                  graph_opt: Optional[str] = None,
                  graph_exec: Optional[str] = None,
                  loop_capture: Optional[bool] = None,
-                 compile_config: Optional[CompileConfig] = None):
+                 compile_config: Optional[CompileConfig] = None,
+                 checkpoint_dir: Optional[str] = None,
+                 checkpoint_every: Optional[int] = None,
+                 checkpoint_tag: str = "pit",
+                 checkpoint_resume: bool = True):
         if regularizer not in ("size", "flops"):
             raise ValueError("regularizer must be 'size' or 'flops'")
         self.model = model
@@ -376,6 +452,9 @@ class PITTrainer:
         self.graph_opt = self.compile_config.graph_opt
         self.graph_exec = self.compile_config.graph_exec
         self.loop_capture = self.compile_config.loop_capture
+        self._checkpoint = TrainerCheckpoint.create(
+            checkpoint_dir, checkpoint_tag, every=checkpoint_every,
+            resume=checkpoint_resume)
         if not self._searchable_layers():
             raise ValueError("model contains no searchable (PITConv1d / "
                              "PITChannelConv1d) layers")
@@ -406,85 +485,195 @@ class PITTrainer:
             print(f"[PIT] {message}")
 
     # ------------------------------------------------------------------
+    _PHASES = ("warmup", "prune", "finetune")
+
+    def _restore_into(self, resume, optimizer, stopper) -> None:
+        """In-place restore of model / optimizer / stopper state.
+
+        Parameters and the optimizer's moment arrays are written in place
+        (``arr[...] =``), so anything aliasing them — flat-packed loop
+        buffers, captured programs — keeps seeing the carried storage.
+        """
+        self.model.load_state_dict(resume.group("model/"))
+        restore_optimizer(optimizer, resume.arrays)
+        if stopper is not None:
+            restore_stopper(stopper, resume.arrays)
+
+    def _save_boundary(self, phase: str, optimizer, stopper,
+                       history: Dict, counters: Dict, seconds: Dict,
+                       rng_map: Dict) -> None:
+        """One global-epoch boundary: persist the snapshot (when due),
+        then hit the ``crash@epoch=K`` fault site — after the save, so an
+        injected kill simulates preemption with durable state on disk."""
+        self._global_epoch += 1
+        ge = self._global_epoch
+        ckpt = self._checkpoint
+        if ckpt is not None and ckpt.due(ge):
+            arrays = {f"model/{name}": arr
+                      for name, arr in self.model.state_dict().items()}
+            arrays.update(optimizer_arrays(optimizer))
+            if stopper is not None:
+                arrays.update(stopper_arrays(stopper))
+            ckpt.save(arrays, {
+                "trainer": "pit", "phase": phase, "global_epoch": ge,
+                "counters": {k: int(v) for k, v in counters.items()},
+                "history": history, "seconds": seconds,
+                "rngs": capture_rngs(rng_map),
+                "loader_epochs": {"train": ge, "val": ge},
+            })
+        faults.crash_at_epoch(ge)
+
     def fit(self, train_loader, val_loader) -> PITResult:
-        """Run warmup → pruning → fine-tuning; return the search outcome."""
-        history: Dict[str, List[float]] = {
+        """Run warmup → pruning → fine-tuning; return the search outcome.
+
+        With checkpointing configured (``checkpoint_dir=``), the complete
+        training state is snapshotted at (global) epoch boundaries and an
+        existing snapshot is resumed: the remaining epochs replay
+        bit-identically — losses, params, full Adam state — to the run
+        that was never interrupted.  Resume assumes the same trainer
+        configuration and data as the run that wrote the snapshot.
+        """
+        ckpt = self._checkpoint
+        resume = ckpt.load() if ckpt is not None else None
+        meta = resume.meta if resume is not None else {}
+        if resume is not None and meta.get("trainer") != "pit":
+            resume, meta = None, {}
+        phase_at = (self._PHASES.index(meta["phase"])
+                    if meta.get("phase") in self._PHASES else -1)
+        counters: Dict[str, int] = {
+            k: int(v) for k, v in meta.get("counters", {}).items()}
+        seconds: Dict[str, float] = {
+            k: float(v) for k, v in meta.get("seconds", {}).items()}
+        history: Dict[str, List[float]] = meta.get("history") or {
             "warmup_val": [], "prune_val": [], "finetune_val": [],
             "prune_params": [],
         }
+        self._global_epoch = int(meta.get("global_epoch", 0))
+        resumed_epochs = self._global_epoch
         compile_stats: Dict[str, Dict] = {}
         weight_params, gamma_params = self._split_params()
+        rng_map = {**module_rng_map(self.model),
+                   **loader_rng_map(train=train_loader, val=val_loader)}
+        if resume is not None:
+            saved_rngs = meta.get("rngs", {})
+            restore_rngs(rng_map, saved_rngs)
+            # Shuffling streams the snapshot has no RNG state for (a
+            # stacked slice's file: the stack trains from replay views,
+            # not these streams) advance positionally instead.
+            loader_epochs = meta.get("loader_epochs", {})
+            for role, loader in (("train", train_loader),
+                                 ("val", val_loader)):
+                if (getattr(loader, "shuffle", False)
+                        and f"loader/{role}" not in saved_rngs):
+                    fast_forward_loader(
+                        loader, int(loader_epochs.get(role, 0)))
+            self._log(f"resumed from {ckpt.path} at phase "
+                      f"{meta.get('phase')!r}, global epoch "
+                      f"{self._global_epoch}")
 
         # ---------------- Phase 1: warmup (weights only) ----------------
         start = time.perf_counter()
-        warmup_ran = 0
-        if self.warmup_epochs > 0:
+        warmup_base = seconds.get("warmup", 0.0)
+        warmup_ran = counters.get("warmup_ran", 0)
+        warmup_seconds = warmup_base
+        if self.warmup_epochs > 0 and phase_at <= 0:
             optimizer = Adam(weight_params, lr=self.lr)
+            if resume is not None and phase_at == 0:
+                self._restore_into(resume, optimizer, None)
             step = make_training_step(self.model, self.loss_fn,
                                       compile_config=self.compile_config)
             epoch = make_epoch_runner(step, optimizer, self.grad_clip,
                                       self.compile_config)
-            for _ in range(self.warmup_epochs):
+            for _ in range(warmup_ran, self.warmup_epochs):
                 _train_epoch(self.model, self.loss_fn, optimizer, train_loader,
                              grad_clip=self.grad_clip, step=step, epoch=epoch)
                 history["warmup_val"].append(_guard_finite(
                     evaluate(self.model, self.loss_fn, val_loader),
                     "warmup validation loss"))
                 warmup_ran += 1
+                counters["warmup_ran"] = warmup_ran
+                self._save_boundary(
+                    "warmup", optimizer, None, history, counters,
+                    {**seconds, "warmup": warmup_base
+                     + (time.perf_counter() - start)}, rng_map)
             stats = _compile_stats(step, epoch)
             if stats is not None:
                 compile_stats["warmup"] = stats
             self._log(f"warmup done, val={history['warmup_val'][-1]:.4f}")
-        warmup_seconds = time.perf_counter() - start
+            warmup_seconds = warmup_base + (time.perf_counter() - start)
+        seconds["warmup"] = warmup_seconds
 
         # ---------------- Phase 2: pruning (weights + γ) ----------------
         start = time.perf_counter()
-        groups = [{"params": weight_params, "lr": self.lr}]
-        if gamma_params:
-            groups.append({"params": gamma_params, "lr": self.gamma_lr,
-                           "weight_decay": 0.0})
-        optimizer = Adam(groups, lr=self.lr)
-        stopper = EarlyStopping(patience=self.prune_patience, mode="min")
-        prune_ran = 0
-        step = make_training_step(self.model, self.loss_fn,
-                                  extra_loss=self._regularizer_term,
-                                  compile_config=self.compile_config)
-        epoch = make_epoch_runner(step, optimizer, self.grad_clip,
-                                  self.compile_config)
-        for _ in range(self.max_prune_epochs):
-            _train_epoch(self.model, self.loss_fn, optimizer, train_loader,
-                         extra_loss=self._regularizer_term,
-                         grad_clip=self.grad_clip, step=step, epoch=epoch)
-            val_loss = _guard_finite(
-                evaluate(self.model, self.loss_fn, val_loader),
-                "pruning validation loss")
-            history["prune_val"].append(val_loss)
-            history["prune_params"].append(float(effective_parameters(self.model)))
-            prune_ran += 1
-            stopper.update(val_loss)
-            if stopper.should_stop:
-                break
-        stats = _compile_stats(step, epoch)
-        if stats is not None:
-            compile_stats["prune"] = stats
-        prune_seconds = time.perf_counter() - start
+        prune_base = seconds.get("prune", 0.0)
+        prune_ran = counters.get("prune_ran", 0)
+        prune_seconds = prune_base
+        if phase_at <= 1:
+            groups = [{"params": weight_params, "lr": self.lr}]
+            if gamma_params:
+                groups.append({"params": gamma_params, "lr": self.gamma_lr,
+                               "weight_decay": 0.0})
+            optimizer = Adam(groups, lr=self.lr)
+            stopper = EarlyStopping(patience=self.prune_patience, mode="min")
+            if resume is not None and phase_at == 1:
+                self._restore_into(resume, optimizer, stopper)
+            step = make_training_step(self.model, self.loss_fn,
+                                      extra_loss=self._regularizer_term,
+                                      compile_config=self.compile_config)
+            epoch = make_epoch_runner(step, optimizer, self.grad_clip,
+                                      self.compile_config)
+            for _ in range(prune_ran, self.max_prune_epochs):
+                if stopper.should_stop:
+                    break  # resumed from the converged epoch's snapshot
+                _train_epoch(self.model, self.loss_fn, optimizer, train_loader,
+                             extra_loss=self._regularizer_term,
+                             grad_clip=self.grad_clip, step=step, epoch=epoch)
+                val_loss = _guard_finite(
+                    evaluate(self.model, self.loss_fn, val_loader),
+                    "pruning validation loss")
+                history["prune_val"].append(val_loss)
+                history["prune_params"].append(
+                    float(effective_parameters(self.model)))
+                prune_ran += 1
+                counters["prune_ran"] = prune_ran
+                stopper.update(val_loss)
+                self._save_boundary(
+                    "prune", optimizer, stopper, history, counters,
+                    {**seconds, "prune": prune_base
+                     + (time.perf_counter() - start)}, rng_map)
+                if stopper.should_stop:
+                    break
+            stats = _compile_stats(step, epoch)
+            if stats is not None:
+                compile_stats["prune"] = stats
+            prune_seconds = prune_base + (time.perf_counter() - start)
+        seconds["prune"] = prune_seconds
         self._log(f"pruning converged after {prune_ran} epochs, "
                   f"dilations={network_dilations(self.model)}")
 
         # ---------------- Phase 3: freeze + fine-tune --------------------
         start = time.perf_counter()
+        finetune_base = seconds.get("finetune", 0.0)
+        finetune_ran = counters.get("finetune_ran", 0)
         for layer in self._searchable_layers():
             layer.freeze()
         optimizer = Adam(weight_params, lr=self.lr)
         stopper = EarlyStopping(patience=self.finetune_patience, mode="min")
-        finetune_ran = 0
+        if resume is not None and phase_at == 2:
+            # freeze() first (it sets the frozen *flags*), restore second:
+            # the snapshot's buffers carry the exact masks of the original
+            # pruning outcome, overwriting what freeze() just computed
+            # from this process's never-pruned γ̂.
+            self._restore_into(resume, optimizer, stopper)
         # Fresh step: freezing changed the graph (masks became constants,
         # which the graph optimizer folds away entirely).
         step = make_training_step(self.model, self.loss_fn,
                                   compile_config=self.compile_config)
         epoch = make_epoch_runner(step, optimizer, self.grad_clip,
                                   self.compile_config)
-        for _ in range(self.finetune_epochs):
+        for _ in range(finetune_ran, self.finetune_epochs):
+            if stopper.should_stop:
+                break  # resumed from the converged epoch's snapshot
             _train_epoch(self.model, self.loss_fn, optimizer, train_loader,
                          grad_clip=self.grad_clip, step=step, epoch=epoch)
             val_loss = _guard_finite(
@@ -492,7 +681,12 @@ class PITTrainer:
                 "fine-tuning validation loss")
             history["finetune_val"].append(val_loss)
             finetune_ran += 1
+            counters["finetune_ran"] = finetune_ran
             stopper.update(val_loss, state=self.model.state_dict())
+            self._save_boundary(
+                "finetune", optimizer, stopper, history, counters,
+                {**seconds, "finetune": finetune_base
+                 + (time.perf_counter() - start)}, rng_map)
             if stopper.should_stop:
                 break
         stats = _compile_stats(step, epoch)
@@ -500,7 +694,7 @@ class PITTrainer:
             compile_stats["finetune"] = stats
         if stopper.best_state is not None:
             self.model.load_state_dict(stopper.best_state)
-        finetune_seconds = time.perf_counter() - start
+        finetune_seconds = finetune_base + (time.perf_counter() - start)
 
         best_val = (float(stopper.best) if stopper.best is not None
                     else evaluate(self.model, self.loss_fn, val_loader))
@@ -518,4 +712,5 @@ class PITTrainer:
             finetune_epochs=finetune_ran,
             history=history,
             compile_stats=compile_stats,
+            resumed_epochs=resumed_epochs,
         )

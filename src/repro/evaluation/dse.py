@@ -80,6 +80,11 @@ import numpy as np
 
 from ..autograd import current_backend, use_backend
 from ..autograd.graph import CompileConfig
+from ..core.checkpoint import (
+    checkpoint_dir_default,
+    checkpoint_every_default,
+    key_tag,
+)
 from ..core.stacked import StackedPITTrainer
 from ..core.trainer import DivergedError, PITResult, PITTrainer
 from ..data import DataLoader, clone_loader
@@ -571,8 +576,10 @@ def _train_grid_point(seed_factory: Callable[[], Module], loss_fn: Callable,
                       train_loader, val_loader, lam: float, warmup: int,
                       trainer_kwargs: Dict, backend: str,
                       compile_cfg: Optional[CompileConfig] = None,
-                      point_evaluators: Optional[Sequence[Callable]] = None
-                      ) -> DSEPoint:
+                      point_evaluators: Optional[Sequence[Callable]] = None,
+                      ckpt_dir: Optional[str] = None,
+                      ckpt_every: Optional[int] = None,
+                      ckpt_tag: Optional[str] = None) -> DSEPoint:
     """Train one (λ, warmup) grid point from a fresh seed.
 
     Module-level (not a closure) so a ``ProcessPoolExecutor`` can pickle it.
@@ -593,13 +600,24 @@ def _train_grid_point(seed_factory: Callable[[], Module], loss_fn: Callable,
     ``point_evaluators`` run after training, while the trained model is
     still in hand, and merge their returned dicts into ``DSEPoint.metrics``
     — still inside the backend scope, so evaluation forward passes use the
-    same kernels the cache key records.
+    same kernels the cache key records.  ``ckpt_dir``/``ckpt_every``/
+    ``ckpt_tag`` enable mid-run trainer checkpoints: a retried, resubmitted
+    or abandoned-and-reswept point resumes bit-exactly from its last epoch
+    boundary instead of retraining from scratch (the tag is derived from
+    the point's cache key, so every execution strategy addresses the same
+    file).
     """
     train_loader = _worker_loader(train_loader, "train")
     val_loader = _worker_loader(val_loader, "val")
     model = seed_factory()
+    ckpt_kwargs = {}
+    if ckpt_dir and ckpt_tag:
+        ckpt_kwargs = dict(checkpoint_dir=ckpt_dir,
+                           checkpoint_every=ckpt_every,
+                           checkpoint_tag=ckpt_tag)
     trainer = PITTrainer(model, loss_fn, lam=lam, warmup_epochs=warmup,
-                         compile_config=compile_cfg, **trainer_kwargs)
+                         compile_config=compile_cfg, **ckpt_kwargs,
+                         **trainer_kwargs)
     with use_backend(backend):
         result = trainer.fit(train_loader, val_loader)
         point = DSEPoint(
@@ -618,7 +636,10 @@ def _train_grid_stack(seed_factory: Callable[[], Module], loss_fn: Callable,
                       lams: Sequence[float], trainer_kwargs: Dict,
                       backend: str,
                       compile_cfg: Optional[CompileConfig] = None,
-                      point_evaluators: Optional[Sequence[Callable]] = None
+                      point_evaluators: Optional[Sequence[Callable]] = None,
+                      ckpt_dir: Optional[str] = None,
+                      ckpt_every: Optional[int] = None,
+                      ckpt_tags: Optional[Sequence[str]] = None
                       ) -> List[DSEPoint]:
     """Train a group of same-warmup grid points as one weight-stacked run.
 
@@ -635,11 +656,19 @@ def _train_grid_stack(seed_factory: Callable[[], Module], loss_fn: Callable,
     stacked loss, so only per-point training can isolate the culprit.
     """
     lams = [float(lam) for lam in lams]
+    ckpt_kwargs = {}
+    if ckpt_dir and ckpt_tags and all(ckpt_tags):
+        # Per-slice files named by each point's cache-key tag: the stacked
+        # run checkpoints into (and resumes from) the same per-point files
+        # a sequential sweep of the group would use.
+        ckpt_kwargs = dict(checkpoint_dir=ckpt_dir,
+                           checkpoint_every=ckpt_every,
+                           checkpoint_tags=list(ckpt_tags))
     with use_backend(backend):
         template = seed_factory()
         trainer = StackedPITTrainer(
             template, loss_fn, lams=lams, warmup_epochs=warmup,
-            compile_config=compile_cfg, **trainer_kwargs)
+            compile_config=compile_cfg, **ckpt_kwargs, **trainer_kwargs)
         results = trainer.fit(train_loader, val_loader)
         points = []
         for i, result in enumerate(results):
@@ -676,7 +705,10 @@ def _train_point_isolated(seed_factory, loss_fn, train_loader, val_loader,
                           index: int, warmup: int, lam: float,
                           trainer_kwargs: Dict, backend: str,
                           compile_cfg, point_evaluators,
-                          retries: int, retry_backoff: float) -> DSEPoint:
+                          retries: int, retry_backoff: float,
+                          ckpt_dir: Optional[str] = None,
+                          ckpt_every: Optional[int] = None,
+                          ckpt_tag: Optional[str] = None) -> DSEPoint:
     """Per-point failure isolation: always returns a DSEPoint.
 
     Transient exceptions retry up to ``retries`` times with exponential
@@ -684,7 +716,9 @@ def _train_point_isolated(seed_factory, loss_fn, train_loader, val_loader,
     diverge again, so a retry just burns the epochs twice) and fails the
     point immediately.  ``BaseException`` (KeyboardInterrupt, worker
     ``os._exit``) deliberately passes through — interruption is the
-    caller's policy, not a point failure.
+    caller's policy, not a point failure.  With checkpointing on, a retry
+    resumes from the point's latest epoch-boundary snapshot instead of
+    paying the finished epochs again.
     """
     attempt = 0
     while True:
@@ -695,7 +729,7 @@ def _train_point_isolated(seed_factory, loss_fn, train_loader, val_loader,
                 point = _train_grid_point(
                     seed_factory, loss_fn, train_loader, val_loader, lam,
                     warmup, trainer_kwargs, backend, compile_cfg,
-                    point_evaluators)
+                    point_evaluators, ckpt_dir, ckpt_every, ckpt_tag)
             point.attempts = attempt
             return point
         except DivergedError as exc:
@@ -731,7 +765,10 @@ def _train_grid_chunk(seed_factory: Callable[[], Module], loss_fn: Callable,
                       point_evaluators: Optional[Sequence[Callable]] = None,
                       retries: int = 0, retry_backoff: float = 0.0,
                       cache_path: Optional[str] = None,
-                      cache_keys: Optional[Dict[int, str]] = None
+                      cache_keys: Optional[Dict[int, str]] = None,
+                      ckpt_dir: Optional[str] = None,
+                      ckpt_every: Optional[int] = None,
+                      ckpt_tags: Optional[Dict[int, str]] = None
                       ) -> List[DSEPoint]:
     """One worker task: ``(index, warmup, lam)`` points, all same warmup.
 
@@ -753,6 +790,9 @@ def _train_grid_chunk(seed_factory: Callable[[], Module], loss_fn: Callable,
         if cache is not None and cache_keys and index in cache_keys:
             cache.put(cache_keys[index], point)
 
+    def tag_of(index: int) -> Optional[str]:
+        return ckpt_tags.get(index) if ckpt_tags else None
+
     if len(chunk) > 1:
         indices = [index for index, _, _ in chunk]
         warmup = chunk[0][1]
@@ -762,7 +802,8 @@ def _train_grid_chunk(seed_factory: Callable[[], Module], loss_fn: Callable,
                 points = _train_grid_stack(
                     seed_factory, loss_fn, train_loader, val_loader, warmup,
                     [lam for _, _, lam in chunk], trainer_kwargs, backend,
-                    compile_cfg, point_evaluators)
+                    compile_cfg, point_evaluators, ckpt_dir, ckpt_every,
+                    [tag_of(index) for index in indices])
         except Exception:
             points = None  # StackingUnsupported, divergence, …: isolate
                            # per point below
@@ -776,7 +817,7 @@ def _train_grid_chunk(seed_factory: Callable[[], Module], loss_fn: Callable,
         point = _train_point_isolated(
             seed_factory, loss_fn, train_loader, val_loader, index, warmup,
             lam, trainer_kwargs, backend, compile_cfg, point_evaluators,
-            retries, retry_backoff)
+            retries, retry_backoff, ckpt_dir, ckpt_every, tag_of(index))
         flush(index, point)
         out.append(point)
     return out
@@ -890,10 +931,27 @@ class DSEEngine:
         its unfinished points are marked failed and the future is
         cancelled/abandoned — a hung point costs its own budget, not the
         sweep.  None (default) disables the deadline.
+    checkpoint_dir:
+        Optional directory for *mid-run trainer checkpoints* (see
+        :class:`repro.core.TrainerCheckpoint`): every grid point snapshots
+        its complete training state at epoch boundaries, so a retried,
+        pool-resubmitted, timed-out-and-reswept or interrupted-and-rerun
+        point resumes bit-exactly from its last finished epoch instead of
+        retraining from scratch.  Files are named by each point's cache-key
+        tag, so sequential, pooled and stacked execution all address the
+        same per-point file; like the compile/stack knobs this is an
+        execution knob kept *out* of cache keys.  None (default) defers to
+        ``REPRO_CKPT_DIR``; unset means no checkpointing.  Checkpoints
+        complement the results cache: the cache skips *finished* points,
+        checkpoints recover *in-flight* ones.
+    checkpoint_every:
+        Snapshot cadence in epochs (checkpoint every Nth boundary); None
+        defers to ``REPRO_CKPT_EVERY`` (default 1, every epoch).
 
     After each :meth:`run`, ``last_run_stats`` reports the recovery
     machinery's activity: pool deaths, timeouts, quarantined points,
-    failed/retried counts, and whether the sweep degraded to sequential
+    failed/retried counts, epochs recovered from checkpoints
+    (``resumed_epochs``), and whether the sweep degraded to sequential
     execution.
     """
 
@@ -912,7 +970,9 @@ class DSEEngine:
                  stack: Optional[int] = None,
                  point_evaluators: Optional[Sequence[Callable]] = None,
                  retries: int = 0, retry_backoff: float = 0.1,
-                 point_timeout: Optional[float] = None):
+                 point_timeout: Optional[float] = None,
+                 checkpoint_dir: Optional[str] = None,
+                 checkpoint_every: Optional[int] = None):
         if workers is None:
             workers = workers_default()
         if executor is None:
@@ -974,6 +1034,25 @@ class DSEEngine:
         self.stack = int(stack) if stack is not None else stack_width_default()
         if self.stack < 1:
             raise ValueError("stack width must be >= 1")
+        # Checkpointing is an execution knob like compile/stack: stripped
+        # from trainer_kwargs (the engine owns per-point tags and resume)
+        # and kept out of cache keys.  Engine kwargs win over trainer_kwargs
+        # spellings; both fall back to the REPRO_CKPT_* environment.
+        kwargs_ckpt_dir = self.trainer_kwargs.pop("checkpoint_dir", None)
+        kwargs_ckpt_every = self.trainer_kwargs.pop("checkpoint_every", None)
+        self.trainer_kwargs.pop("checkpoint_tag", None)
+        self.trainer_kwargs.pop("checkpoint_tags", None)
+        self.trainer_kwargs.pop("checkpoint_resume", None)
+        if checkpoint_dir is None:
+            checkpoint_dir = kwargs_ckpt_dir
+        if checkpoint_dir is None:
+            checkpoint_dir = checkpoint_dir_default()
+        if checkpoint_every is None:
+            checkpoint_every = kwargs_ckpt_every
+        self.checkpoint_dir = checkpoint_dir or None
+        self.checkpoint_every = (int(checkpoint_every)
+                                 if checkpoint_every is not None
+                                 else checkpoint_every_default())
         self.point_evaluators = list(point_evaluators or [])
         self.retries = int(retries)
         self.retry_backoff = float(retry_backoff)
@@ -1007,7 +1086,9 @@ class DSEEngine:
                                  self.point_evaluators,
                                  self.retries, self.retry_backoff,
                                  self.cache.path if self.cache else None,
-                                 self._chunk_keys(chunk))
+                                 self._chunk_keys(chunk),
+                                 self.checkpoint_dir, self.checkpoint_every,
+                                 self._chunk_ckpt_tags(chunk))
 
     def _chunk_keys(self, chunk: Sequence[Tuple[int, int, float]]
                     ) -> Optional[Dict[int, str]]:
@@ -1017,6 +1098,22 @@ class DSEEngine:
             return None
         return {index: self._key(lam, warmup)
                 for index, warmup, lam in chunk}
+
+    def _chunk_ckpt_tags(self, chunk: Sequence[Tuple[int, int, float]]
+                         ) -> Optional[Dict[int, str]]:
+        """Per-point checkpoint-file tags, derived from the cache *key*
+        (not the cache) so sweeps without a results cache still get stable
+        per-point files, and every execution strategy — sequential, pooled,
+        stacked — resumes the same point from the same file."""
+        if not self.checkpoint_dir:
+            return None
+        try:
+            return {index: key_tag(self._key(lam, warmup))
+                    for index, warmup, lam in chunk}
+        except ValueError:
+            # Unserializable trainer settings: no stable point identity,
+            # so no checkpoint files (training still runs).
+            return None
 
     def _chunk_pending(self, pending: Sequence[Tuple[int, int, float]]
                        ) -> List[List[Tuple[int, int, float]]]:
@@ -1062,6 +1159,7 @@ class DSEEngine:
         stats: Dict[str, object] = {
             "pool_deaths": 0, "timeouts": 0, "chunk_failures": 0,
             "quarantined": [], "degraded": False, "failed": 0, "retried": 0,
+            "resumed_epochs": 0,
         }
         self.last_run_stats = stats
 
@@ -1116,7 +1214,9 @@ class DSEEngine:
             self.train_loader, self.val_loader, list(chunk),
             self.trainer_kwargs, self._run_backend, self.compile_config,
             self.point_evaluators, self.retries, self.retry_backoff,
-            self.cache.path if self.cache else None, self._chunk_keys(chunk))
+            self.cache.path if self.cache else None, self._chunk_keys(chunk),
+            self.checkpoint_dir, self.checkpoint_every,
+            self._chunk_ckpt_tags(chunk))
         inflight[future] = (list(chunk), self._deadline(len(chunk)))
 
     def _run_pooled(self, chunks, points, stats) -> None:
@@ -1284,6 +1384,12 @@ class DSEEngine:
     def _record(self, point: DSEPoint) -> DSEPoint:
         if self.cache is not None:
             self.cache.put(self._key(point.lam, point.warmup_epochs), point)
+        resumed = getattr(point.result, "resumed_epochs", 0) or 0
+        if resumed:
+            # Epochs this point recovered from a mid-run checkpoint instead
+            # of retraining (pool resubmission, retry, or a prior run).
+            self.last_run_stats["resumed_epochs"] = (
+                self.last_run_stats.get("resumed_epochs", 0) + int(resumed))
         if not point.ok:
             self._log(f"lam={point.lam:g} warmup={point.warmup_epochs}: "
                       f"FAILED after {point.attempts} attempt(s) — "
@@ -1312,16 +1418,18 @@ def run_dse(seed_factory: Callable[[], Module], loss_fn: Callable,
             stack: Optional[int] = None,
             point_evaluators: Optional[Sequence[Callable]] = None,
             retries: int = 0, retry_backoff: float = 0.1,
-            point_timeout: Optional[float] = None
+            point_timeout: Optional[float] = None,
+            checkpoint_dir: Optional[str] = None,
+            checkpoint_every: Optional[int] = None
             ) -> DSEResult:
     """Sweep (λ, warmup); one full PIT search per grid point.
 
     Thin wrapper over :class:`DSEEngine` kept for API compatibility;
     ``workers`` / ``executor`` / ``cache_path`` / ``cache_tag`` /
     ``compile_config`` / ``stack`` / ``point_evaluators`` /
-    ``retries`` / ``point_timeout`` expose the engine's parallelism,
-    memoization, graph-execution, stacked-model, hardware-in-the-loop
-    and fault-tolerance knobs.
+    ``retries`` / ``point_timeout`` / ``checkpoint_dir`` expose the
+    engine's parallelism, memoization, graph-execution, stacked-model,
+    hardware-in-the-loop, fault-tolerance and mid-run-checkpoint knobs.
     """
     engine = DSEEngine(seed_factory, loss_fn, train_loader, val_loader,
                        workers=workers, executor=executor,
@@ -1334,7 +1442,9 @@ def run_dse(seed_factory: Callable[[], Module], loss_fn: Callable,
                        stack=stack,
                        point_evaluators=point_evaluators,
                        retries=retries, retry_backoff=retry_backoff,
-                       point_timeout=point_timeout)
+                       point_timeout=point_timeout,
+                       checkpoint_dir=checkpoint_dir,
+                       checkpoint_every=checkpoint_every)
     return engine.run(lambdas, warmups=warmups)
 
 

@@ -15,12 +15,13 @@ Spec grammar (comma-separated fault tokens)::
 
     token  := kind [ "@" param "=" value ( "&" param "=" value )* ]
     kind   := worker_crash | nan_loss | cache_corrupt | conn_drop
-            | hang | interrupt | transient
+            | hang | interrupt | transient | crash | ckpt_corrupt
 
 Common params: ``point=N`` restricts a fault to the grid point(s) named by
 the enclosing :func:`point_scope`; ``times=N`` fires the fault N times
 (default 1) before it goes quiet; ``seconds=X`` is the sleep length of
-``hang``; ``tick=N`` matches the serving tick counter for ``conn_drop``.
+``hang``; ``tick=N`` matches the serving tick counter for ``conn_drop``;
+``epoch=K`` matches the trainer's global epoch counter for ``crash``.
 
 Firing is *once-per-slot*: each fault token owns ``times`` slots, and a
 hook claims the next free slot atomically before acting.  In-process the
@@ -48,6 +49,14 @@ Fault kinds and their sites:
   start, for interrupted-sweep resume tests.
 * ``transient`` — raises a plain :class:`TransientFault` at grid-point
   training start, for retry/backoff tests.
+* ``crash`` — at a trainer epoch boundary, *after* the checkpoint for
+  that epoch is written: ``crash@epoch=K`` kills the run right after
+  global epoch ``K`` completes (abrupt ``os._exit`` in pool workers,
+  retryable :class:`InjectedWorkerCrash` in-process), so resume-from-
+  checkpoint tests can kill training at any exact epoch.
+* ``ckpt_corrupt`` — truncates a trainer checkpoint file right after it
+  is written, exercising the checkpoint checksum/quarantine path on the
+  next resume.
 """
 
 from __future__ import annotations
@@ -67,7 +76,7 @@ __all__ = [
     "parse_faults", "active_faults", "fire", "reset",
     "point_scope", "current_points",
     "inject_point_faults", "poison_loss", "corrupt_cache_file",
-    "drop_connection",
+    "drop_connection", "crash_at_epoch", "corrupt_checkpoint_file",
 ]
 
 #: fault spec environment variable
@@ -77,7 +86,7 @@ ENV_STATE = "REPRO_FAULTS_STATE"
 
 KNOWN_KINDS = frozenset({
     "worker_crash", "nan_loss", "cache_corrupt", "conn_drop",
-    "hang", "interrupt", "transient",
+    "hang", "interrupt", "transient", "crash", "ckpt_corrupt",
 })
 
 #: exit code of an injected worker death (visible in pool diagnostics)
@@ -313,3 +322,33 @@ def corrupt_cache_file(path: str) -> bool:
 def drop_connection(tick: int) -> bool:
     """Serving tick site: abort one live client connection at ``tick``."""
     return fire("conn_drop", tick=int(tick)) is not None
+
+
+def crash_at_epoch(epoch: int) -> None:
+    """Trainer epoch-boundary site: die right after global epoch ``epoch``.
+
+    Called *after* the epoch's checkpoint (if any) is written, so a
+    ``crash@epoch=K`` fault simulates preemption at the worst moment that
+    still has durable state: the checkpoint exists, the process is gone.
+    Pool workers die abruptly (no cleanup — the parent sees the real
+    ``BrokenProcessPool`` cascade); in-process the retryable
+    :class:`InjectedWorkerCrash` is raised instead.
+    """
+    if fire("crash", epoch=int(epoch)) is None:
+        return
+    if multiprocessing.parent_process() is not None:
+        os._exit(CRASH_EXIT_CODE)
+    raise InjectedWorkerCrash(f"injected fault: crash at epoch {epoch}")
+
+
+def corrupt_checkpoint_file(path) -> bool:
+    """Checkpoint-save site: truncate the just-written archive mid-zip."""
+    if fire("ckpt_corrupt") is None:
+        return False
+    try:
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(max(1, size // 2))
+    except OSError:
+        pass
+    return True

@@ -518,6 +518,85 @@ class TestChaosParity:
         assert factory.calls == 1  # one build for the missing stacked chunk
         _assert_identical(baseline, resumed)
 
+
+# ----------------------------------------------------------------------
+# Mid-epoch crashes: checkpoints resume in-flight points, the cache
+# skips finished ones
+# ----------------------------------------------------------------------
+
+class TestCrashResumeChaos:
+    def test_checkpoint_fault_kinds_parse(self):
+        crash, corrupt = faults.parse_faults("crash@epoch=2,ckpt_corrupt")
+        assert crash.kind == "crash" and crash.param("epoch") == 2
+        assert corrupt.kind == "ckpt_corrupt" and corrupt.params == ()
+
+    def test_sequential_crash_retries_and_resumes(self, monkeypatch,
+                                                  tmp_path):
+        """In-process, an injected epoch crash surfaces as a transient
+        fault; the retry picks up the checkpoint and the final sweep is
+        bit-identical to a never-faulted one."""
+        baseline = _serial_engine().run(LAMBDAS, warmups=WARMUPS)
+
+        monkeypatch.setenv(faults.ENV_FAULTS, "crash@epoch=2")
+        engine = _serial_engine(checkpoint_dir=str(tmp_path / "ckpt"),
+                                retries=1, retry_backoff=0.0)
+        chaos = engine.run(LAMBDAS, warmups=WARMUPS)
+        assert not chaos.failed_points
+        assert engine.last_run_stats["retried"] >= 1
+        assert engine.last_run_stats["resumed_epochs"] > 0
+        _assert_identical(baseline, chaos)
+
+    def test_pooled_crash_kills_worker_and_sweep_resumes(self, monkeypatch,
+                                                         tmp_path):
+        """Acceptance scenario: a pooled process sweep loses a worker to a
+        real mid-epoch death (os._exit); the resubmitted chunk resumes
+        from its checkpoint and the result is bit-identical."""
+        baseline = _serial_engine().run(LAMBDAS, warmups=WARMUPS)
+
+        monkeypatch.setenv(faults.ENV_FAULTS, "crash@epoch=2")
+        monkeypatch.setenv(faults.ENV_STATE, str(tmp_path / "state"))
+        os.makedirs(tmp_path / "state")
+        engine = _engine(workers=2, executor="process",
+                         checkpoint_dir=str(tmp_path / "ckpt"),
+                         cache_path=str(tmp_path / "dse.json"))
+        chaos = engine.run(LAMBDAS, warmups=WARMUPS)
+        assert engine.last_run_stats["pool_deaths"] >= 1
+        assert engine.last_run_stats["resumed_epochs"] > 0
+        assert not chaos.failed_points
+        _assert_identical(baseline, chaos)
+
+    def test_without_checkpoints_crash_restarts_from_scratch(
+            self, monkeypatch, tmp_path):
+        """No checkpoint_dir: the retry still converges (full retrain),
+        but reports zero resumed epochs."""
+        baseline = _serial_engine().run(LAMBDAS, warmups=WARMUPS)
+        monkeypatch.setenv(faults.ENV_FAULTS, "crash@epoch=2")
+        engine = _serial_engine(retries=1, retry_backoff=0.0)
+        chaos = engine.run(LAMBDAS, warmups=WARMUPS)
+        assert engine.last_run_stats["resumed_epochs"] == 0
+        _assert_identical(baseline, chaos)
+
+    def test_single_worker_interrupt_keeps_cache_resumable(
+            self, monkeypatch, tmp_path):
+        """Satellite: ``workers=1`` takes the pooled path with one worker;
+        a KeyboardInterrupt mid-sweep must still leave completed points in
+        the cache so the next run only trains what is missing."""
+        cache = str(tmp_path / "dse.json")
+        monkeypatch.setenv(faults.ENV_FAULTS, "interrupt@point=1")
+        with pytest.raises(KeyboardInterrupt):
+            _engine(workers=1, executor="thread",
+                    cache_path=cache).run(LAMBDAS, warmups=[0])
+
+        monkeypatch.delenv(faults.ENV_FAULTS)
+        with open(cache) as handle:
+            recorded = json.load(handle)["points"]
+        assert len(recorded) >= 1  # finished work survived the interrupt
+        factory = CountingFactory()
+        resumed = _engine(factory, workers=1, executor="thread",
+                          cache_path=cache).run(LAMBDAS, warmups=[0])
+        assert factory.calls == 2 - len(recorded)
+        _assert_identical(_serial_engine().run(LAMBDAS, warmups=[0]), resumed)
+
     def test_stacked_divergence_isolated_to_culprit(self, monkeypatch):
         """One NaN slice poisons the whole stacked loss; the chunk falls
         back to per-point training, which blames only the culprit."""

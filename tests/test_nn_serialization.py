@@ -1,12 +1,20 @@
 """Tests for npz model checkpointing."""
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.autograd import Tensor
 from repro.models import temponet_seed
 from repro.nn import BatchNorm1d, CausalConv1d, Linear, ReLU, Sequential
-from repro.nn.serialization import load_model, load_state, save_model, save_state
+from repro.nn.serialization import (
+    CheckpointError,
+    load_model,
+    load_state,
+    save_model,
+    save_state,
+)
 
 RNG = np.random.default_rng(404)
 
@@ -43,6 +51,56 @@ class TestStateRoundTrip:
         path = tmp_path / "nested" / "dir" / "ckpt.npz"
         save_state({"w": np.zeros(1)}, path)
         assert path.exists()
+
+
+class TestAtomicityAndCorruption:
+    def test_save_replaces_atomically(self, tmp_path):
+        """A failed write must never tear the previous good archive."""
+        path = tmp_path / "ckpt.npz"
+        save_state({"w": np.arange(3.0)}, path)
+
+        class Boom:
+            dtype = None  # np.savez chokes on this object mid-archive
+
+        with pytest.raises(Exception):
+            save_state({"w": Boom()}, path)
+        loaded, _ = load_state(path)  # old archive intact
+        assert np.array_equal(loaded["w"], np.arange(3.0))
+        leftovers = [f for f in os.listdir(tmp_path) if f.endswith(".tmp")]
+        assert leftovers == []  # staging file cleaned up
+
+    def test_missing_file_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_state(tmp_path / "nope.npz")
+
+    def test_corrupt_file_raises_checkpoint_error(self, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        save_state({"w": np.zeros(4)}, path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])  # killed mid-write
+        with pytest.raises(CheckpointError):
+            load_state(path)
+        assert path.exists()  # no quarantine unless asked
+
+    def test_corrupt_file_quarantined_on_request(self, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        path.write_bytes(b"\x89PNG not a zip archive")
+        with pytest.warns(UserWarning, match="corrupt"):
+            with pytest.raises(CheckpointError):
+                load_state(path, quarantine=True)
+        assert not path.exists()  # moved, not copied
+        assert (tmp_path / "ckpt.npz.corrupt").exists()
+
+    def test_checkpoint_error_is_runtime_error(self):
+        assert issubclass(CheckpointError, RuntimeError)
+
+    def test_load_model_corruption_is_typed(self, tmp_path):
+        path = tmp_path / "model.npz"
+        save_model(make_net(), path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 3])
+        with pytest.raises(CheckpointError):
+            load_model(make_net(), path)
 
 
 class TestModelRoundTrip:
